@@ -1,0 +1,45 @@
+"""Benchmark-suite plumbing.
+
+Each bench regenerates one table or figure of the paper and registers the
+formatted artifact with the session-scoped reporter; the reporter prints
+everything in the terminal summary (so the artifacts are visible even
+with pytest's output capture active) and archives them under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_ARTIFACTS: list[tuple[str, str]] = []
+
+
+class Reporter:
+    """Collects formatted paper artifacts produced by the benches."""
+
+    def add(self, name: str, text: str) -> None:
+        """Register one artifact and archive it to disk."""
+        _ARTIFACTS.append((name, text))
+        RESULTS_DIR.mkdir(exist_ok=True)
+        safe = name.lower().replace(" ", "_").replace("/", "-")
+        (RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def reporter() -> Reporter:
+    return Reporter()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _ARTIFACTS:
+        return
+    terminalreporter.section("reproduced paper artifacts")
+    for name, text in _ARTIFACTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"=== {name} ===")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,88 @@
+"""EXP-AB-BAT — ablation: battery model variants.
+
+Separates the battery model's contributions on the 6x6 mesh:
+
+* ideal vs thin-film (how much the non-ideal cell costs EAR),
+* voltage-death vs recovery-allowed (how much of SDR's collapse is
+  rate-induced early death),
+* battery-level quantisation (how much reporting resolution matters).
+"""
+
+from dataclasses import replace
+
+from repro.analysis.tables import format_table
+from repro.battery.thin_film import ThinFilmParameters
+from repro.config import PlatformConfig, SimulationConfig
+from repro.sim.et_sim import run_simulation
+
+
+def run_battery_ablation():
+    rows = []
+
+    def run(label, platform, routing="ear", weight_q=None):
+        config = SimulationConfig(
+            platform=platform,
+            routing=routing,
+            **({"weight_q": weight_q} if weight_q else {}),
+        )
+        stats = run_simulation(config)
+        rows.append(
+            (
+                label,
+                routing,
+                round(stats.jobs_fractional, 1),
+                round(stats.wasted_at_death_pj / 1e3, 1),
+                round(stats.conversion_loss_pj / 1e3, 1),
+            )
+        )
+        return stats
+
+    run("ideal", PlatformConfig(mesh_width=6, battery_model="ideal"))
+    run("thin-film", PlatformConfig(mesh_width=6))
+    run(
+        "thin-film + recovery",
+        PlatformConfig(
+            mesh_width=6,
+            thin_film=replace(ThinFilmParameters(), allow_recovery=True),
+        ),
+    )
+    run("thin-film (SDR)", PlatformConfig(mesh_width=6), routing="sdr")
+    run(
+        "thin-film + recovery (SDR)",
+        PlatformConfig(
+            mesh_width=6,
+            thin_film=replace(ThinFilmParameters(), allow_recovery=True),
+        ),
+        routing="sdr",
+    )
+    for levels in (4, 16):
+        run(
+            f"thin-film, {levels} levels",
+            PlatformConfig(mesh_width=6, battery_levels=levels),
+        )
+    return rows
+
+
+def test_ablation_battery(benchmark, reporter):
+    rows = benchmark.pedantic(run_battery_ablation, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "battery variant",
+            "routing",
+            "jobs",
+            "wasted dead (nJ)",
+            "conversion loss (nJ)",
+        ],
+        rows,
+        title="Ablation — battery model variants (6x6 mesh)",
+    )
+    reporter.add("Ablation battery models", table)
+
+    jobs = {(row[0], row[1]): row[2] for row in rows}
+    # The ideal cell gives the longest EAR lifetime.
+    assert jobs[("ideal", "ear")] >= jobs[("thin-film", "ear")]
+    # Allowing voltage recovery helps SDR (its hot nodes die of sag).
+    assert (
+        jobs[("thin-film + recovery (SDR)", "sdr")]
+        > jobs[("thin-film (SDR)", "sdr")]
+    )

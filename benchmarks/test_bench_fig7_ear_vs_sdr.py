@@ -1,0 +1,72 @@
+"""EXP-F7 — paper Fig 7: jobs completed, EAR vs SDR, 4x4..8x8 meshes.
+
+Also reproduces the Sec 7.1 control-overhead percentages (2.8 / 3.1 /
+4.1 / 9.3 / 11.6 % for the five mesh sizes).
+
+Expected shape (paper): EAR beats SDR by 5-15x, the gain grows with the
+mesh size, SDR is roughly flat, and the control-energy share rises with
+mesh size while staying small.
+"""
+
+from repro.analysis.ascii_chart import bar_chart
+from repro.analysis.calibration import PAPER_CONTROL_OVERHEAD_PERCENT
+from repro.analysis.tables import format_table
+from repro.config import PlatformConfig, SimulationConfig
+from repro.sim.et_sim import run_simulation
+
+WIDTHS = (4, 5, 6, 7, 8)
+
+
+def run_fig7():
+    rows = []
+    chart_values = {}
+    for width in WIDTHS:
+        results = {}
+        for routing in ("ear", "sdr"):
+            config = SimulationConfig(
+                platform=PlatformConfig(mesh_width=width),
+                routing=routing,
+            )
+            results[routing] = run_simulation(config)
+        ear, sdr = results["ear"], results["sdr"]
+        gain = ear.jobs_fractional / max(sdr.jobs_fractional, 1e-9)
+        rows.append(
+            (
+                f"{width}x{width}",
+                round(ear.jobs_fractional, 1),
+                round(sdr.jobs_fractional, 1),
+                round(gain, 1),
+                round(100 * ear.control_overhead_fraction, 1),
+                PAPER_CONTROL_OVERHEAD_PERCENT[width],
+            )
+        )
+        chart_values[f"{width}x{width} EAR"] = ear.jobs_fractional
+        chart_values[f"{width}x{width} SDR"] = sdr.jobs_fractional
+    return rows, chart_values
+
+
+def test_fig7_ear_vs_sdr(benchmark, reporter):
+    rows, chart_values = benchmark.pedantic(
+        run_fig7, rounds=1, iterations=1
+    )
+    table = format_table(
+        [
+            "mesh",
+            "EAR jobs",
+            "SDR jobs",
+            "gain",
+            "ctrl % (ours)",
+            "ctrl % (paper)",
+        ],
+        rows,
+        title="Fig 7 — jobs completed under EAR vs SDR (thin-film battery)",
+    )
+    chart = bar_chart(chart_values, title="Fig 7 as a bar chart")
+    reporter.add("Fig 7 EAR vs SDR", table + "\n\n" + chart)
+
+    # Shape assertions (paper: gains of 5-15x, increasing with size).
+    gains = [row[3] for row in rows]
+    assert all(g > 4.0 for g in gains)
+    assert gains[-1] > gains[0]
+    overheads = [row[4] for row in rows]
+    assert all(a <= b for a, b in zip(overheads, overheads[1:]))

@@ -1,0 +1,78 @@
+"""EXP-F8 — paper Fig 8: system lifetime vs number of central
+controllers (1, 2, 4, 7, 10) across mesh sizes.
+
+Expected shape (paper Sec 7.3): for a fixed mesh, more controllers
+extend the lifetime up to a plateau set by the AES nodes; for a fixed
+controller count the curves *decrease* with mesh size because a bigger
+mesh's controller burns more power.
+"""
+
+from repro.analysis.ascii_chart import series_chart
+from repro.analysis.tables import format_table
+from repro.config import ControlConfig, PlatformConfig, SimulationConfig
+from repro.sim.et_sim import run_simulation
+
+WIDTHS = (4, 5, 6, 7, 8)
+CONTROLLER_COUNTS = (1, 2, 4, 7, 10)
+
+
+def run_fig8():
+    grid: dict[int, dict[int, float]] = {}
+    for count in CONTROLLER_COUNTS:
+        grid[count] = {}
+        for width in WIDTHS:
+            config = SimulationConfig(
+                platform=PlatformConfig(mesh_width=width),
+                control=ControlConfig(
+                    num_controllers=count,
+                    controller_battery="thin-film",
+                ),
+                routing="ear",
+            )
+            stats = run_simulation(config)
+            grid[count][width] = stats.jobs_fractional
+    return grid
+
+
+def test_fig8_controllers(benchmark, reporter):
+    grid = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    rows = [
+        (
+            f"{count} controller(s)",
+            *(round(grid[count][w], 1) for w in WIDTHS),
+        )
+        for count in sorted(CONTROLLER_COUNTS, reverse=True)
+    ]
+    table = format_table(
+        ["configuration", *(f"{w}x{w}" for w in WIDTHS)],
+        rows,
+        title="Fig 8 — jobs completed vs number of controllers (EAR)",
+    )
+    chart = series_chart(
+        {
+            f"{count} ctrl": [
+                (w * w, grid[count][w]) for w in WIDTHS
+            ]
+            for count in CONTROLLER_COUNTS
+        },
+        title="Fig 8 as a chart (x = mesh nodes, y = jobs)",
+    )
+    reporter.add("Fig 8 controller provisioning", table + "\n\n" + chart)
+
+    # Shape assertions.
+    for width in WIDTHS:
+        jobs_by_count = [grid[c][width] for c in CONTROLLER_COUNTS]
+        # More controllers never hurt.
+        assert all(
+            b >= a - 1e-6 for a, b in zip(jobs_by_count, jobs_by_count[1:])
+        ), f"non-monotone at {width}x{width}"
+    # With a single controller the curve decreases with mesh size.
+    single = [grid[1][w] for w in WIDTHS]
+    assert all(b < a for a, b in zip(single, single[1:]))
+    # With 10 controllers small meshes reach the node-limited plateau.
+    unlimited = run_simulation(
+        SimulationConfig(
+            platform=PlatformConfig(mesh_width=4), routing="ear"
+        )
+    ).jobs_fractional
+    assert grid[10][4] >= 0.95 * unlimited

@@ -1,0 +1,72 @@
+"""EXP-T2 — paper Table 2: EAR (ideal battery) vs the Theorem-1 bound.
+
+The paper reports ratios of 44.5-48.2 % across the five mesh sizes, with
+the bound itself given by ``J* = B*K / sum(H_i)``.  The reproduction's
+bound matches the paper's numbers to within ~0.1 % (the communication
+energy is calibrated from this very table, see DESIGN.md); the measured
+ratio band is recorded in EXPERIMENTS.md.
+"""
+
+from repro.analysis.calibration import (
+    PAPER_TABLE2_EAR_JOBS,
+    PAPER_TABLE2_UPPER_BOUNDS,
+)
+from repro.analysis.tables import format_table
+from repro.analysis.theory import bound_comparison
+from repro.config import PlatformConfig, SimulationConfig
+from repro.sim.et_sim import run_simulation
+
+WIDTHS = (4, 5, 6, 7, 8)
+
+
+def run_table2():
+    rows = []
+    for width in WIDTHS:
+        config = SimulationConfig(
+            platform=PlatformConfig(
+                mesh_width=width, battery_model="ideal"
+            ),
+            routing="ear",
+        )
+        stats = run_simulation(config)
+        comparison = bound_comparison(config, stats)
+        rows.append(
+            (
+                f"{width}x{width}",
+                round(comparison.simulated_jobs, 1),
+                round(comparison.bound_jobs, 2),
+                f"{100 * comparison.ratio:.1f}%",
+                PAPER_TABLE2_EAR_JOBS[width],
+                PAPER_TABLE2_UPPER_BOUNDS[width],
+                f"{100 * PAPER_TABLE2_EAR_JOBS[width] / PAPER_TABLE2_UPPER_BOUNDS[width]:.1f}%",
+            )
+        )
+    return rows
+
+
+def test_table2_upper_bound(benchmark, reporter):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "mesh",
+            "J(EAR) ours",
+            "J* ours",
+            "ratio ours",
+            "J(EAR) paper",
+            "J* paper",
+            "ratio paper",
+        ],
+        rows,
+        title="Table 2 — EAR vs the analytical upper bound (ideal battery)",
+    )
+    reporter.add("Table 2 EAR vs upper bound", table)
+
+    for row in rows:
+        mesh, jobs, bound = row[0], row[1], row[2]
+        paper_bound = PAPER_TABLE2_UPPER_BOUNDS[int(mesh[0])]
+        # The bound must match the paper almost exactly.
+        assert abs(bound - paper_bound) / paper_bound < 0.01, mesh
+        # The simulation must stay below its bound...
+        assert jobs < bound
+        # ...while achieving a comparable fraction (paper: 44.5-48.2 %).
+        assert 0.40 < jobs / bound < 0.70, mesh

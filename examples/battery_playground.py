@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Exploring the thin-film battery model (paper Fig 2 and Sec 5.1.3).
+
+Discharges identical cells under three load patterns and prints their
+voltage trajectories side by side, showing the three effects the
+simulator's lifetime results rest on:
+
+1. the discharge-profile plateau and knee (Fig 2's shape),
+2. IR sag under sustained load -> early 3.0 V death with stranded
+   energy,
+3. the rate-capacity penalty -> less total energy delivered at high
+   duty cycles.
+
+Run:  python examples/battery_playground.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.battery.thin_film import ThinFilmBattery, ThinFilmParameters
+
+
+def discharge(name, step_pj, rest_cycles):
+    """Discharge a fresh default cell; return (name, trace, battery)."""
+    battery = ThinFilmBattery(ThinFilmParameters())
+    trace = []
+    while battery.alive:
+        trace.append(
+            (
+                battery.delivered_pj,
+                battery.open_circuit_voltage,
+                battery.voltage,
+                battery.smoothed_current_ma,
+            )
+        )
+        battery.draw(step_pj, 25)
+        battery.rest(rest_cycles)
+    return name, trace, battery
+
+
+def main() -> None:
+    runs = [
+        discharge("duty ~0.1% (idle node)", step_pj=60.0, rest_cycles=40_000),
+        discharge("duty ~2% (shared load)", step_pj=120.0, rest_cycles=4_000),
+        discharge("duty ~20% (hammered)", step_pj=300.0, rest_cycles=400),
+    ]
+
+    print("=== Li-free thin-film cell, 60 000 pJ nominal, 3.0 V cut-off ===")
+    for name, trace, battery in runs:
+        print(f"\n--- {name} ---")
+        samples = trace[:: max(1, len(trace) // 8)]
+        rows = [
+            (
+                f"{delivered:8.0f}",
+                f"{ocv:5.2f}",
+                f"{loaded:5.2f}",
+                f"{current * 1e3:6.1f}",
+            )
+            for delivered, ocv, loaded, current in samples
+        ]
+        print(
+            format_table(
+                ["delivered pJ", "OCV (V)", "loaded (V)", "I (uA)"],
+                rows,
+            )
+        )
+        usable = battery.delivered_pj / battery.nominal_capacity_pj
+        print(
+            f"delivered {battery.delivered_pj:.0f} pJ "
+            f"({usable:.0%} of nominal), "
+            f"rate-capacity loss {battery.loss_pj:.0f} pJ, "
+            f"stranded {battery.wasted_pj:.0f} pJ"
+        )
+
+    print(
+        "\nThis asymmetry is why EAR wins: SDR drives a few nodes at the "
+        "hammered duty cycle\n(dying at shallow depth of discharge), while "
+        "EAR keeps every cell in the gentle regime."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Provisioning central controllers for an e-textile (paper Sec 7.3).
+
+Answers the deployment question behind Fig 8: *how many battery-powered
+central controllers should a fabric of a given size carry?*  For each
+mesh size the script sweeps the controller count, finds the knee of the
+lifetime curve (the smallest count within 5 % of the node-limited
+plateau), and prints a provisioning recommendation.
+
+Run:  python examples/controller_provisioning.py
+"""
+
+from repro import ControlConfig, PlatformConfig, SimulationConfig
+from repro.analysis.tables import format_table
+from repro.sim.et_sim import run_simulation
+
+
+def jobs_with_controllers(width: int, count: int | None) -> float:
+    control = (
+        ControlConfig()
+        if count is None
+        else ControlConfig(
+            num_controllers=count, controller_battery="thin-film"
+        )
+    )
+    config = SimulationConfig(
+        platform=PlatformConfig(mesh_width=width),
+        control=control,
+        routing="ear",
+    )
+    return run_simulation(config).jobs_fractional
+
+
+def main() -> None:
+    counts = (1, 2, 4, 7, 10)
+    print("=== Controller provisioning (EAR, thin-film batteries) ===\n")
+    rows = []
+    recommendations = {}
+    for width in (4, 5, 6):
+        plateau = jobs_with_controllers(width, None)  # infinite controller
+        sweep = {c: jobs_with_controllers(width, c) for c in counts}
+        knee = next(
+            (c for c in counts if sweep[c] >= 0.95 * plateau),
+            counts[-1],
+        )
+        recommendations[width] = knee
+        rows.append(
+            (
+                f"{width}x{width}",
+                round(plateau, 1),
+                *(round(sweep[c], 1) for c in counts),
+                knee,
+            )
+        )
+    print(
+        format_table(
+            [
+                "mesh",
+                "plateau",
+                *(f"{c} ctrl" for c in counts),
+                "recommended",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReading: the recommendation is the smallest fail-over chain "
+        "within 5% of the\nnode-limited plateau.  Bigger fabrics need "
+        "more controllers because each\ncontroller burns more per frame "
+        "(larger Floyd-Warshall, more status uploads) —\nthe effect "
+        "behind the decreasing tails of the paper's Fig 8."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: run one e-textile platform to system death.
+
+Builds the paper's default platform — a 4x4 mesh of AES nodes with
+thin-film batteries, a TDMA control plane and the EAR routing
+algorithm — runs it until the critical nodes die, and prints what
+happened, including the comparison against the SDR baseline and against
+Theorem 1's analytical bound.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    PlatformConfig,
+    SimulationConfig,
+    run_simulation,
+    theorem1,
+)
+from repro.analysis.theory import profile_for
+
+
+def main() -> None:
+    results = {}
+    for routing in ("ear", "sdr"):
+        config = SimulationConfig(
+            platform=PlatformConfig(mesh_width=4),
+            routing=routing,
+        )
+        results[routing] = run_simulation(config)
+
+    ear, sdr = results["ear"], results["sdr"]
+    print("=== 4x4 e-textile mesh, AES-128, thin-film batteries ===\n")
+    for name, stats in results.items():
+        print(
+            f"{name.upper():4s}: {stats.jobs_fractional:6.1f} jobs, "
+            f"lifetime {stats.lifetime_frames} frames, "
+            f"died of {stats.death_cause}, "
+            f"control overhead {stats.control_overhead_fraction:.1%}"
+        )
+    print(
+        f"\nEAR completed {ear.jobs_fractional / sdr.jobs_fractional:.1f}x "
+        "more encryption jobs than shortest-distance routing\n"
+        "(paper Fig 7 reports gains of 5-15x)."
+    )
+
+    # How close is EAR to the analytical optimum (paper Theorem 1)?
+    config = SimulationConfig(platform=PlatformConfig(mesh_width=4))
+    bound = theorem1(
+        profile_for(config),
+        battery_budget_pj=config.platform.battery_capacity_pj,
+        node_budget=config.platform.num_mesh_nodes,
+    )
+    print(
+        f"Theorem 1 upper bound: {bound.jobs:.1f} jobs -> EAR achieved "
+        f"{ear.jobs_fractional / bound.jobs:.0%} of the theoretical "
+        "optimum (paper Table 2: 44.5-48.2%)."
+    )
+
+    # Every completed job carried a real AES state through the fabric and
+    # was verified against the reference cipher:
+    assert ear.verification_failures == 0
+    print(
+        f"\nAll {ear.jobs_completed} completed jobs were bit-exact "
+        "AES-128 encryptions (verified against FIPS-197)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All project metadata lives in pyproject.toml; this file only exists so
+``pip install -e .`` works in offline environments whose setuptools
+cannot build wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

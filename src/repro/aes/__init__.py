@@ -1,0 +1,45 @@
+"""AES-128/192/256 application substrate.
+
+The paper drives its e-textile platform with a distributed implementation
+of the Advanced Encryption Standard (FIPS-197), partitioned into three
+hardware modules (Sec 5.1.1):
+
+* **Module 1** — ``SubBytes`` / ``ShiftRows``
+* **Module 2** — ``MixColumns``
+* **Module 3** — ``KeyExpansion`` / ``AddRoundKey``
+
+This package implements the complete cipher (encryption and decryption,
+all three key sizes), the module partitioning, the per-job operation
+dataflow ``(f1, f2, f3) = (10, 9, 11)`` used by the routing formulation,
+and the paper's measured per-operation energies.  The simulator carries
+real cipher state through the network, so every completed job can be
+verified bit-for-bit against :func:`repro.aes.cipher.encrypt_block`.
+"""
+
+from .cipher import decrypt_block, encrypt_block, expand_key
+from .dataflow import (
+    MODULE_ADDROUNDKEY,
+    MODULE_MIXCOLUMNS,
+    MODULE_SUBBYTES_SHIFTROWS,
+    AesJobDataflow,
+    Operation,
+    operations_per_module,
+)
+from .energy import AES_MODULE_ENERGIES_PJ, module_energy_pj
+from .sbox import INV_SBOX, SBOX
+
+__all__ = [
+    "AES_MODULE_ENERGIES_PJ",
+    "AesJobDataflow",
+    "INV_SBOX",
+    "MODULE_ADDROUNDKEY",
+    "MODULE_MIXCOLUMNS",
+    "MODULE_SUBBYTES_SHIFTROWS",
+    "Operation",
+    "SBOX",
+    "decrypt_block",
+    "encrypt_block",
+    "expand_key",
+    "module_energy_pj",
+    "operations_per_module",
+]

@@ -1,0 +1,69 @@
+"""The complete AES block cipher (FIPS-197 Sec 5.1 / 5.3).
+
+``encrypt_block`` follows the exact pseudo-code reproduced in the paper's
+Fig 1; ``decrypt_block`` implements the straightforward inverse cipher.
+The distributed execution in :mod:`repro.sim` must produce byte-identical
+results to ``encrypt_block`` — this is asserted for every completed job.
+"""
+
+from __future__ import annotations
+
+from .key_expansion import round_keys, rounds_for_key
+from .state import validate_block
+from .transforms import (
+    add_round_key,
+    inv_mix_columns,
+    inv_shift_rows,
+    inv_sub_bytes,
+    mix_columns,
+    shift_rows,
+    sub_bytes,
+)
+
+
+def expand_key(key: bytes) -> list[bytes]:
+    """Public alias for the round-key schedule (see :mod:`key_expansion`)."""
+    return round_keys(key)
+
+
+def encrypt_block(plaintext: bytes, key: bytes) -> bytes:
+    """Encrypt a single 16-byte block under AES with the given key.
+
+    Mirrors the paper's Fig 1: an initial AddRoundKey, ``Nr - 1`` full
+    rounds (SubBytes, ShiftRows, MixColumns, AddRoundKey) and a final
+    round without MixColumns.  For AES-128 that is 10 SubBytes/ShiftRows
+    operations, 9 MixColumns operations and 11 AddRoundKey operations —
+    the paper's ``(f1, f2, f3) = (10, 9, 11)``.
+    """
+    state = validate_block(plaintext, name="plaintext")
+    keys = round_keys(key)
+    nr = rounds_for_key(key)
+
+    state = add_round_key(state, keys[0])
+    for rnd in range(1, nr):
+        state = sub_bytes(state)
+        state = shift_rows(state)
+        state = mix_columns(state)
+        state = add_round_key(state, keys[rnd])
+    state = sub_bytes(state)
+    state = shift_rows(state)
+    state = add_round_key(state, keys[nr])
+    return state
+
+
+def decrypt_block(ciphertext: bytes, key: bytes) -> bytes:
+    """Decrypt a single 16-byte block (inverse cipher, FIPS-197 Sec 5.3)."""
+    state = validate_block(ciphertext, name="ciphertext")
+    keys = round_keys(key)
+    nr = rounds_for_key(key)
+
+    state = add_round_key(state, keys[nr])
+    for rnd in range(nr - 1, 0, -1):
+        state = inv_shift_rows(state)
+        state = inv_sub_bytes(state)
+        state = add_round_key(state, keys[rnd])
+        state = inv_mix_columns(state)
+    state = inv_shift_rows(state)
+    state = inv_sub_bytes(state)
+    state = add_round_key(state, keys[0])
+    return state

@@ -1,0 +1,36 @@
+"""Measured per-operation computation energies for the AES modules.
+
+The paper specifies all three modules in Verilog, synthesises them with a
+0.16 um library and measures power at 100 MHz (Sec 5.1.1).  The reported
+energies *per act of computation* are reproduced here verbatim and used
+as the computation-energy inputs of the simulator and of Theorem 1.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .dataflow import (
+    MODULE_ADDROUNDKEY,
+    MODULE_MIXCOLUMNS,
+    MODULE_SUBBYTES_SHIFTROWS,
+)
+
+#: Energy per act of computation, in pJ, keyed by module id (Sec 5.1.1):
+#: E1 = 120.1 pJ (SubBytes/ShiftRows), E2 = 73.34 pJ (MixColumns),
+#: E3 = 176.55 pJ (KeyExpansion/AddRoundKey).
+AES_MODULE_ENERGIES_PJ: dict[int, float] = {
+    MODULE_SUBBYTES_SHIFTROWS: 120.1,
+    MODULE_MIXCOLUMNS: 73.34,
+    MODULE_ADDROUNDKEY: 176.55,
+}
+
+
+def module_energy_pj(module: int) -> float:
+    """Energy in pJ for one act of computation of ``module``."""
+    try:
+        return AES_MODULE_ENERGIES_PJ[module]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown AES module id {module}; expected one of "
+            f"{sorted(AES_MODULE_ENERGIES_PJ)}"
+        ) from None

@@ -1,0 +1,114 @@
+"""The four AES round transformations and their inverses.
+
+All transforms take and return a flat 16-byte block in the FIPS-197
+column-major layout (``state[r][c] == block[r + 4*c]``, see
+:mod:`repro.aes.state`).  They are pure functions: the simulator treats
+each as the unit of computation performed by one e-textile module
+(Sec 5.1.1 of the paper), so keeping them side-effect free makes the
+distributed execution trivially checkable against the monolithic cipher.
+"""
+
+from __future__ import annotations
+
+from .gf import gf_dot
+from .sbox import INV_SBOX, SBOX
+from .state import BLOCK_BYTES, NB, validate_block
+
+#: MixColumns circulant matrix rows (FIPS-197 Sec 5.1.3).
+_MIX_ROWS = (
+    (0x02, 0x03, 0x01, 0x01),
+    (0x01, 0x02, 0x03, 0x01),
+    (0x01, 0x01, 0x02, 0x03),
+    (0x03, 0x01, 0x01, 0x02),
+)
+
+#: InvMixColumns circulant matrix rows (FIPS-197 Sec 5.3.3).
+_INV_MIX_ROWS = (
+    (0x0E, 0x0B, 0x0D, 0x09),
+    (0x09, 0x0E, 0x0B, 0x0D),
+    (0x0D, 0x09, 0x0E, 0x0B),
+    (0x0B, 0x0D, 0x09, 0x0E),
+)
+
+
+def sub_bytes(block: bytes) -> bytes:
+    """Apply the S-box to every byte of the state."""
+    validate_block(block)
+    return bytes(SBOX[b] for b in block)
+
+
+def inv_sub_bytes(block: bytes) -> bytes:
+    """Apply the inverse S-box to every byte of the state."""
+    validate_block(block)
+    return bytes(INV_SBOX[b] for b in block)
+
+
+def shift_rows(block: bytes) -> bytes:
+    """Cyclically shift row ``r`` of the state left by ``r`` positions."""
+    validate_block(block)
+    out = bytearray(BLOCK_BYTES)
+    for r in range(4):
+        for c in range(NB):
+            out[r + 4 * c] = block[r + 4 * ((c + r) % NB)]
+    return bytes(out)
+
+
+def inv_shift_rows(block: bytes) -> bytes:
+    """Cyclically shift row ``r`` of the state right by ``r`` positions."""
+    validate_block(block)
+    out = bytearray(BLOCK_BYTES)
+    for r in range(4):
+        for c in range(NB):
+            out[r + 4 * ((c + r) % NB)] = block[r + 4 * c]
+    return bytes(out)
+
+
+def sub_bytes_shift_rows(block: bytes) -> bytes:
+    """The fused SubBytes+ShiftRows operation of the paper's Module 1.
+
+    The paper packages SubBytes and ShiftRows into a single hardware
+    module, so one *act of computation* (one f1 operation) applies both.
+    """
+    return shift_rows(sub_bytes(block))
+
+
+def inv_sub_bytes_shift_rows(block: bytes) -> bytes:
+    """Inverse of :func:`sub_bytes_shift_rows` (InvShiftRows then InvSubBytes)."""
+    return inv_sub_bytes(inv_shift_rows(block))
+
+
+def _mix_with(block: bytes, rows: tuple[tuple[int, ...], ...]) -> bytes:
+    out = bytearray(BLOCK_BYTES)
+    for c in range(NB):
+        column = tuple(block[r + 4 * c] for r in range(4))
+        for r in range(4):
+            out[r + 4 * c] = gf_dot(rows[r], column)
+    return bytes(out)
+
+
+def mix_columns(block: bytes) -> bytes:
+    """Multiply each state column by the MixColumns matrix over GF(2^8).
+
+    This is the paper's Module 2 operation (one f2 act of computation).
+    """
+    validate_block(block)
+    return _mix_with(block, _MIX_ROWS)
+
+
+def inv_mix_columns(block: bytes) -> bytes:
+    """Multiply each state column by the InvMixColumns matrix."""
+    validate_block(block)
+    return _mix_with(block, _INV_MIX_ROWS)
+
+
+def add_round_key(block: bytes, round_key: bytes) -> bytes:
+    """XOR the state with one 16-byte round key.
+
+    This is the paper's Module 3 operation (one f3 act of computation);
+    the key schedule itself is produced by
+    :func:`repro.aes.key_expansion.expand_key` which the paper likewise
+    assigns to Module 3.
+    """
+    validate_block(block)
+    validate_block(round_key, name="round_key")
+    return bytes(b ^ k for b, k in zip(block, round_key))

@@ -1,0 +1,93 @@
+"""Published AES test vectors used to validate the cipher implementation.
+
+The vectors come from FIPS-197 Appendix B / C and from NIST SP 800-38A
+(ECB single-block cases).  They are data, not code: the test suite
+iterates over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CipherVector:
+    """One known-answer test: ``cipher(key, plaintext) == ciphertext``."""
+
+    name: str
+    key: bytes
+    plaintext: bytes
+    ciphertext: bytes
+
+
+#: FIPS-197 Appendix B (the worked AES-128 example) and Appendix C
+#: (the 128/192/256 known-answer examples), plus SP 800-38A F.1.1.
+KNOWN_ANSWER_VECTORS: tuple[CipherVector, ...] = (
+    CipherVector(
+        name="FIPS-197 Appendix B (AES-128)",
+        key=bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"),
+        plaintext=bytes.fromhex("3243f6a8885a308d313198a2e0370734"),
+        ciphertext=bytes.fromhex("3925841d02dc09fbdc118597196a0b32"),
+    ),
+    CipherVector(
+        name="FIPS-197 Appendix C.1 (AES-128)",
+        key=bytes.fromhex("000102030405060708090a0b0c0d0e0f"),
+        plaintext=bytes.fromhex("00112233445566778899aabbccddeeff"),
+        ciphertext=bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a"),
+    ),
+    CipherVector(
+        name="FIPS-197 Appendix C.2 (AES-192)",
+        key=bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f1011121314151617"
+        ),
+        plaintext=bytes.fromhex("00112233445566778899aabbccddeeff"),
+        ciphertext=bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191"),
+    ),
+    CipherVector(
+        name="FIPS-197 Appendix C.3 (AES-256)",
+        key=bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f"
+            "101112131415161718191a1b1c1d1e1f"
+        ),
+        plaintext=bytes.fromhex("00112233445566778899aabbccddeeff"),
+        ciphertext=bytes.fromhex("8ea2b7ca516745bfeafc49904b496089"),
+    ),
+    CipherVector(
+        name="SP 800-38A F.1.1 ECB-AES128 block 1",
+        key=bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"),
+        plaintext=bytes.fromhex("6bc1bee22e409f96e93d7e117393172a"),
+        ciphertext=bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97"),
+    ),
+)
+
+#: FIPS-197 Sec 5.1.1 publishes four S-box spot values; more are implied
+#: by the Appendix B walk-through.  ``SBOX_SPOT_VALUES[x] == SBOX[x]``.
+SBOX_SPOT_VALUES: dict[int, int] = {
+    0x00: 0x63,
+    0x01: 0x7C,
+    0x53: 0xED,
+    0xCA: 0x74,
+    0x19: 0xD4,
+    0x3D: 0x27,
+    0xE3: 0x11,
+    0xBE: 0xAE,
+    0xFF: 0x16,
+}
+
+#: First round-key words of the FIPS-197 Appendix A.1 key expansion
+#: example for the key 2b7e1516...  ``w[4] .. w[7]`` as hex strings.
+KEY_EXPANSION_EXAMPLE_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+KEY_EXPANSION_EXAMPLE_WORDS: dict[int, str] = {
+    4: "a0fafe17",
+    5: "88542cb1",
+    6: "23a33939",
+    7: "2a6c7605",
+    8: "f2c295f2",
+    9: "7a96b943",
+    10: "5935807a",
+    11: "7359f67f",
+    40: "d014f9a8",
+    41: "c9ee2589",
+    42: "e13f0cc8",
+    43: "b6630ca6",
+}

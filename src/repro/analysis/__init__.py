@@ -1,0 +1,30 @@
+"""Analysis and reporting harness.
+
+Parameter sweeps over mesh sizes / routing algorithms / controller
+counts, paper-style table and ASCII-chart formatting, the Table-2
+communication-energy calibration, and theory-versus-simulation gap
+analysis.  The benchmark suite is a thin layer over this package.
+"""
+
+from .ascii_chart import bar_chart, series_chart
+from .calibration import (
+    calibrated_link_pitch_cm,
+    implied_communication_energy_pj,
+)
+from .sweep import SweepResult, run_sweep, sweep_controllers, sweep_mesh_sizes
+from .tables import format_table
+from .theory import bound_comparison, gap_report
+
+__all__ = [
+    "SweepResult",
+    "bar_chart",
+    "bound_comparison",
+    "calibrated_link_pitch_cm",
+    "format_table",
+    "gap_report",
+    "implied_communication_energy_pj",
+    "run_sweep",
+    "series_chart",
+    "sweep_controllers",
+    "sweep_mesh_sizes",
+]

@@ -1,0 +1,81 @@
+"""ASCII charts: the offline stand-in for the paper's figures.
+
+The evaluation figures (Fig 7, Fig 8) are bar/line charts; in a
+network-less environment the benches render them as fixed-width ASCII so
+the *shape* — who wins, how the gap scales — is visible directly in the
+pytest output and the archived bench logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of labelled values."""
+    if not values:
+        return title or ""
+    peak = max(values.values())
+    label_width = max(len(str(label)) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * (
+            0 if peak <= 0 else max(0, round(width * value / peak))
+        )
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar} {value:.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Scatter/line chart of multiple ``(x, y)`` series on one canvas.
+
+    Each series is drawn with its own glyph; the legend maps glyphs to
+    series names.  Suited to the Fig 8 controller-count families.
+    """
+    glyphs = "ox*+#@%&"
+    points = [
+        (x, y) for pts in series.values() for (x, y) in pts
+    ]
+    if not points:
+        return title or ""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys)), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            canvas[row][col] = glyph
+
+    lines = [title] if title else []
+    for row_index, row in enumerate(canvas):
+        y_value = y_hi - row_index * y_span / (height - 1)
+        lines.append(f"{y_value:8.1f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_lo:<10.1f}" + " " * (width - 20) + f"{x_hi:>10.1f}"
+    )
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

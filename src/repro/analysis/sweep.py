@@ -1,0 +1,127 @@
+"""Parameter-sweep harness over et_sim runs.
+
+Every evaluation artifact of the paper is a sweep: Fig 7 sweeps mesh
+size x routing algorithm, Table 2 sweeps mesh size under the ideal
+battery, Fig 8 sweeps mesh size x controller count.  The harness keeps
+each run fully described by its :class:`~repro.config.SimulationConfig`
+and returns plain records convenient for tabulation and CSV export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..config import ControlConfig, SimulationConfig
+from ..sim.et_sim import run_simulation
+from ..sim.stats import SimulationStats
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep point.
+
+    Attributes:
+        label: Human-readable point label (e.g. ``"4x4/ear"``).
+        params: The swept parameter values.
+        stats: Full simulation statistics.
+    """
+
+    label: str
+    params: dict
+    stats: SimulationStats
+
+    def record(self) -> dict:
+        """Flat JSON-safe record for CSV/JSON emission."""
+        row = dict(self.params)
+        row.update(self.stats.summary())
+        return row
+
+
+def run_sweep(
+    configs: dict[str, SimulationConfig],
+    hook: Callable[[str, SimulationStats], None] | None = None,
+) -> list[SweepResult]:
+    """Run a labelled set of configurations sequentially.
+
+    Args:
+        configs: Mapping of label to configuration.
+        hook: Optional callback invoked after each run (progress
+            reporting in long benches).
+    """
+    results = []
+    for label, config in configs.items():
+        stats = run_simulation(config)
+        if hook is not None:
+            hook(label, stats)
+        results.append(
+            SweepResult(
+                label=label,
+                params={"label": label},
+                stats=stats,
+            )
+        )
+    return results
+
+
+def sweep_mesh_sizes(
+    base: SimulationConfig,
+    widths: tuple[int, ...] = (4, 5, 6, 7, 8),
+    routings: tuple[str, ...] = ("ear", "sdr"),
+) -> list[SweepResult]:
+    """The Fig 7 grid: mesh width x routing algorithm."""
+    results = []
+    for width in widths:
+        for routing in routings:
+            config = replace(
+                base,
+                platform=replace(base.platform, mesh_width=width),
+                routing=routing,
+            )
+            stats = run_simulation(config)
+            results.append(
+                SweepResult(
+                    label=f"{width}x{width}/{routing}",
+                    params={"mesh": f"{width}x{width}", "routing": routing},
+                    stats=stats,
+                )
+            )
+    return results
+
+
+def sweep_controllers(
+    base: SimulationConfig,
+    widths: tuple[int, ...] = (4, 5, 6, 7, 8),
+    controller_counts: tuple[int, ...] = (1, 2, 4, 7, 10),
+) -> list[SweepResult]:
+    """The Fig 8 grid: mesh width x number of finite-battery controllers."""
+    results = []
+    for count in controller_counts:
+        for width in widths:
+            control = replace(
+                base.control,
+                num_controllers=count,
+                controller_battery="thin-film",
+            )
+            config = replace(
+                base,
+                platform=replace(base.platform, mesh_width=width),
+                control=control,
+            )
+            stats = run_simulation(config)
+            results.append(
+                SweepResult(
+                    label=f"{width}x{width}/{count}ctl",
+                    params={
+                        "mesh": f"{width}x{width}",
+                        "controllers": count,
+                    },
+                    stats=stats,
+                )
+            )
+    return results
+
+
+def default_control() -> ControlConfig:
+    """Convenience: a fresh default control configuration."""
+    return ControlConfig()

@@ -1,0 +1,93 @@
+"""Theory-versus-simulation comparison (the paper's Table 2 analysis).
+
+Relates a simulated run to Theorem 1's bound and decomposes the gap the
+way the paper's Sec 7.2 discussion does: the bound assumes the ideal
+topology, free operation hand-over and zero control overhead, so the
+measured shortfall splits into communication detours, control-exchange
+energy, and energy stranded in batteries at death.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SimulationConfig
+from ..core.parameters import ApplicationProfile
+from ..core.upper_bound import UpperBoundResult, theorem1
+from ..sim.stats import SimulationStats
+
+
+@dataclass(frozen=True)
+class BoundComparison:
+    """One row of the Table 2 reproduction.
+
+    Attributes:
+        mesh: Mesh label (e.g. ``"4x4"``).
+        simulated_jobs: ``J(EAR)`` measured by et_sim.
+        bound_jobs: ``J*`` from Theorem 1.
+        ratio: ``J(EAR) / J*``.
+    """
+
+    mesh: str
+    simulated_jobs: float
+    bound_jobs: float
+    ratio: float
+
+
+def profile_for(config: SimulationConfig) -> ApplicationProfile:
+    """AES profile with the configuration's per-hop energy."""
+    return ApplicationProfile.aes128(config.platform.hop_energy_pj())
+
+
+def bound_for(config: SimulationConfig) -> UpperBoundResult:
+    """Theorem 1 evaluated at the configuration's budgets."""
+    return theorem1(
+        profile_for(config),
+        battery_budget_pj=config.platform.battery_capacity_pj,
+        node_budget=config.platform.num_mesh_nodes,
+    )
+
+
+def bound_comparison(
+    config: SimulationConfig, stats: SimulationStats
+) -> BoundComparison:
+    """Compare a finished run against Theorem 1."""
+    bound = bound_for(config)
+    mesh = f"{config.platform.mesh_width}x{config.platform.height}"
+    jobs = stats.jobs_fractional
+    return BoundComparison(
+        mesh=mesh,
+        simulated_jobs=jobs,
+        bound_jobs=bound.jobs,
+        ratio=jobs / bound.jobs if bound.jobs > 0 else 0.0,
+    )
+
+
+def gap_report(
+    config: SimulationConfig, stats: SimulationStats
+) -> dict[str, float]:
+    """Energy decomposition of the gap to the bound.
+
+    Returns fractions of the total node energy budget ``B*K``:
+
+    * ``spent_compute`` / ``spent_data`` / ``spent_upload`` — productive
+      and overhead spending,
+    * ``conversion_loss`` — rate-capacity losses inside cells,
+    * ``wasted_dead`` — residual energy in dead cells,
+    * ``stranded_alive`` — residual energy in cells alive at system
+      death (the dominant term when routing kills the critical nodes
+      early).
+    """
+    platform = config.platform
+    budget = platform.battery_capacity_pj * platform.num_mesh_nodes
+    energy = stats.energy
+    if energy is None or budget <= 0:
+        return {}
+    return {
+        "spent_compute": energy.compute_pj / budget,
+        "spent_data": energy.data_tx_pj / budget,
+        "spent_upload": energy.upload_pj / budget,
+        "conversion_loss": stats.conversion_loss_pj / budget,
+        "wasted_dead": stats.wasted_at_death_pj / budget,
+        "stranded_alive": stats.stranded_alive_pj / budget,
+    }

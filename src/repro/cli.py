@@ -1,0 +1,220 @@
+"""Command-line interface: ``etsim`` / ``python -m repro``.
+
+Subcommands:
+
+* ``bound``         — evaluate Theorem 1 for a mesh size.
+* ``simulate``      — run one et_sim simulation and print the summary.
+* ``sweep``         — the Fig 7 EAR-vs-SDR sweep.
+* ``battery-curve`` — print the thin-film discharge curve (Fig 2).
+* ``mapping``       — print the module mapping of a mesh (Fig 3b).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .analysis.tables import format_table
+from .analysis.theory import bound_for
+from .battery.thin_film import ThinFilmBattery, ThinFilmParameters
+from .config import PlatformConfig, SimulationConfig, WorkloadConfig
+from .mesh.geometry import node_id
+from .sim.et_sim import run_simulation
+from .version import PAPER_CITATION, __version__
+
+
+def _add_mesh_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mesh", type=int, default=4, metavar="W",
+        help="mesh width (square WxW mesh, default 4)",
+    )
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    config = SimulationConfig(platform=PlatformConfig(mesh_width=args.mesh))
+    bound = bound_for(config)
+    rows = [
+        (m, bound.normalized_energies[m], bound.optimal_duplicates[m])
+        for m in sorted(bound.normalized_energies)
+    ]
+    print(
+        format_table(
+            ["module", "H_i (pJ)", "n_i* (Theorem 1)"],
+            rows,
+            title=f"Theorem 1 for a {args.mesh}x{args.mesh} mesh",
+        )
+    )
+    print(f"\nupper bound J* = {bound.jobs:.2f} jobs")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        platform=PlatformConfig(
+            mesh_width=args.mesh,
+            battery_model=args.battery,
+        ),
+        workload=WorkloadConfig(seed=args.seed),
+        routing=args.routing,
+    )
+    stats = run_simulation(config)
+    if args.json:
+        print(json.dumps(stats.summary(), indent=2))
+    else:
+        rows = list(stats.summary().items())
+        print(
+            format_table(
+                ["metric", "value"],
+                rows,
+                title=(
+                    f"et_sim: {args.routing.upper()} on "
+                    f"{args.mesh}x{args.mesh}, {args.battery} battery"
+                ),
+            )
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.sweep import sweep_mesh_sizes
+
+    base = SimulationConfig()
+    widths = tuple(range(args.min_mesh, args.max_mesh + 1))
+    results = sweep_mesh_sizes(base, widths=widths)
+    by_mesh: dict[str, dict[str, float]] = {}
+    for result in results:
+        mesh = result.params["mesh"]
+        by_mesh.setdefault(mesh, {})[result.params["routing"]] = (
+            result.stats.jobs_fractional
+        )
+    rows = [
+        (
+            mesh,
+            values.get("ear", 0.0),
+            values.get("sdr", 0.0),
+            values.get("ear", 0.0) / max(values.get("sdr", 0.0), 1e-9),
+        )
+        for mesh, values in by_mesh.items()
+    ]
+    print(
+        format_table(
+            ["mesh", "EAR jobs", "SDR jobs", "gain"],
+            rows,
+            title="EAR vs SDR (paper Fig 7)",
+        )
+    )
+    return 0
+
+
+def _cmd_battery_curve(args: argparse.Namespace) -> int:
+    params = ThinFilmParameters()
+    battery = ThinFilmBattery(params)
+    rows = []
+    step_pj = params.capacity_pj / args.points
+    while battery.alive:
+        rows.append(
+            (
+                round(battery.delivered_pj, 1),
+                round(battery.open_circuit_voltage, 3),
+                round(battery.voltage, 3),
+            )
+        )
+        battery.draw(step_pj, args.step_cycles)
+        battery.rest(args.step_cycles * 4)
+    print(
+        format_table(
+            ["delivered (pJ)", "open-circuit (V)", "loaded (V)"],
+            rows,
+            title="Li-free thin-film discharge curve (paper Fig 2)",
+        )
+    )
+    return 0
+
+
+def _cmd_mapping(args: argparse.Namespace) -> int:
+    platform = PlatformConfig(
+        mesh_width=args.mesh, mapping_strategy=args.strategy
+    )
+    topology = platform.make_topology()
+    mapping = platform.make_mapping(
+        topology,
+        normalized_energies={1: 2367.9, 2: 1710.3, 3: 3225.7},
+    )
+    print(
+        f"{args.strategy} mapping of AES onto a "
+        f"{args.mesh}x{args.mesh} mesh (paper Fig 3b):\n"
+    )
+    for y in range(args.mesh, 0, -1):
+        row = []
+        for x in range(1, args.mesh + 1):
+            node = node_id(x, y, args.mesh)
+            row.append(str(mapping.module_of(node)))
+        print("   " + "  ".join(row))
+    counts = mapping.duplicate_counts()
+    print("\nduplicates: " + ", ".join(f"n{m}={c}" for m, c in counts.items()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="etsim",
+        description=(
+            "et_sim — energy-aware routing for e-textiles "
+            f"(reproduction of: {PAPER_CITATION})"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bound = sub.add_parser("bound", help="evaluate Theorem 1")
+    _add_mesh_argument(bound)
+    bound.set_defaults(func=_cmd_bound)
+
+    simulate = sub.add_parser("simulate", help="run one simulation")
+    _add_mesh_argument(simulate)
+    simulate.add_argument(
+        "--routing", choices=("ear", "sdr"), default="ear"
+    )
+    simulate.add_argument(
+        "--battery", choices=("thin-film", "ideal"), default="thin-film"
+    )
+    simulate.add_argument("--seed", type=int, default=2005)
+    simulate.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    sweep = sub.add_parser("sweep", help="EAR vs SDR across mesh sizes")
+    sweep.add_argument("--min-mesh", type=int, default=4)
+    sweep.add_argument("--max-mesh", type=int, default=8)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    curve = sub.add_parser(
+        "battery-curve", help="thin-film discharge curve"
+    )
+    curve.add_argument("--points", type=int, default=24)
+    curve.add_argument("--step-cycles", type=int, default=2000)
+    curve.set_defaults(func=_cmd_battery_curve)
+
+    mapping = sub.add_parser("mapping", help="module mapping of a mesh")
+    _add_mesh_argument(mapping)
+    mapping.add_argument(
+        "--strategy",
+        choices=("checkerboard", "proportional", "uniform"),
+        default="checkerboard",
+    )
+    mapping.set_defaults(func=_cmd_mapping)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

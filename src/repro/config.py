@@ -1,0 +1,443 @@
+"""Configuration objects for the et_sim platform.
+
+All experiment knobs live here as frozen dataclasses with validation and
+dict round-tripping, so that every run is fully described by a plain
+(JSON-serialisable) document.  The defaults reproduce the paper's
+platform: 2-D mesh with ~2 cm textile links, 128-bit packets, 60 000 pJ
+thin-film batteries, 8-level battery reporting, a 2-bit TDMA control
+medium, one infinite-energy controller, checkerboard AES mapping and the
+EAR routing algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+
+from .battery.ideal import IdealBattery
+from .battery.thin_film import ThinFilmBattery, ThinFilmParameters
+from .control.controller_power import ControllerEnergyModel
+from .control.deadlock import DeadlockPolicy
+from .control.tdma import (
+    DEFAULT_FRAME_CYCLES,
+    DEFAULT_MEDIUM_SEGMENT_CM,
+    DEFAULT_MEDIUM_WIDTH_BITS,
+    DEFAULT_STATUS_BITS,
+    DEFAULT_TABLE_ENTRY_BITS,
+    TdmaSchedule,
+)
+from .core.weights import DEFAULT_Q, BatteryWeightFunction
+from .errors import ConfigurationError
+from .link.energy import LinkEnergyModel
+from .link.packet import PacketFormat
+from .mesh.mapping import (
+    ModuleMapping,
+    checkerboard_mapping,
+    proportional_mapping,
+    uniform_mapping,
+)
+from .mesh.topology import DEFAULT_LINK_PITCH_CM, Topology, mesh2d
+
+#: Battery model identifiers.
+BATTERY_MODELS = ("thin-film", "ideal")
+
+#: Mapping strategy identifiers.
+MAPPING_STRATEGIES = ("checkerboard", "proportional", "uniform")
+
+#: Routing algorithm identifiers.
+ROUTING_ALGORITHMS = ("ear", "sdr")
+
+#: Default per-operation computation latencies in cycles, per module.
+#: Scaled against the measured module energies at a ~10 mW class power
+#: envelope; absolute values only affect time interleaving, not energy.
+DEFAULT_COMPUTE_CYCLES: dict[int, int] = {1: 12, 2: 8, 3: 18}
+
+#: Default AES key (the FIPS-197 Appendix B key) used by workloads.
+DEFAULT_AES_KEY_HEX = "2b7e151628aed2a6abf7158809cf4f3c"
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Physical platform: mesh, links, packets, batteries, application.
+
+    Attributes:
+        mesh_width / mesh_height: Mesh dimensions (height defaults to
+            width).
+        link_pitch_cm: Textile line length between adjacent nodes.
+        packet_payload_bits / packet_header_bits / switching_activity:
+            Packet format of the data network.
+        link_width_bits: Serial width of a data line.
+        battery_model: ``"thin-film"`` (Fig 7/8) or ``"ideal"``
+            (Table 2).
+        battery_capacity_pj: Per-node budget ``B``.
+        thin_film: Electrical parameters of the thin-film model.
+        battery_levels: Quantisation levels ``N_B`` for status reports.
+        compute_cycles: Per-module computation latency.
+        mapping_strategy: checkerboard / proportional / uniform.
+        source_attach_xy: Mesh coordinates (1-based) the external
+            source/sink block connects to.
+        source_link_cm: Length of the source's textile line.
+        return_to_sink: Whether the ciphertext must be delivered back to
+            the source block after the final operation.
+    """
+
+    mesh_width: int = 4
+    mesh_height: int | None = None
+    link_pitch_cm: float = DEFAULT_LINK_PITCH_CM
+    packet_payload_bits: int = 128
+    packet_header_bits: int = 0
+    switching_activity: float = 1.0
+    link_width_bits: int = 1
+    battery_model: str = "thin-film"
+    battery_capacity_pj: float = 60_000.0
+    thin_film: ThinFilmParameters = field(default_factory=ThinFilmParameters)
+    battery_levels: int = 8
+    compute_cycles: dict[int, int] = field(
+        default_factory=lambda: dict(DEFAULT_COMPUTE_CYCLES)
+    )
+    mapping_strategy: str = "checkerboard"
+    source_attach_xy: tuple[int, int] = (1, 1)
+    source_link_cm: float = 10.0
+    return_to_sink: bool = False
+    #: Input-buffer depth (packets) per node, used by the concurrent
+    #: engine; the sequential workload needs no buffering (Sec 7.1).
+    node_buffer_packets: int = 2
+
+    def __post_init__(self) -> None:
+        if self.mesh_width < 2:
+            raise ConfigurationError(
+                f"mesh width must be >= 2, got {self.mesh_width}"
+            )
+        height = self.mesh_height if self.mesh_height else self.mesh_width
+        if height < 2:
+            raise ConfigurationError(f"mesh height must be >= 2, got {height}")
+        if self.battery_model not in BATTERY_MODELS:
+            raise ConfigurationError(
+                f"unknown battery model {self.battery_model!r}; "
+                f"expected one of {BATTERY_MODELS}"
+            )
+        if self.mapping_strategy not in MAPPING_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown mapping strategy {self.mapping_strategy!r}; "
+                f"expected one of {MAPPING_STRATEGIES}"
+            )
+        if self.battery_capacity_pj <= 0:
+            raise ConfigurationError("battery capacity must be positive")
+        if self.battery_levels < 2:
+            raise ConfigurationError("need >= 2 battery levels")
+        if self.source_link_cm <= 0:
+            raise ConfigurationError("source link length must be positive")
+        x, y = self.source_attach_xy
+        if not (1 <= x <= self.mesh_width and 1 <= y <= height):
+            raise ConfigurationError(
+                f"source attach point {self.source_attach_xy} outside the "
+                f"{self.mesh_width}x{height} mesh"
+            )
+        for module, cycles in self.compute_cycles.items():
+            if cycles < 1:
+                raise ConfigurationError(
+                    f"compute cycles for module {module} must be >= 1"
+                )
+        if self.node_buffer_packets < 1:
+            raise ConfigurationError(
+                "node buffers must hold at least one packet, got "
+                f"{self.node_buffer_packets}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return self.mesh_height if self.mesh_height else self.mesh_width
+
+    @property
+    def num_mesh_nodes(self) -> int:
+        """The node budget ``K`` (mesh nodes only; the external source
+        and the controllers are outside the budget)."""
+        return self.mesh_width * self.height
+
+    def packet_format(self) -> PacketFormat:
+        return PacketFormat(
+            payload_bits=self.packet_payload_bits,
+            header_bits=self.packet_header_bits,
+            switching_activity=self.switching_activity,
+        )
+
+    def link_energy_model(self) -> LinkEnergyModel:
+        return LinkEnergyModel(
+            packet=self.packet_format(),
+            link_width_bits=self.link_width_bits,
+        )
+
+    def hop_energy_pj(self) -> float:
+        """Per-hop packet energy at the mesh link pitch."""
+        return self.link_energy_model().hop_energy_pj(self.link_pitch_cm)
+
+    def make_topology(self) -> Topology:
+        return mesh2d(self.mesh_width, self.height, self.link_pitch_cm)
+
+    def make_mapping(
+        self,
+        topology: Topology,
+        normalized_energies: dict[int, float] | None = None,
+    ) -> ModuleMapping:
+        mesh_nodes = range(self.num_mesh_nodes)
+        if self.mapping_strategy == "checkerboard":
+            return checkerboard_mapping(topology, mesh_nodes)
+        if self.mapping_strategy == "proportional":
+            if normalized_energies is None:
+                raise ConfigurationError(
+                    "proportional mapping needs the normalised energies"
+                )
+            return proportional_mapping(
+                topology, normalized_energies, mesh_nodes
+            )
+        return uniform_mapping(topology, num_modules=3, nodes=mesh_nodes)
+
+    def make_battery(self):
+        """Fresh battery instance for one mesh node."""
+        if self.battery_model == "ideal":
+            return IdealBattery(capacity_pj=self.battery_capacity_pj)
+        params = replace(self.thin_film, capacity_pj=self.battery_capacity_pj)
+        return ThinFilmBattery(params)
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """TDMA control mechanism and controller provisioning.
+
+    Attributes:
+        frame_cycles: TDMA frame length.
+        medium_width_bits: Shared-medium width (paper: 2).
+        status_bits / table_entry_bits: Control payload sizes.
+        medium_segment_cm: Electrical length for medium transfers.
+        num_controllers: Size of the fail-over chain.
+        controller_battery: ``"infinite"`` (Sec 7.1-7.2) or
+            ``"thin-film"`` / ``"ideal"`` (Sec 7.3, Fig 8).
+        controller_capacity_pj: Battery budget per controller unit.
+        energy: Per-action controller energy quanta.
+        deadlock: Deadlock-recovery thresholds.
+    """
+
+    frame_cycles: int = DEFAULT_FRAME_CYCLES
+    medium_width_bits: int = DEFAULT_MEDIUM_WIDTH_BITS
+    status_bits: int = DEFAULT_STATUS_BITS
+    table_entry_bits: int = DEFAULT_TABLE_ENTRY_BITS
+    medium_segment_cm: float = DEFAULT_MEDIUM_SEGMENT_CM
+    num_controllers: int = 1
+    controller_battery: str = "infinite"
+    controller_capacity_pj: float = 60_000.0
+    #: Thin-film cell parameters used when ``controller_battery`` is
+    #: "thin-film".  The controller is a physically larger block than a
+    #: mesh node (Fig 3a), so its cell stack has a much lower effective
+    #: internal resistance and tolerates sustained load.
+    controller_thin_film: ThinFilmParameters = field(
+        default_factory=lambda: ThinFilmParameters(
+            internal_resistance_ohm=12_000.0,
+            rate_penalty_coeff=0.5,
+            reference_current_ma=0.04,
+        )
+    )
+    energy: ControllerEnergyModel = field(
+        default_factory=ControllerEnergyModel
+    )
+    deadlock: DeadlockPolicy = field(default_factory=DeadlockPolicy)
+
+    def __post_init__(self) -> None:
+        if self.num_controllers < 1:
+            raise ConfigurationError("need at least one controller")
+        if self.controller_battery not in ("infinite", "thin-film", "ideal"):
+            raise ConfigurationError(
+                f"unknown controller battery {self.controller_battery!r}"
+            )
+        if self.controller_capacity_pj <= 0:
+            raise ConfigurationError("controller capacity must be positive")
+
+    def make_schedule(self, num_nodes: int) -> TdmaSchedule:
+        return TdmaSchedule(
+            num_nodes=num_nodes,
+            frame_cycles=self.frame_cycles,
+            medium_width_bits=self.medium_width_bits,
+            status_bits=self.status_bits,
+            table_entry_bits=self.table_entry_bits,
+            medium_segment_cm=self.medium_segment_cm,
+        )
+
+    def make_controller_batteries(self) -> list:
+        """Battery list for the fail-over chain (None = infinite)."""
+        batteries: list = []
+        for _ in range(self.num_controllers):
+            if self.controller_battery == "infinite":
+                batteries.append(None)
+            elif self.controller_battery == "ideal":
+                batteries.append(
+                    IdealBattery(capacity_pj=self.controller_capacity_pj)
+                )
+            else:
+                params = replace(
+                    self.controller_thin_film,
+                    capacity_pj=self.controller_capacity_pj,
+                )
+                batteries.append(ThinFilmBattery(params))
+        return batteries
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Job generation.
+
+    Attributes:
+        kind: ``"sequential"`` — one job at a time, a new job launched
+            when the previous completes (paper Sec 7.1); or
+            ``"concurrent"`` — ``concurrency`` jobs kept in flight
+            through the buffered network (paper's deadlock experiments).
+        concurrency: In-flight job target for the concurrent engine.
+        aes_key_hex: Cipher key of the encryption jobs.
+        seed: Seed of the plaintext generator.
+        max_jobs: Stop after this many completed jobs (None = run to
+            system death, the paper's setting).
+        max_frames: Safety limit on simulated frames.
+    """
+
+    kind: str = "sequential"
+    concurrency: int = 1
+    aes_key_hex: str = DEFAULT_AES_KEY_HEX
+    seed: int = 2005
+    max_jobs: int | None = None
+    max_frames: int = 200_000
+    #: Enable the TDMA deadlock-recovery protocol (paper Sec 5.3); the
+    #: deadlock bench disables it to demonstrate its effectiveness.
+    deadlock_recovery: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sequential", "concurrent"):
+            raise ConfigurationError(
+                f"unknown workload kind {self.kind!r}"
+            )
+        if self.concurrency < 1:
+            raise ConfigurationError("concurrency must be >= 1")
+        if self.max_jobs is not None and self.max_jobs < 1:
+            raise ConfigurationError("max_jobs must be >= 1 or None")
+        if self.max_frames < 1:
+            raise ConfigurationError("max_frames must be >= 1")
+        key = bytes.fromhex(self.aes_key_hex)
+        if len(key) not in (16, 24, 32):
+            raise ConfigurationError(
+                "AES key must be 16/24/32 bytes, got "
+                f"{len(key)} from {self.aes_key_hex!r}"
+            )
+
+    @property
+    def aes_key(self) -> bytes:
+        return bytes.fromhex(self.aes_key_hex)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything one et_sim run needs.
+
+    Attributes:
+        platform: Physical platform description.
+        control: Control mechanism description.
+        workload: Job generation description.
+        routing: ``"ear"`` or ``"sdr"``.
+        weight_q: EAR's strengthening constant ``Q``.
+    """
+
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+    control: ControlConfig = field(default_factory=ControlConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    routing: str = "ear"
+    weight_q: float = DEFAULT_Q
+
+    def __post_init__(self) -> None:
+        if self.routing not in ROUTING_ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown routing algorithm {self.routing!r}; expected "
+                f"one of {ROUTING_ALGORITHMS}"
+            )
+        if self.weight_q <= 0:
+            raise ConfigurationError("weight Q must be positive")
+
+    def weight_function(self) -> BatteryWeightFunction:
+        return BatteryWeightFunction(
+            q=self.weight_q, levels=self.platform.battery_levels
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe) of the full configuration."""
+        raw = asdict(self)
+        # asdict turns the nested profile dataclasses into dicts already;
+        # only tuples need normalising for strict JSON round-trips.
+        raw["platform"]["source_attach_xy"] = list(
+            raw["platform"]["source_attach_xy"]
+        )
+        for section, attr in (
+            ("platform", "thin_film"),
+            ("control", "controller_thin_film"),
+        ):
+            params = getattr(getattr(self, section), attr)
+            raw[section][attr]["profile"] = {
+                "name": params.profile.name,
+                "points": [list(p) for p in params.profile.points],
+            }
+        return raw
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SimulationConfig":
+        """Inverse of :meth:`to_dict`."""
+        from .battery.profile import DischargeProfile
+
+        data = dict(raw)
+        platform_raw = dict(data.get("platform", {}))
+        control_raw = dict(data.get("control", {}))
+        workload_raw = dict(data.get("workload", {}))
+
+        def thin_film_params(tf_raw: dict) -> ThinFilmParameters:
+            tf_raw = dict(tf_raw)
+            if "profile" in tf_raw and isinstance(tf_raw["profile"], dict):
+                tf_raw["profile"] = DischargeProfile(
+                    points=tuple(
+                        (float(d), float(v))
+                        for d, v in tf_raw["profile"]["points"]
+                    ),
+                    name=tf_raw["profile"].get("name", "custom"),
+                )
+            return ThinFilmParameters(**tf_raw)
+
+        if "thin_film" in platform_raw:
+            platform_raw["thin_film"] = thin_film_params(
+                platform_raw["thin_film"]
+            )
+        if "controller_thin_film" in control_raw and isinstance(
+            control_raw["controller_thin_film"], dict
+        ):
+            control_raw["controller_thin_film"] = thin_film_params(
+                control_raw["controller_thin_film"]
+            )
+        if "source_attach_xy" in platform_raw:
+            platform_raw["source_attach_xy"] = tuple(
+                platform_raw["source_attach_xy"]
+            )
+        if "compute_cycles" in platform_raw:
+            platform_raw["compute_cycles"] = {
+                int(k): int(v)
+                for k, v in platform_raw["compute_cycles"].items()
+            }
+        if "energy" in control_raw and isinstance(control_raw["energy"], dict):
+            control_raw["energy"] = ControllerEnergyModel(
+                **control_raw["energy"]
+            )
+        if "deadlock" in control_raw and isinstance(
+            control_raw["deadlock"], dict
+        ):
+            control_raw["deadlock"] = DeadlockPolicy(**control_raw["deadlock"])
+
+        return cls(
+            platform=PlatformConfig(**platform_raw),
+            control=ControlConfig(**control_raw),
+            workload=WorkloadConfig(**workload_raw),
+            routing=data.get("routing", "ear"),
+            weight_q=data.get("weight_q", DEFAULT_Q),
+        )

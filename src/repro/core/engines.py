@@ -1,0 +1,97 @@
+"""The EAR and SDR routing engines.
+
+"For a fair comparison, the proposed energy-aware routing strategy and
+its non-energy-aware counterpart are kept exactly the same except their
+routing algorithms" (paper Sec 5) — accordingly both engines share
+phases 2 and 3 verbatim and differ *only* in the phase 1 weight matrix.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .floyd_warshall import floyd_warshall_successors
+from .phase3 import RoutingPlan, select_destinations
+from .view import NetworkView
+from .weights import (
+    BatteryWeightFunction,
+    ear_weight_matrix,
+    sdr_weight_matrix,
+)
+
+
+class RoutingEngine(abc.ABC):
+    """Base class of the online routing algorithms (paper Sec 6)."""
+
+    #: Short identifier used in configs, reports, and the CLI.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def weight_matrix(self, view: NetworkView) -> np.ndarray:
+        """Phase 1: produce the directed interconnect weight matrix."""
+
+    def compute_plan(self, view: NetworkView) -> RoutingPlan:
+        """Run all three phases and return the routing plan."""
+        weights = self.weight_matrix(view)
+        distances, successors = floyd_warshall_successors(weights)
+        destinations = select_destinations(view, distances, successors)
+        return RoutingPlan(
+            distances=distances,
+            successors=successors,
+            destinations=destinations,
+            view=view,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ShortestDistanceRouting(RoutingEngine):
+    """SDR: the non-energy-aware baseline (weights = line lengths)."""
+
+    name = "sdr"
+
+    def weight_matrix(self, view: NetworkView) -> np.ndarray:
+        return sdr_weight_matrix(view)
+
+
+class EnergyAwareRouting(RoutingEngine):
+    """EAR: lengths scaled by the receiver's battery weight ``f(N_B(j))``."""
+
+    name = "ear"
+
+    def __init__(self, weight_function: BatteryWeightFunction | None = None):
+        self._weight_function = (
+            weight_function
+            if weight_function is not None
+            else BatteryWeightFunction()
+        )
+
+    @property
+    def weight_function(self) -> BatteryWeightFunction:
+        """The battery weighting function ``f`` in use."""
+        return self._weight_function
+
+    def weight_matrix(self, view: NetworkView) -> np.ndarray:
+        return ear_weight_matrix(view, self._weight_function)
+
+    def __repr__(self) -> str:
+        wf = self._weight_function
+        return f"EnergyAwareRouting(q={wf.q}, levels={wf.levels})"
+
+
+def routing_engine(
+    name: str, weight_function: BatteryWeightFunction | None = None
+) -> RoutingEngine:
+    """Factory by short name (``"ear"`` or ``"sdr"``)."""
+    normalized = name.strip().lower()
+    if normalized == "ear":
+        return EnergyAwareRouting(weight_function)
+    if normalized == "sdr":
+        return ShortestDistanceRouting()
+    raise ConfigurationError(
+        f"unknown routing engine {name!r}; expected 'ear' or 'sdr'"
+    )

@@ -1,0 +1,129 @@
+"""Application/architecture parameters (the paper's Table 1).
+
+An :class:`ApplicationProfile` carries, per module ``i``:
+
+* ``f_i`` — operations per completed job,
+* ``E_i`` — computation energy per operation (pJ),
+* ``c_i`` — communication energy per act of communication (pJ),
+
+and derives the *normalised energy consumption*
+``H_i = f_i * (E_i + c_i)`` that drives both Theorem 1 and the
+proportional mapping.  Profiles are plain data so alternative
+applications can be described without touching the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..aes.dataflow import operations_per_module
+from ..aes.energy import AES_MODULE_ENERGIES_PJ
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Data-flow and energy description of one distributed application.
+
+    Attributes:
+        name: Human-readable application name.
+        operations: ``f_i`` per module id.
+        computation_energy_pj: ``E_i`` per module id.
+        communication_energy_pj: ``c_i`` per module id.
+    """
+
+    name: str
+    operations: dict[int, int] = field(default_factory=dict)
+    computation_energy_pj: dict[int, float] = field(default_factory=dict)
+    communication_energy_pj: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        modules = set(self.operations)
+        if not modules:
+            raise ConfigurationError("profile needs at least one module")
+        if modules != set(self.computation_energy_pj) or modules != set(
+            self.communication_energy_pj
+        ):
+            raise ConfigurationError(
+                "operations, computation and communication energies must "
+                "cover the same module ids"
+            )
+        if sorted(modules) != list(range(1, len(modules) + 1)):
+            raise ConfigurationError(
+                f"module ids must be 1..p, got {sorted(modules)}"
+            )
+        for module in modules:
+            if self.operations[module] <= 0:
+                raise ConfigurationError(
+                    f"module {module} must run >= 1 operation per job"
+                )
+            if self.computation_energy_pj[module] < 0:
+                raise ConfigurationError(
+                    f"module {module} has negative computation energy"
+                )
+            if self.communication_energy_pj[module] < 0:
+                raise ConfigurationError(
+                    f"module {module} has negative communication energy"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_modules(self) -> int:
+        """The paper's ``p``."""
+        return len(self.operations)
+
+    @property
+    def modules(self) -> tuple[int, ...]:
+        """Module ids in id order."""
+        return tuple(sorted(self.operations))
+
+    def normalized_energy(self, module: int) -> float:
+        """``H_i = f_i * (E_i + c_i)`` (paper Table 1)."""
+        try:
+            return self.operations[module] * (
+                self.computation_energy_pj[module]
+                + self.communication_energy_pj[module]
+            )
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown module {module} in profile {self.name!r}"
+            ) from None
+
+    def normalized_energies(self) -> dict[int, float]:
+        """``H_i`` for every module."""
+        return {m: self.normalized_energy(m) for m in self.modules}
+
+    @property
+    def total_normalized_energy(self) -> float:
+        """``sum_i H_i`` — the denominator of Theorem 1."""
+        return sum(self.normalized_energies().values())
+
+    @property
+    def operations_per_job(self) -> int:
+        """``sum_i f_i`` — total operations in one job."""
+        return sum(self.operations.values())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def aes128(cls, communication_energy_pj: float) -> "ApplicationProfile":
+        """The paper's AES-128 profile with a uniform per-hop energy.
+
+        All three AES modules exchange the same fixed-size packet over
+        the same fabric, so ``c_i`` is uniform; the value normally comes
+        from :class:`repro.link.LinkEnergyModel` evaluated at the mesh
+        link pitch (~116.7 pJ under the calibrated defaults).
+        """
+        if communication_energy_pj < 0:
+            raise ConfigurationError(
+                "communication energy must be non-negative, got "
+                f"{communication_energy_pj}"
+            )
+        f = operations_per_module()
+        return cls(
+            name="aes-128",
+            operations=f,
+            computation_energy_pj=dict(AES_MODULE_ENERGIES_PJ),
+            communication_energy_pj={
+                m: float(communication_energy_pj) for m in f
+            },
+        )

@@ -1,0 +1,125 @@
+"""Phase 3 of EAR/SDR: destination selection and routing tables.
+
+After phase 2 each node knows a (weighted) distance to every other node.
+Phase 3 (paper Fig 6) walks, for every node ``n`` and every module type
+``i``, the duplicate set ``S_i`` and picks the duplicate with the least
+distance — skipping candidates whose first hop would use a port that is
+currently reported to be in a deadlock state.  The result is the routing
+table downloaded to the nodes over the TDMA medium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import RoutingError, UnreachableModuleError
+from .floyd_warshall import NO_SUCCESSOR, extract_path
+from .view import NetworkView
+
+#: Sentinel for "no destination reachable".
+NO_DESTINATION = -1
+
+
+@dataclass(frozen=True)
+class RoutingPlan:
+    """Output of one full routing computation (phases 1-3).
+
+    Attributes:
+        distances: Phase 2 distance matrix over phase 1 weights.
+        successors: Phase 2 successor matrix.
+        destinations: ``(K, p+1)`` integer matrix; entry ``[n, i]`` is
+            the node chosen to execute module ``i`` for a job currently
+            at node ``n`` (column 0 is unused padding so module ids can
+            index directly); :data:`NO_DESTINATION` when unreachable.
+        view: The network view the plan was computed from.
+    """
+
+    distances: np.ndarray
+    successors: np.ndarray
+    destinations: np.ndarray
+    view: NetworkView = field(repr=False)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.distances.shape[0])
+
+    def destination(self, node: int, module: int) -> int:
+        """Chosen duplicate of ``module`` for a job at ``node``.
+
+        Raises :class:`UnreachableModuleError` when no live duplicate is
+        reachable — the paper's system-death condition.
+        """
+        dest = int(self.destinations[node, module])
+        if dest == NO_DESTINATION:
+            raise UnreachableModuleError(module, origin=node)
+        return dest
+
+    def has_destination(self, node: int, module: int) -> bool:
+        """True when some live duplicate of ``module`` is reachable."""
+        return int(self.destinations[node, module]) != NO_DESTINATION
+
+    def next_hop(self, node: int, destination: int) -> int:
+        """Next hop from ``node`` toward ``destination``."""
+        hop = int(self.successors[node, destination])
+        if hop == NO_SUCCESSOR:
+            raise RoutingError(
+                f"no successor from {node} toward {destination}"
+            )
+        return hop
+
+    def path_to_module(self, node: int, module: int) -> list[int]:
+        """Full node sequence from ``node`` to its chosen duplicate."""
+        return extract_path(
+            self.successors, node, self.destination(node, module)
+        )
+
+
+def select_destinations(
+    view: NetworkView,
+    distances: np.ndarray,
+    successors: np.ndarray,
+) -> np.ndarray:
+    """The paper's Fig 6: choose a duplicate per (node, module) pair.
+
+    For each live node ``n`` and module ``i`` the candidate duplicates
+    are the live members of ``S_i``; candidates whose first hop from
+    ``n`` uses a blocked (deadlocked) port are skipped, exactly like the
+    ``if node n is not in deadlock or ...`` guard in the pseudo-code.
+    Among the remainder the least distance wins, ties broken by the
+    lowest node id so results are deterministic.  A node that itself
+    implements module ``i`` selects itself (distance 0) unless dead.
+    """
+    mapping = view.mapping
+    size = view.num_nodes
+    destinations = np.full(
+        (size, mapping.num_modules + 1), NO_DESTINATION, dtype=np.int64
+    )
+    blocked = view.blocked_ports
+    for module in range(1, mapping.num_modules + 1):
+        candidates = [
+            dup for dup in mapping.duplicates(module) if view.alive[dup]
+        ]
+        if not candidates:
+            continue  # whole module dead: leave NO_DESTINATION sentinels
+        for node in range(size):
+            if not view.alive[node]:
+                continue
+            best_dest = NO_DESTINATION
+            best_dist = np.inf
+            for dup in candidates:
+                dist = distances[node, dup]
+                if not np.isfinite(dist):
+                    continue
+                if node != dup:
+                    first_hop = int(successors[node, dup])
+                    if first_hop == NO_SUCCESSOR:
+                        continue
+                    if (node, first_hop) in blocked:
+                        continue
+                if dist < best_dist:
+                    best_dist = dist
+                    best_dest = dup
+            destinations[node, module] = best_dest
+    return destinations

@@ -1,0 +1,170 @@
+"""Theorem 1: the analytical upper bound on completed jobs (paper Sec 4).
+
+The ideal routing strategy ``RS*`` matches the topology to the data flow,
+replicates modules optimally over the node budget ``K`` (relaxing the
+counts to reals), hands incomplete operations over for free, and has no
+control overhead.  Under it the achievable number of jobs reduces to the
+max-min program of Eq (1), whose solution is the closed form of Eq (2):
+
+    J* = B * K / sum_i H_i,          n_i* = K * H_i / sum_j H_j,
+
+with ``H_i = f_i (E_i + c_i)`` the normalised energy of module ``i``.
+
+Besides the closed form this module implements the underlying max-min
+optimisation directly — over real and over integer duplicate counts — so
+the theorem can be *checked* rather than trusted: the real-relaxation
+optimum must equal the closed form, and every integer allocation must be
+at or below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import require_positive
+from .parameters import ApplicationProfile
+
+
+@dataclass(frozen=True)
+class UpperBoundResult:
+    """Result of a Theorem 1 evaluation.
+
+    Attributes:
+        jobs: The bound ``J*`` on completed jobs.
+        optimal_duplicates: ``n_i*`` per module (real numbers).
+        normalized_energies: ``H_i`` per module.
+        battery_budget_pj: The per-node battery budget ``B`` used.
+        node_budget: The node budget ``K`` used.
+    """
+
+    jobs: float
+    optimal_duplicates: dict[int, float]
+    normalized_energies: dict[int, float]
+    battery_budget_pj: float
+    node_budget: int
+
+    @property
+    def energy_per_job_pj(self) -> float:
+        """``sum_i H_i``: total energy consumed per completed job."""
+        return sum(self.normalized_energies.values())
+
+
+def theorem1(
+    profile: ApplicationProfile,
+    battery_budget_pj: float,
+    node_budget: int,
+) -> UpperBoundResult:
+    """Evaluate Theorem 1's closed form (paper Eq 2 and Eq 3)."""
+    require_positive("battery_budget_pj", battery_budget_pj)
+    if node_budget < profile.num_modules:
+        raise ConfigurationError(
+            f"node budget {node_budget} cannot host the "
+            f"{profile.num_modules} distinct modules"
+        )
+    energies = profile.normalized_energies()
+    total = sum(energies.values())
+    jobs = battery_budget_pj * node_budget / total
+    duplicates = {
+        module: node_budget * h / total for module, h in energies.items()
+    }
+    return UpperBoundResult(
+        jobs=jobs,
+        optimal_duplicates=duplicates,
+        normalized_energies=energies,
+        battery_budget_pj=float(battery_budget_pj),
+        node_budget=int(node_budget),
+    )
+
+
+def jobs_for_duplicates(
+    profile: ApplicationProfile,
+    battery_budget_pj: float,
+    duplicates: dict[int, float],
+    floor_jobs: bool = False,
+) -> float:
+    """Objective of Eq (1): ``min_i n_i * B / H_i`` for a given allocation.
+
+    With ``floor_jobs=True`` the value is floored to whole jobs, matching
+    the integer-jobs reading of Eq (1).
+    """
+    require_positive("battery_budget_pj", battery_budget_pj)
+    energies = profile.normalized_energies()
+    if set(duplicates) != set(energies):
+        raise ConfigurationError(
+            "duplicate counts must cover exactly the profile's modules"
+        )
+    value = min(
+        duplicates[m] * battery_budget_pj / energies[m] for m in energies
+    )
+    return float(int(value)) if floor_jobs else value
+
+
+def optimize_duplicates(
+    profile: ApplicationProfile,
+    battery_budget_pj: float,
+    node_budget: int,
+    integral: bool = False,
+) -> tuple[float, dict[int, float]]:
+    """Solve the Eq (1) max-min program directly.
+
+    Real relaxation (``integral=False``): the optimum equalises
+    ``n_i B / H_i`` across modules, i.e. ``n_i`` proportional to ``H_i``
+    with equality ``sum n_i = K`` — computed here *from the optimisation*
+    (water-filling argument) rather than from the closed form, so tests
+    can compare the two independently.
+
+    Integral mode: exhaustive search over all compositions of ``K`` into
+    ``p`` positive integers for small ``p`` (the AES case has p=3 and
+    K <= a few hundred, well within reach); returns the best allocation
+    and its floored job count.
+    """
+    require_positive("battery_budget_pj", battery_budget_pj)
+    if node_budget < profile.num_modules:
+        raise ConfigurationError(
+            f"node budget {node_budget} cannot host the "
+            f"{profile.num_modules} distinct modules"
+        )
+    energies = profile.normalized_energies()
+    modules = sorted(energies)
+
+    if not integral:
+        # Max-min with linear constraint: at the optimum all terms
+        # n_i B / H_i are equal (otherwise mass could move from a
+        # higher term to the minimum and improve it), so n_i = t * H_i
+        # with t = K / sum(H).
+        t = node_budget / sum(energies.values())
+        allocation = {m: t * energies[m] for m in modules}
+        jobs = jobs_for_duplicates(profile, battery_budget_pj, allocation)
+        return jobs, allocation
+
+    if profile.num_modules == 1:
+        allocation = {modules[0]: float(node_budget)}
+        return (
+            jobs_for_duplicates(
+                profile, battery_budget_pj, allocation, floor_jobs=True
+            ),
+            allocation,
+        )
+
+    best_jobs = -1.0
+    best_allocation: dict[int, float] = {}
+
+    def compositions(remaining: int, slots: int):
+        """All ways to write ``remaining`` as ``slots`` positive ints."""
+        if slots == 1:
+            yield (remaining,)
+            return
+        for first in range(1, remaining - slots + 2):
+            for rest in compositions(remaining - first, slots - 1):
+                yield (first,) + rest
+
+    for combo in compositions(node_budget, profile.num_modules):
+        allocation = {m: float(c) for m, c in zip(modules, combo)}
+        jobs = jobs_for_duplicates(
+            profile, battery_budget_pj, allocation, floor_jobs=True
+        )
+        if jobs > best_jobs:
+            best_jobs = jobs
+            best_allocation = allocation
+    return best_jobs, best_allocation

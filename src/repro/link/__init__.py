@@ -1,0 +1,22 @@
+"""Textile transmission-line substrate.
+
+Models the dedicated point-to-point data links of the e-textile platform:
+polyester yarns twisted with a 40 um copper thread, characterised
+electrically in Cottet et al. [6].  The paper runs SPICE on those
+characteristics and reports energy per bit-switch for four line lengths
+(Sec 5.1.2); this package reproduces those values exactly and
+interpolates between them, then converts packet descriptions into per-hop
+transmission energies and serialisation delays.
+"""
+
+from .energy import LinkEnergyModel
+from .packet import PacketFormat
+from .spice_data import MEASURED_LINE_ENERGIES_PJ_PER_BIT
+from .transmission_line import TransmissionLineModel
+
+__all__ = [
+    "LinkEnergyModel",
+    "MEASURED_LINE_ENERGIES_PJ_PER_BIT",
+    "PacketFormat",
+    "TransmissionLineModel",
+]

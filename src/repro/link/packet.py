@@ -1,0 +1,70 @@
+"""Fixed-length packet format of the e-textile network.
+
+The paper's modules "cooperate ... by exchanging packets of fixed length"
+(Sec 3) and the per-line SPICE energies are "multiplied by the packet
+size" to obtain per-hop transmission energies (Sec 5.1.2).  The packet
+format captures size and switching statistics; the sim-level packet
+objects (carrying actual AES state) reference a format instance for all
+energy and timing computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PacketFormat:
+    """Size and switching statistics of one network packet.
+
+    Attributes:
+        payload_bits: Application payload (128 for one AES state).
+        header_bits: Routing/framing overhead bits carried per hop.
+        switching_activity: Fraction of bits that toggle per transfer.
+            The paper multiplies per-bit-switch energy by the packet size
+            directly, i.e. activity 1.0; lower values model correlated
+            data.
+    """
+
+    payload_bits: int = 128
+    header_bits: int = 0
+    switching_activity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.payload_bits <= 0:
+            raise ConfigurationError(
+                f"payload_bits must be positive, got {self.payload_bits}"
+            )
+        if self.header_bits < 0:
+            raise ConfigurationError(
+                f"header_bits must be non-negative, got {self.header_bits}"
+            )
+        if not 0.0 < self.switching_activity <= 1.0:
+            raise ConfigurationError(
+                "switching_activity must lie in (0, 1], got "
+                f"{self.switching_activity}"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        """Wire bits per packet (payload plus header)."""
+        return self.payload_bits + self.header_bits
+
+    @property
+    def switched_bits(self) -> float:
+        """Expected number of bit-switches per transfer."""
+        return self.total_bits * self.switching_activity
+
+    def serialization_cycles(self, link_width_bits: int = 1) -> int:
+        """Cycles to clock the packet over a ``link_width_bits``-wide line.
+
+        Textile data lines are single twisted copper threads, i.e. serial
+        (width 1) by default.
+        """
+        if link_width_bits <= 0:
+            raise ConfigurationError(
+                f"link width must be positive, got {link_width_bits}"
+            )
+        return -(-self.total_bits // link_width_bits)  # ceil division

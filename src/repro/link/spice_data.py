@@ -1,0 +1,24 @@
+"""Published SPICE-derived textile line energies.
+
+The paper extracts the electrical characteristics of textile transmission
+lines from Cottet et al. [6] ("fabrics containing polyester yarns twisted
+with one copper thread of 40 um diameter, insulated with a polyesterimide
+coating"), runs SPICE, and reports the energy per bit-switching activity
+for four line lengths (Sec 5.1.2).  These constants are reproduced
+verbatim; everything else in :mod:`repro.link` derives from them.
+"""
+
+from __future__ import annotations
+
+#: Energy per bit-switch in pJ, keyed by line length in cm (Sec 5.1.2).
+MEASURED_LINE_ENERGIES_PJ_PER_BIT: dict[float, float] = {
+    1.0: 0.4472,
+    10.0: 4.4472,
+    20.0: 11.867,
+    100.0: 53.082,
+}
+
+#: The measured points as a sorted tuple of (length_cm, pJ/bit-switch).
+MEASURED_POINTS: tuple[tuple[float, float], ...] = tuple(
+    sorted(MEASURED_LINE_ENERGIES_PJ_PER_BIT.items())
+)

@@ -1,0 +1,91 @@
+"""Energy-versus-length model of a textile transmission line."""
+
+from __future__ import annotations
+
+import bisect
+
+from ..errors import ConfigurationError
+from ..units import require_positive
+from .spice_data import MEASURED_POINTS
+
+
+class TransmissionLineModel:
+    """Per-bit-switch transmission energy as a function of line length.
+
+    The model is a monotone piecewise-linear interpolation through the
+    paper's published SPICE values.  For lengths below the shortest
+    measured line (1 cm) the energy is interpolated toward the origin —
+    a zero-length line dissipates nothing.  For lengths beyond the
+    longest measured line the final segment's slope is extrapolated.
+
+    Custom measurement points can be supplied to model other fabrics.
+
+    Example:
+        >>> line = TransmissionLineModel()
+        >>> line.energy_per_bit_switch_pj(10.0)
+        4.4472
+    """
+
+    def __init__(
+        self, points: tuple[tuple[float, float], ...] = MEASURED_POINTS
+    ):
+        if len(points) < 2:
+            raise ConfigurationError(
+                "a transmission-line model needs >= 2 measured points"
+            )
+        pts = tuple(sorted((float(l), float(e)) for l, e in points))
+        lengths = [p[0] for p in pts]
+        energies = [p[1] for p in pts]
+        if lengths[0] <= 0:
+            raise ConfigurationError("measured line lengths must be positive")
+        if any(b <= a for a, b in zip(lengths, lengths[1:])):
+            raise ConfigurationError("measured line lengths must be distinct")
+        if any(e <= 0 for e in energies):
+            raise ConfigurationError("measured line energies must be positive")
+        if any(b <= a for a, b in zip(energies, energies[1:])):
+            raise ConfigurationError(
+                "line energy must increase with length "
+                "(longer lines dissipate more)"
+            )
+        self._points = pts
+        self._lengths = lengths
+        self._energies = energies
+
+    @property
+    def points(self) -> tuple[tuple[float, float], ...]:
+        """The (length_cm, pJ/bit-switch) anchor points."""
+        return self._points
+
+    def energy_per_bit_switch_pj(self, length_cm: float) -> float:
+        """Energy in pJ dissipated by one bit-switch on a line of
+        ``length_cm`` centimetres."""
+        require_positive("length_cm", length_cm)
+        lengths, energies = self._lengths, self._energies
+        if length_cm <= lengths[0]:
+            # Interpolate toward the origin: E(0) = 0.
+            return energies[0] * (length_cm / lengths[0])
+        if length_cm >= lengths[-1]:
+            slope = (energies[-1] - energies[-2]) / (lengths[-1] - lengths[-2])
+            return energies[-1] + slope * (length_cm - lengths[-1])
+        idx = bisect.bisect_right(lengths, length_cm)
+        l0, l1 = lengths[idx - 1], lengths[idx]
+        e0, e1 = energies[idx - 1], energies[idx]
+        frac = (length_cm - l0) / (l1 - l0)
+        return e0 + frac * (e1 - e0)
+
+    def length_for_energy(self, energy_pj_per_bit: float) -> float:
+        """Inverse lookup: line length whose per-bit-switch energy equals
+        ``energy_pj_per_bit``.  Used by the Table 2 calibration helper.
+        """
+        require_positive("energy_pj_per_bit", energy_pj_per_bit)
+        lengths, energies = self._lengths, self._energies
+        if energy_pj_per_bit <= energies[0]:
+            return lengths[0] * (energy_pj_per_bit / energies[0])
+        if energy_pj_per_bit >= energies[-1]:
+            slope = (energies[-1] - energies[-2]) / (lengths[-1] - lengths[-2])
+            return lengths[-1] + (energy_pj_per_bit - energies[-1]) / slope
+        idx = bisect.bisect_right(energies, energy_pj_per_bit)
+        l0, l1 = lengths[idx - 1], lengths[idx]
+        e0, e1 = energies[idx - 1], energies[idx]
+        frac = (energy_pj_per_bit - e0) / (e1 - e0)
+        return l0 + frac * (l1 - l0)

@@ -1,0 +1,35 @@
+"""Network topology substrate: meshes, coordinates, mappings, connectivity.
+
+The paper evaluates 2-D mesh networks of 4x4 .. 8x8 nodes (Sec 7) with
+the AES modules mapped onto nodes by a parity (checkerboard) rule
+(Sec 5.2).  This package provides the topology representation used by the
+routing engines and the simulator, the paper's mapping plus the
+Theorem-1-optimal and uniform alternatives, and the connectivity analysis
+that decides when the "critical nodes" are dead.
+"""
+
+from .connectivity import articulation_points, reachable_set, system_is_alive
+from .geometry import manhattan_distance, node_coordinates, node_id
+from .mapping import (
+    ModuleMapping,
+    checkerboard_mapping,
+    proportional_mapping,
+    uniform_mapping,
+)
+from .topology import Topology, attach_external_node, mesh2d
+
+__all__ = [
+    "ModuleMapping",
+    "Topology",
+    "articulation_points",
+    "attach_external_node",
+    "checkerboard_mapping",
+    "manhattan_distance",
+    "mesh2d",
+    "node_coordinates",
+    "node_id",
+    "proportional_mapping",
+    "reachable_set",
+    "system_is_alive",
+    "uniform_mapping",
+]

@@ -1,0 +1,41 @@
+"""Coordinate arithmetic for 2-D mesh networks.
+
+The paper indexes mesh nodes by 1-based coordinates ``(x, y)`` (Fig 3b);
+internally nodes are dense 0-based integer ids so numpy matrices can be
+indexed directly.  This module owns the bijection between the two.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+
+
+def node_id(x: int, y: int, width: int) -> int:
+    """Dense node id of mesh coordinate ``(x, y)`` (1-based, paper style).
+
+    Ids are assigned row-major: ``(1,1) -> 0``, ``(2,1) -> 1`` ...
+    """
+    if width < 1:
+        raise TopologyError(f"mesh width must be >= 1, got {width}")
+    if x < 1 or x > width or y < 1:
+        raise TopologyError(f"coordinate ({x}, {y}) outside mesh of width {width}")
+    return (y - 1) * width + (x - 1)
+
+
+def node_coordinates(node: int, width: int) -> tuple[int, int]:
+    """Inverse of :func:`node_id`: 1-based ``(x, y)`` of a dense id."""
+    if width < 1:
+        raise TopologyError(f"mesh width must be >= 1, got {width}")
+    if node < 0:
+        raise TopologyError(f"node id must be >= 0, got {node}")
+    return node % width + 1, node // width + 1
+
+
+def manhattan_distance(a: tuple[int, int], b: tuple[int, int]) -> int:
+    """Hop count between two mesh coordinates (adjacent nodes are 1 apart)."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def parity(value: int) -> int:
+    """The paper's ``m(x) = x modulo 2`` helper (Sec 5.2)."""
+    return value % 2

@@ -1,0 +1,241 @@
+"""Module-to-node mapping strategies.
+
+A mapping assigns every *computational* node of the fabric to exactly one
+application module ("Each node is an instance of exactly one module",
+paper Sec 3).  External nodes (sources/sinks, controllers) carry no
+module.  Three strategies are provided:
+
+* :func:`checkerboard_mapping` — the paper's parity rule (Sec 5.2).
+* :func:`proportional_mapping` — Theorem 1's optimal replication
+  ``n_i* = K * H_i / sum(H)``, rounded by largest remainder and spread
+  spatially by error diffusion.
+* :func:`uniform_mapping` — equal replication, the natural naive
+  baseline used in the mapping ablation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping
+
+from ..errors import MappingError
+from .geometry import parity
+from .topology import Topology
+
+
+class ModuleMapping:
+    """Immutable assignment of nodes to module ids.
+
+    Args:
+        assignment: Mapping from node id to module id (1-based module
+            ids, following the paper's Table 1).
+        num_modules: Total number of distinct modules ``p``.  Every
+            module in ``1..p`` must be instantiated at least once —
+            otherwise no job could ever complete.
+    """
+
+    def __init__(self, assignment: Mapping[int, int], num_modules: int):
+        if num_modules < 1:
+            raise MappingError(f"need >= 1 module, got {num_modules}")
+        self._num_modules = int(num_modules)
+        self._assignment = dict(assignment)
+        for node, module in self._assignment.items():
+            if not 1 <= module <= num_modules:
+                raise MappingError(
+                    f"node {node} mapped to module {module}, outside "
+                    f"1..{num_modules}"
+                )
+        counts = Counter(self._assignment.values())
+        missing = [m for m in range(1, num_modules + 1) if counts[m] == 0]
+        if missing:
+            raise MappingError(
+                f"modules {missing} have no duplicates; jobs cannot complete"
+            )
+        self._counts = {m: counts[m] for m in range(1, num_modules + 1)}
+        self._duplicates = {
+            m: tuple(sorted(n for n, mod in self._assignment.items() if mod == m))
+            for m in range(1, num_modules + 1)
+        }
+
+    @property
+    def num_modules(self) -> int:
+        """Number of distinct modules ``p``."""
+        return self._num_modules
+
+    @property
+    def mapped_nodes(self) -> tuple[int, ...]:
+        """All nodes that carry a module, sorted."""
+        return tuple(sorted(self._assignment))
+
+    def module_of(self, node: int) -> int | None:
+        """Module id of ``node`` (None for unmapped/external nodes)."""
+        return self._assignment.get(node)
+
+    def duplicates(self, module: int) -> tuple[int, ...]:
+        """The paper's ``S_i``: sorted node ids instantiating ``module``."""
+        try:
+            return self._duplicates[module]
+        except KeyError:
+            raise MappingError(
+                f"module {module} outside 1..{self._num_modules}"
+            ) from None
+
+    def duplicate_counts(self) -> dict[int, int]:
+        """The paper's ``n_i``: number of duplicates per module."""
+        return dict(self._counts)
+
+    def validate_against(self, topology: Topology) -> None:
+        """Check that every mapped node exists in ``topology``."""
+        for node in self._assignment:
+            if not 0 <= node < topology.num_nodes:
+                raise MappingError(
+                    f"mapped node {node} does not exist in {topology!r}"
+                )
+
+    def as_dict(self) -> dict[int, int]:
+        """Copy of the raw node -> module assignment."""
+        return dict(self._assignment)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ModuleMapping):
+            return NotImplemented
+        return (
+            self._assignment == other._assignment
+            and self._num_modules == other._num_modules
+        )
+
+    def __repr__(self) -> str:
+        counts = ", ".join(
+            f"n{m}={c}" for m, c in sorted(self._counts.items())
+        )
+        return f"ModuleMapping(p={self._num_modules}, {counts})"
+
+
+def checkerboard_mapping(
+    topology: Topology, nodes: Iterable[int] | None = None
+) -> ModuleMapping:
+    """The paper's parity mapping for the 3-module AES application.
+
+    "Assuming any node with coordinates (x, y), our mapping strategy is
+    to map that node to module 1 if m(x)+m(y)=2, to module 2 if
+    m(x)+m(y)=0, and to module 3 if m(x)+m(y)=1 where m(x) is defined as
+    x modulo 2" (Sec 5.2).  With 1-based coordinates this places module 1
+    on odd/odd nodes, module 2 on even/even nodes and module 3 — the most
+    energy-hungry module — on the remaining (roughly half the) nodes,
+    qualitatively matching Theorem 1's proportional rule.
+    """
+    if topology.mesh_width is None:
+        raise MappingError("checkerboard mapping requires a mesh topology")
+    selected = (
+        range(topology.mesh_width * (topology.mesh_height or 0))
+        if nodes is None
+        else nodes
+    )
+    assignment: dict[int, int] = {}
+    for node in selected:
+        x, y = topology.coordinates(node)
+        parity_sum = parity(x) + parity(y)
+        if parity_sum == 2:
+            assignment[node] = 1
+        elif parity_sum == 0:
+            assignment[node] = 2
+        else:
+            assignment[node] = 3
+    mapping = ModuleMapping(assignment, num_modules=3)
+    mapping.validate_against(topology)
+    return mapping
+
+
+def _largest_remainder_allocation(
+    weights: dict[int, float], total: int
+) -> dict[int, int]:
+    """Integer allocation of ``total`` slots proportional to ``weights``.
+
+    Guarantees at least one slot per key (a module with zero duplicates
+    would make jobs impossible) and exact total.
+    """
+    if total < len(weights):
+        raise MappingError(
+            f"cannot allocate {total} nodes to {len(weights)} modules "
+            "(each module needs at least one duplicate)"
+        )
+    weight_sum = sum(weights.values())
+    if weight_sum <= 0:
+        raise MappingError("allocation weights must sum to a positive value")
+    raw = {m: total * w / weight_sum for m, w in weights.items()}
+    counts = {m: max(1, int(raw[m])) for m in weights}
+    # Fix the total by walking the largest fractional remainders.
+    while sum(counts.values()) < total:
+        candidates = sorted(
+            weights,
+            key=lambda m: (raw[m] - counts[m]),
+            reverse=True,
+        )
+        counts[candidates[0]] += 1
+        raw[candidates[0]] -= 1.0
+    while sum(counts.values()) > total:
+        candidates = sorted(
+            (m for m in weights if counts[m] > 1),
+            key=lambda m: (raw[m] - counts[m]),
+        )
+        if not candidates:
+            raise MappingError("cannot shrink allocation below 1 per module")
+        counts[candidates[0]] -= 1
+        raw[candidates[0]] += 1.0
+    return counts
+
+
+def proportional_mapping(
+    topology: Topology,
+    normalized_energies: dict[int, float],
+    nodes: Iterable[int] | None = None,
+) -> ModuleMapping:
+    """Theorem-1 proportional mapping.
+
+    Allocates duplicates proportionally to the normalised energies
+    ``H_i`` (paper Eq 3) and spreads each module across the fabric by
+    error diffusion over the node order, so duplicates of the same
+    module do not clump in one corner.
+    """
+    selected = list(range(topology.num_nodes) if nodes is None else nodes)
+    counts = _largest_remainder_allocation(normalized_energies, len(selected))
+    modules = sorted(normalized_energies)
+    # Error diffusion: at each node pick the module whose assigned share
+    # lags most behind its target share.
+    target = {
+        m: counts[m] / len(selected) for m in modules
+    }
+    assigned = {m: 0 for m in modules}
+    assignment: dict[int, int] = {}
+    for index, node in enumerate(selected, start=1):
+        deficits = {
+            m: target[m] * index - assigned[m]
+            for m in modules
+            if assigned[m] < counts[m]
+        }
+        module = max(sorted(deficits), key=lambda m: deficits[m])
+        assignment[node] = module
+        assigned[module] += 1
+    mapping = ModuleMapping(assignment, num_modules=max(modules))
+    mapping.validate_against(topology)
+    return mapping
+
+
+def uniform_mapping(
+    topology: Topology,
+    num_modules: int,
+    nodes: Iterable[int] | None = None,
+) -> ModuleMapping:
+    """Equal-replication round-robin mapping (ablation baseline)."""
+    selected = list(range(topology.num_nodes) if nodes is None else nodes)
+    if len(selected) < num_modules:
+        raise MappingError(
+            f"{len(selected)} nodes cannot host {num_modules} modules"
+        )
+    assignment = {
+        node: (index % num_modules) + 1
+        for index, node in enumerate(selected)
+    }
+    mapping = ModuleMapping(assignment, num_modules=num_modules)
+    mapping.validate_against(topology)
+    return mapping

@@ -1,0 +1,36 @@
+"""et_sim — the cycle-granularity e-textile network simulator.
+
+This is the reproduction of the paper's by-product simulator (Sec 7):
+"A cycle-accurate network simulator, et_sim, was implemented. et_sim
+supports, in default mode, any 2D mesh network with the mapping technique
+described in Sec 5.2."
+
+Two engines share all platform models (batteries, lines, TDMA control,
+routing):
+
+* :class:`~repro.sim.sequential_engine.SequentialEngine` — exact engine
+  for the paper's main workload, where "a new job is launched when the
+  previous one is completed ... no buffering at nodes is needed"
+  (Sec 7.1).
+* :class:`~repro.sim.concurrent_engine.ConcurrentEngine` — slot-stepped
+  engine with finite buffers, link contention and the deadlock-recovery
+  protocol, used for the multi-job experiments.
+
+:func:`~repro.sim.et_sim.run_simulation` builds a platform from a
+:class:`~repro.config.SimulationConfig` and runs it to system death.
+"""
+
+from .et_sim import EtSim, run_simulation
+from .job import Job
+from .stats import EnergyLedger, NodeStats, SimulationStats
+from .workload import JobFactory
+
+__all__ = [
+    "EnergyLedger",
+    "EtSim",
+    "Job",
+    "JobFactory",
+    "NodeStats",
+    "SimulationStats",
+    "run_simulation",
+]

@@ -1,0 +1,263 @@
+"""Shared machinery of the sequential and concurrent et_sim engines.
+
+Both engines simulate the same platform — fabric, batteries, links, TDMA
+control — and differ only in how jobs move (one exact job at a time
+versus buffered packets with contention).  Everything platform-related
+lives here.
+"""
+
+from __future__ import annotations
+
+from ..battery.monitor import BatteryLevelQuantizer, LevelTracker
+from ..config import SimulationConfig
+from ..control.controller import ControlPlane, StatusReport
+from ..core.engines import EnergyAwareRouting, ShortestDistanceRouting
+from ..core.parameters import ApplicationProfile
+from ..errors import SimulationError
+from ..mesh.connectivity import reachable_set, system_is_alive
+from ..mesh.geometry import node_id as mesh_node_id
+from ..mesh.topology import attach_external_node
+from .node import NetworkNode
+from .stats import EnergyLedger, SimulationStats
+from .workload import JobFactory
+
+#: Frames a dispatch may wait for a fresh plan before retrying.
+MAX_WAIT_FRAMES = 64
+
+#: Hop-count guard against transient routing churn.
+HOP_GUARD_FACTOR = 6
+
+
+class SystemDead(Exception):
+    """Control-flow signal: the system died (cause attached)."""
+
+    def __init__(self, cause: str):
+        self.cause = cause
+        super().__init__(cause)
+
+
+class _AliveFull:
+    """Stand-in battery for priming the level tracker (full and alive)."""
+
+    alive = True
+    state_of_charge = 1.0
+
+
+class EngineBase:
+    """Builds the platform and runs the per-frame control protocol."""
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        platform = config.platform
+
+        # --- fabric -----------------------------------------------------
+        self.topology = platform.make_topology()
+        attach = mesh_node_id(*platform.source_attach_xy, platform.mesh_width)
+        self.source = attach_external_node(
+            self.topology, attach, platform.source_link_cm
+        )
+        profile = ApplicationProfile.aes128(platform.hop_energy_pj())
+        self.mapping = platform.make_mapping(
+            self.topology, profile.normalized_energies()
+        )
+        self.num_mesh_nodes = platform.num_mesh_nodes
+
+        self.nodes: dict[int, NetworkNode] = {}
+        for node in range(self.num_mesh_nodes):
+            self.nodes[node] = NetworkNode(
+                node, self.mapping.module_of(node), platform.make_battery()
+            )
+        self.nodes[self.source] = NetworkNode(self.source, None, None)
+
+        # --- links --------------------------------------------------------
+        self.link_model = platform.link_energy_model()
+        self.lengths = self.topology.length_matrix()
+        self.hop_cycles = self.link_model.hop_cycles()
+
+        # --- control --------------------------------------------------------
+        self.schedule = config.control.make_schedule(self.num_mesh_nodes)
+        routing_engine = (
+            EnergyAwareRouting(config.weight_function())
+            if config.routing == "ear"
+            else ShortestDistanceRouting()
+        )
+        self.control = ControlPlane(
+            lengths=self.lengths,
+            mapping=self.mapping,
+            engine=routing_engine,
+            levels=platform.battery_levels,
+            schedule=self.schedule,
+            energy_model=config.control.energy,
+            deadlock_policy=config.control.deadlock,
+            controller_batteries=config.control.make_controller_batteries(),
+        )
+        self.quantizer = BatteryLevelQuantizer(platform.battery_levels)
+        self.tracker = LevelTracker(self.quantizer)
+        for node in range(self.num_mesh_nodes):
+            self.tracker.observe(node, _AliveFull())
+
+        # --- bookkeeping ------------------------------------------------------
+        self.ledger = EnergyLedger(self.topology.num_nodes)
+        self.factory = JobFactory(
+            key=config.workload.aes_key,
+            seed=config.workload.seed,
+            origin=self.source,
+        )
+        self.cycle = 0
+        self.frames_done = 0
+        self.total_hops = 0
+        self.op_retries = 0
+        self.jobs_lost = 0
+        self.verification_failures = 0
+        #: Deadlock flags queued by the engine for the next upload phase,
+        #: as ``node -> blocked successor``.
+        self.pending_deadlock: dict[int, int] = {}
+        self.deadlocks_reported = 0
+        self.deadlocks_recovered = 0
+
+    # ------------------------------------------------------------------
+    # Time and control frames
+    # ------------------------------------------------------------------
+    def _advance_time(self, cycles: int) -> None:
+        """Advance the clock, firing TDMA frames at their boundaries."""
+        self.cycle += int(cycles)
+        frame_len = self.schedule.frame_cycles
+        while (self.frames_done + 1) * frame_len <= self.cycle:
+            self._run_frame(self.frames_done)
+            self.frames_done += 1
+            if self.frames_done >= self.config.workload.max_frames:
+                raise SystemDead("frame-budget")
+
+    def _wait_one_frame(self) -> None:
+        """Idle until the next frame boundary (plan refresh opportunity)."""
+        frame_len = self.schedule.frame_cycles
+        next_boundary = (self.frames_done + 1) * frame_len
+        self._advance_time(next_boundary - self.cycle)
+
+    def _run_frame(self, frame: int) -> None:
+        """One TDMA frame: heartbeats, report ingestion, plan refresh."""
+        reports: list[StatusReport] = []
+        heartbeats = 0
+        for node in range(self.num_mesh_nodes):
+            unit = self.nodes[node]
+            battery = unit.battery
+            if battery is None:
+                raise SimulationError("mesh nodes must carry batteries")
+            if unit.alive:
+                heartbeats += 1
+                result = unit.draw(
+                    self.schedule.upload_energy_pj,
+                    self.schedule.upload_slot_cycles,
+                )
+                self.ledger.add_upload(node, result.delivered_pj)
+                if result.died:
+                    self.on_node_death(node)
+            blocked = self.pending_deadlock.pop(node, None)
+            if blocked is not None and battery.alive:
+                self.deadlocks_reported += 1
+                reports.append(
+                    StatusReport(
+                        node=node,
+                        level=self.tracker.level(node),
+                        alive=battery.alive,
+                        blocked_port=blocked,
+                    )
+                )
+                self.tracker.observe(node, battery)
+            elif self.tracker.observe(node, battery):
+                reports.append(
+                    StatusReport(
+                        node=node,
+                        level=self.tracker.level(node),
+                        alive=battery.alive,
+                    )
+                )
+            if unit.alive:
+                unit.rest(self.schedule.frame_cycles)
+        outcome = self.control.process_frame(frame, reports, heartbeats)
+        self.ledger.add_controller(outcome.controller_energy_pj)
+        if not self.control.alive:
+            raise SystemDead("controller-dead")
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def on_node_death(self, node: int) -> None:
+        """Hook invoked the moment a node's battery dies."""
+        self.ledger.mark_death(node, self.frames_done)
+
+    def _alive_ids(self) -> set[int]:
+        return {n for n, unit in self.nodes.items() if unit.alive}
+
+    def _check_reachability(self, origin: int, cause: str) -> None:
+        """Raise system death if some module is unreachable from origin."""
+        if not system_is_alive(
+            self.topology, self._alive_ids(), self.mapping, origin
+        ):
+            raise SystemDead(cause)
+
+    def _source_reachable_from(self, node: int) -> bool:
+        reachable = reachable_set(self.topology, self._alive_ids(), node)
+        return self.source in reachable
+
+    def _transmit(self, sender: int, receiver: int, holder: int) -> bool:
+        """One hop; returns False when the sender died mid-transmit."""
+        energy = self.link_model.hop_energy_pj(
+            float(self.lengths[sender, receiver])
+        )
+        unit = self.nodes[sender]
+        result = unit.draw(energy, self.hop_cycles)
+        if unit.has_infinite_supply:
+            self.ledger.add_source_tx(result.delivered_pj)
+        else:
+            self.ledger.add_data_tx(
+                sender, result.delivered_pj, relay=sender != holder
+            )
+        if result.died:
+            self.on_node_death(sender)
+        self.total_hops += 1
+        return not result.died
+
+    def _module_energy(self, module: int) -> float:
+        from ..aes.energy import module_energy_pj
+
+        return module_energy_pj(module)
+
+    def _compute_cycles(self, module: int) -> int:
+        return self.config.platform.compute_cycles.get(module, 12)
+
+    # ------------------------------------------------------------------
+    def _finalize(
+        self, jobs_completed: int, partial: float, death: str
+    ) -> SimulationStats:
+        wasted = 0.0
+        stranded = 0.0
+        loss = 0.0
+        for node in range(self.num_mesh_nodes):
+            battery = self.nodes[node].battery
+            if battery is None:
+                continue
+            if battery.alive:
+                stranded += battery.wasted_pj
+            else:
+                wasted += battery.wasted_pj
+            loss += getattr(battery, "loss_pj", 0.0)
+        return SimulationStats(
+            jobs_completed=jobs_completed,
+            partial_progress=partial,
+            jobs_lost=self.jobs_lost,
+            lifetime_frames=self.frames_done,
+            lifetime_cycles=self.cycle,
+            death_cause=death,
+            routing=self.config.routing,
+            energy=self.ledger,
+            wasted_at_death_pj=wasted,
+            stranded_alive_pj=stranded,
+            conversion_loss_pj=loss,
+            recompute_count=self.control.recompute_count,
+            deadlocks_reported=self.deadlocks_reported,
+            deadlocks_recovered=self.deadlocks_recovered,
+            op_retries=self.op_retries,
+            verification_failures=self.verification_failures,
+            total_hops=self.total_hops,
+        )

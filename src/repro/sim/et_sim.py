@@ -1,0 +1,46 @@
+"""et_sim facade: build and run a configured platform.
+
+:class:`EtSim` hides the engine selection: the paper's main experiments
+use the sequential workload, the deadlock experiments the concurrent
+one.  :func:`run_simulation` is the one-call entry point used by the
+examples, the benches and the CLI.
+"""
+
+from __future__ import annotations
+
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+from .stats import SimulationStats
+
+
+class EtSim:
+    """One configured e-textile platform, ready to run."""
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+
+    def build_engine(self):
+        """Instantiate the engine matching the workload kind."""
+        if self.config.workload.kind == "sequential":
+            from .sequential_engine import SequentialEngine
+
+            return SequentialEngine(self.config)
+        from .concurrent_engine import ConcurrentEngine
+
+        return ConcurrentEngine(self.config)
+
+    def run(self) -> SimulationStats:
+        """Simulate until system death (or budget) and return statistics."""
+        engine = self.build_engine()
+        stats = engine.run()
+        if stats.verification_failures:
+            raise ConfigurationError(
+                f"{stats.verification_failures} completed jobs failed AES "
+                "verification — the simulator corrupted data"
+            )
+        return stats
+
+
+def run_simulation(config: SimulationConfig) -> SimulationStats:
+    """Build a platform from ``config`` and run it to completion."""
+    return EtSim(config).run()

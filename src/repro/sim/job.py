@@ -1,0 +1,94 @@
+"""Jobs: one AES encryption walking through the fabric.
+
+A job owns a real 16-byte state and steps through the
+:class:`~repro.aes.dataflow.AesJobDataflow` operation sequence.  When the
+last operation completes the ciphertext is verified against the
+monolithic reference cipher — functional verification the paper's
+simulator implies (it simulates the actual AES) and that this
+reproduction enforces on every single job.
+"""
+
+from __future__ import annotations
+
+from ..aes.cipher import encrypt_block
+from ..aes.dataflow import AesJobDataflow, Operation
+from ..errors import SimulationError
+
+
+class Job:
+    """One in-flight encryption job.
+
+    Attributes:
+        job_id: Sequential id.
+        plaintext: The 16-byte input block.
+        state: Current intermediate state.
+        op_index: Next operation to execute (0-based).
+        holder: Node currently holding the job's last verified state.
+    """
+
+    def __init__(
+        self,
+        job_id: int,
+        plaintext: bytes,
+        dataflow: AesJobDataflow,
+        origin: int,
+    ):
+        self.job_id = job_id
+        self.plaintext = bytes(plaintext)
+        self.state = bytes(plaintext)
+        self.op_index = 0
+        self.holder = origin
+        self._dataflow = dataflow
+        self._expected = encrypt_block(self.plaintext, dataflow.key)
+
+    # ------------------------------------------------------------------
+    @property
+    def dataflow(self) -> AesJobDataflow:
+        return self._dataflow
+
+    @property
+    def total_operations(self) -> int:
+        return self._dataflow.total_operations
+
+    @property
+    def completed(self) -> bool:
+        return self.op_index >= self.total_operations
+
+    @property
+    def current_operation(self) -> Operation:
+        if self.completed:
+            raise SimulationError(
+                f"job {self.job_id} already completed all operations"
+            )
+        return self._dataflow.operations[self.op_index]
+
+    @property
+    def progress_fraction(self) -> float:
+        """Completed operations over operations per job, in [0, 1]."""
+        return self.op_index / self.total_operations
+
+    # ------------------------------------------------------------------
+    def execute_current(self, node: int) -> None:
+        """Apply the current operation's transform at ``node``.
+
+        Updates the carried state, advances the operation pointer, and
+        records the node as the new holder of the job's state.
+        """
+        op = self.current_operation
+        self.state = self._dataflow.apply(op, self.state)
+        self.op_index += 1
+        self.holder = node
+
+    def verify(self) -> bool:
+        """Check the final state against the reference ciphertext."""
+        if not self.completed:
+            raise SimulationError(
+                f"job {self.job_id} verified before completion"
+            )
+        return self.state == self._expected
+
+    def __repr__(self) -> str:
+        return (
+            f"Job(id={self.job_id}, op={self.op_index}/"
+            f"{self.total_operations}, holder={self.holder})"
+        )

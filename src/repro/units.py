@@ -1,0 +1,110 @@
+"""Physical units and conversion helpers.
+
+The library keeps all quantities in a fixed set of base units so that
+numeric values can be combined without conversion mistakes:
+
+========================  =======================================
+Quantity                  Base unit
+========================  =======================================
+Energy                    picojoule (pJ)
+Power                     milliwatt (mW) at model boundaries,
+                          converted to pJ/cycle internally
+Time                      clock cycle of the platform clock
+Voltage                   volt (V)
+Current                   milliampere (mA)
+Length                    centimetre (cm)
+========================  =======================================
+
+The paper reports module energies in pJ, line energies in pJ per
+bit-switch, controller power in mW at a 100 MHz clock, and battery
+capacity in pJ, which makes this choice of base units the one with the
+fewest conversions.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigurationError
+
+#: Default platform clock frequency used throughout the paper (Sec 5.1.1).
+DEFAULT_CLOCK_HZ = 100_000_000.0
+
+#: Seconds per clock cycle at the default 100 MHz clock.
+DEFAULT_CYCLE_SECONDS = 1.0 / DEFAULT_CLOCK_HZ
+
+PJ_PER_J = 1e12
+MW_PER_W = 1e3
+
+
+def mw_to_pj_per_cycle(power_mw: float, clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
+    """Convert a power in milliwatts to energy per clock cycle in pJ.
+
+    Example: the paper's 4x4 mesh controller consumes a dynamic power of
+    6.94 mW at 100 MHz, i.e. ``mw_to_pj_per_cycle(6.94) == 69.4`` pJ per
+    cycle.
+    """
+    if clock_hz <= 0:
+        raise ConfigurationError(f"clock frequency must be positive, got {clock_hz}")
+    watts = power_mw / MW_PER_W
+    joules_per_cycle = watts / clock_hz
+    return joules_per_cycle * PJ_PER_J
+
+
+def pj_per_cycle_to_mw(energy_pj: float, clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
+    """Convert an energy per clock cycle in pJ back to milliwatts."""
+    if clock_hz <= 0:
+        raise ConfigurationError(f"clock frequency must be positive, got {clock_hz}")
+    joules_per_cycle = energy_pj / PJ_PER_J
+    return joules_per_cycle * clock_hz * MW_PER_W
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
+    """Convert a cycle count to seconds at the given clock frequency."""
+    if clock_hz <= 0:
+        raise ConfigurationError(f"clock frequency must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
+    """Convert seconds to (possibly fractional) clock cycles."""
+    if clock_hz <= 0:
+        raise ConfigurationError(f"clock frequency must be positive, got {clock_hz}")
+    return seconds * clock_hz
+
+
+def average_current_ma(
+    energy_pj: float, cycles: float, voltage: float,
+    clock_hz: float = DEFAULT_CLOCK_HZ,
+) -> float:
+    """Average current in mA of a draw of ``energy_pj`` over ``cycles``.
+
+    ``I = P / V`` with ``P = E / t``.  Used by the discrete-time battery
+    model to turn per-event energy draws into load currents.
+    """
+    if cycles <= 0:
+        raise ConfigurationError(f"duration must be positive, got {cycles} cycles")
+    if voltage <= 0:
+        raise ConfigurationError(f"voltage must be positive, got {voltage}")
+    watts = (energy_pj / PJ_PER_J) / cycles_to_seconds(cycles, clock_hz)
+    amps = watts / voltage
+    return amps * 1e3
+
+
+def require_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is strictly positive; return it unchanged."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Validate that ``value`` is >= 0; return it unchanged."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value!r}")
+    return value

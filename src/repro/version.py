@@ -1,0 +1,10 @@
+"""Single source of truth for the package version."""
+
+__version__ = "1.0.0"
+
+#: Reference to the reproduced paper, used in CLI banners and reports.
+PAPER_CITATION = (
+    "Jung-Chun Kao and Radu Marculescu, "
+    '"Energy-Aware Routing for E-Textile Applications", '
+    "Proc. Design, Automation and Test in Europe (DATE), 2005."
+)

@@ -1,0 +1,89 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ControlConfig,
+    PlatformConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.core.view import NetworkView
+from repro.mesh.mapping import checkerboard_mapping
+from repro.mesh.topology import mesh2d
+
+
+@pytest.fixture
+def mesh4() :
+    """A paper-default 4x4 mesh topology."""
+    return mesh2d(4)
+
+
+@pytest.fixture
+def mapping4(mesh4):
+    """The paper's checkerboard mapping on the 4x4 mesh."""
+    return checkerboard_mapping(mesh4)
+
+
+@pytest.fixture
+def full_view(mesh4, mapping4):
+    """A network view with every node alive at full battery."""
+    return NetworkView(
+        lengths=mesh4.length_matrix(),
+        alive=np.ones(16, dtype=bool),
+        battery_levels=np.full(16, 7, dtype=int),
+        levels=8,
+        mapping=mapping4,
+    )
+
+
+def make_view(
+    topology,
+    mapping,
+    alive=None,
+    levels_vector=None,
+    levels: int = 8,
+    blocked=frozenset(),
+):
+    """Helper for tests that need custom views."""
+    size = topology.num_nodes
+    alive_vec = (
+        np.ones(size, dtype=bool) if alive is None else np.asarray(alive)
+    )
+    level_vec = (
+        np.full(size, levels - 1, dtype=int)
+        if levels_vector is None
+        else np.asarray(levels_vector)
+    )
+    return NetworkView(
+        lengths=topology.length_matrix(),
+        alive=alive_vec,
+        battery_levels=level_vec,
+        levels=levels,
+        mapping=mapping,
+        blocked_ports=blocked,
+    )
+
+
+@pytest.fixture
+def small_sim_config():
+    """A fast-to-run 4x4 simulation configuration."""
+    return SimulationConfig(
+        platform=PlatformConfig(mesh_width=4),
+        control=ControlConfig(),
+        workload=WorkloadConfig(max_frames=50_000),
+        routing="ear",
+    )
+
+
+@pytest.fixture
+def budget_sim_config():
+    """A configuration capped at a handful of jobs (sub-second runs)."""
+    return SimulationConfig(
+        platform=PlatformConfig(mesh_width=4),
+        workload=WorkloadConfig(max_jobs=3, max_frames=50_000),
+        routing="ear",
+    )

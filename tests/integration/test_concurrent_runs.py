@@ -1,0 +1,127 @@
+"""Integration tests: the concurrent (buffered) engine and deadlock
+recovery."""
+
+import pytest
+
+from repro.config import (
+    PlatformConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.sim.et_sim import run_simulation
+
+
+def concurrent_config(
+    width=4, concurrency=4, buffers=2, recovery=True, **extra
+):
+    return SimulationConfig(
+        platform=PlatformConfig(
+            mesh_width=width, node_buffer_packets=buffers
+        ),
+        workload=WorkloadConfig(
+            kind="concurrent",
+            concurrency=concurrency,
+            deadlock_recovery=recovery,
+            **extra,
+        ),
+        routing="ear",
+    )
+
+
+class TestConcurrentEngine:
+    def test_completes_jobs_and_verifies(self):
+        stats = run_simulation(concurrent_config(max_jobs=10))
+        assert stats.jobs_completed == 10
+        assert stats.verification_failures == 0
+
+    def test_single_job_concurrency_close_to_sequential(self):
+        sequential = SimulationConfig(
+            platform=PlatformConfig(mesh_width=4), routing="ear"
+        )
+        seq_jobs = run_simulation(sequential).jobs_fractional
+        conc_jobs = run_simulation(
+            concurrent_config(concurrency=1)
+        ).jobs_fractional
+        # Same platform, same workload semantics: the engines should
+        # agree to within a small tolerance (timing details differ).
+        assert conc_jobs == pytest.approx(seq_jobs, rel=0.15)
+
+    def test_runs_to_system_death(self):
+        stats = run_simulation(concurrent_config(concurrency=4))
+        assert stats.death_cause in (
+            "module-unreachable",
+            "source-cut",
+            "stalled",
+        )
+        assert stats.jobs_completed > 20
+
+    def test_deterministic(self):
+        a = run_simulation(concurrent_config(concurrency=4))
+        b = run_simulation(concurrent_config(concurrency=4))
+        assert a.jobs_completed == b.jobs_completed
+        assert a.deadlocks_reported == b.deadlocks_reported
+
+
+class TestDeadlockRecovery:
+    def test_congestion_triggers_deadlock_reports(self):
+        stats = run_simulation(
+            concurrent_config(width=6, concurrency=8, buffers=1)
+        )
+        assert stats.deadlocks_reported > 0
+
+    def test_recovery_beats_no_recovery_under_pressure(self):
+        with_recovery = run_simulation(
+            concurrent_config(width=6, concurrency=8, buffers=1)
+        )
+        without = run_simulation(
+            concurrent_config(
+                width=6, concurrency=8, buffers=1, recovery=False
+            )
+        )
+        assert (
+            with_recovery.jobs_completed > without.jobs_completed
+        )
+
+    def test_no_recovery_stalls(self):
+        stats = run_simulation(
+            concurrent_config(
+                width=6, concurrency=8, buffers=1, recovery=False
+            )
+        )
+        assert stats.death_cause == "stalled"
+
+    def test_recovered_deadlocks_counted(self):
+        stats = run_simulation(
+            concurrent_config(width=6, concurrency=8, buffers=1)
+        )
+        assert stats.deadlocks_recovered <= stats.deadlocks_reported
+        assert stats.deadlocks_recovered > 0
+
+    def test_ample_buffers_avoid_deadlock(self):
+        stats = run_simulation(
+            concurrent_config(width=4, concurrency=2, buffers=8, max_jobs=20)
+        )
+        assert stats.deadlocks_reported == 0
+        assert stats.jobs_completed == 20
+
+
+class TestConcurrencyThroughput:
+    def test_energy_conservation_concurrent(self):
+        from repro.sim.et_sim import EtSim
+
+        config = concurrent_config(concurrency=4)
+        engine = EtSim(config).build_engine()
+        stats = engine.run()
+        delivered = sum(
+            engine.nodes[n].battery.delivered_pj for n in range(16)
+        )
+        assert delivered == pytest.approx(
+            stats.energy.node_total_pj, rel=1e-9
+        )
+
+    def test_heavy_concurrency_degrades_gracefully(self):
+        light = run_simulation(concurrent_config(width=4, concurrency=1))
+        heavy = run_simulation(concurrent_config(width=4, concurrency=8))
+        # Contention wastes energy on waiting/detours but the system
+        # still completes a substantial job count.
+        assert heavy.jobs_completed > 0.3 * light.jobs_completed

@@ -1,0 +1,170 @@
+"""Integration tests of engine internals: platform construction, frame
+protocol, reporting, and the concurrent engine's recovery mechanics."""
+
+import pytest
+
+from repro.config import (
+    ControlConfig,
+    PlatformConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.sim.base_engine import SystemDead
+from repro.sim.concurrent_engine import ConcurrentEngine
+from repro.sim.sequential_engine import SequentialEngine
+
+
+def sequential_engine(**platform_kwargs) -> SequentialEngine:
+    return SequentialEngine(
+        SimulationConfig(
+            platform=PlatformConfig(mesh_width=4, **platform_kwargs),
+            routing="ear",
+        )
+    )
+
+
+class TestPlatformConstruction:
+    def test_source_attached_outside_the_budget(self):
+        engine = sequential_engine()
+        assert engine.num_mesh_nodes == 16
+        assert engine.topology.num_nodes == 17  # mesh + source
+        assert engine.source == 16
+        assert engine.nodes[engine.source].has_infinite_supply
+
+    def test_source_link_length_respected(self):
+        engine = sequential_engine(source_link_cm=25.0)
+        attach = engine.topology.neighbors(engine.source)[0]
+        assert engine.topology.edge_length(engine.source, attach) == 25.0
+
+    def test_every_mesh_node_has_a_module_and_battery(self):
+        engine = sequential_engine()
+        for node in range(16):
+            assert engine.mapping.module_of(node) in (1, 2, 3)
+            assert engine.nodes[node].battery is not None
+
+    def test_hop_cycles_from_packet_format(self):
+        engine = sequential_engine()
+        assert engine.hop_cycles == 128  # 128-bit packet, serial line
+
+
+class TestFrameProtocol:
+    def test_frames_fire_on_cycle_boundaries(self):
+        engine = sequential_engine()
+        engine.control.bootstrap()
+        frame_len = engine.schedule.frame_cycles
+        engine._advance_time(frame_len - 1)
+        assert engine.frames_done == 0
+        engine._advance_time(1)
+        assert engine.frames_done == 1
+        engine._advance_time(3 * frame_len)
+        assert engine.frames_done == 4
+
+    def test_heartbeats_charge_upload_energy(self):
+        engine = sequential_engine()
+        engine.control.bootstrap()
+        engine._advance_time(engine.schedule.frame_cycles)
+        expected = 16 * engine.schedule.upload_energy_pj
+        assert engine.ledger.upload_pj == pytest.approx(expected)
+
+    def test_frame_budget_raises(self):
+        config = SimulationConfig(
+            platform=PlatformConfig(mesh_width=4),
+            workload=WorkloadConfig(max_frames=3),
+            routing="ear",
+        )
+        engine = SequentialEngine(config)
+        engine.control.bootstrap()
+        with pytest.raises(SystemDead) as excinfo:
+            engine._advance_time(10 * engine.schedule.frame_cycles)
+        assert excinfo.value.cause == "frame-budget"
+
+    def test_wait_one_frame_lands_on_boundary(self):
+        engine = sequential_engine()
+        engine.control.bootstrap()
+        engine._advance_time(100)
+        engine._wait_one_frame()
+        assert engine.cycle % engine.schedule.frame_cycles == 0
+
+
+class TestTransmitAccounting:
+    def test_transmit_charges_the_sender(self):
+        engine = sequential_engine()
+        engine.control.bootstrap()
+        node_before = engine.nodes[0].battery.delivered_pj
+        assert engine._transmit(0, 1, holder=0)
+        hop = engine.link_model.hop_energy_pj(
+            float(engine.lengths[0, 1])
+        )
+        assert engine.nodes[0].battery.delivered_pj == pytest.approx(
+            node_before + hop
+        )
+        assert engine.ledger.data_tx_pj == pytest.approx(hop)
+        assert engine.ledger.nodes[0].packets_relayed == 0
+
+    def test_relay_counted(self):
+        engine = sequential_engine()
+        engine.control.bootstrap()
+        engine._transmit(1, 2, holder=0)  # sender != holder -> relay
+        assert engine.ledger.nodes[1].packets_relayed == 1
+
+    def test_source_transmissions_not_in_node_budget(self):
+        engine = sequential_engine()
+        engine.control.bootstrap()
+        attach = engine.topology.neighbors(engine.source)[0]
+        engine._transmit(engine.source, attach, holder=engine.source)
+        assert engine.ledger.data_tx_pj == 0.0
+        assert engine.ledger.source_tx_pj > 0.0
+
+
+def concurrent_engine(**kwargs) -> ConcurrentEngine:
+    workload = dict(kind="concurrent", concurrency=2)
+    workload.update(kwargs.pop("workload", {}))
+    return ConcurrentEngine(
+        SimulationConfig(
+            platform=PlatformConfig(mesh_width=4, **kwargs),
+            workload=WorkloadConfig(**workload),
+            routing="ear",
+        )
+    )
+
+
+class TestConcurrentInternals:
+    def test_injection_keeps_concurrency(self):
+        engine = concurrent_engine()
+        engine.control.bootstrap()
+        engine._inject_jobs()
+        assert len(engine.buffers[engine.source]) == 2
+        engine._inject_jobs()  # idempotent while 2 are in flight
+        assert len(engine.buffers[engine.source]) == 2
+
+    def test_source_buffer_unbounded(self):
+        engine = concurrent_engine(workload={"concurrency": 50})
+        engine.control.bootstrap()
+        engine._inject_jobs()
+        assert len(engine.buffers[engine.source]) == 50
+
+    def test_node_death_drops_resident_packets(self):
+        engine = concurrent_engine()
+        engine.control.bootstrap()
+        engine._inject_jobs()
+        packet = engine.buffers[engine.source][0]
+        engine.buffers[3].append(packet)
+        engine.on_node_death(3)
+        assert not engine.buffers[3]
+        assert engine.jobs_lost == 1
+
+    def test_escape_hops_sorted_by_distance(self):
+        engine = concurrent_engine()
+        engine.control.bootstrap()
+        # From node 5 (coordinates (2,2)) toward node 0 (corner (1,1)):
+        # the best escape neighbours are those nearer the corner.
+        hops = engine._escape_hops(5, 0)
+        assert hops[0] in (1, 4)  # the two neighbours adjacent to 0
+        assert set(hops).issubset(set(engine.topology.neighbors(5)))
+
+    def test_slot_cycles_match_hop(self):
+        engine = concurrent_engine()
+        assert engine.slot_cycles == engine.hop_cycles
+        assert engine.slots_per_frame == (
+            engine.schedule.frame_cycles // engine.slot_cycles
+        )

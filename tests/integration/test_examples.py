@@ -1,0 +1,39 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Only the fast examples run here (the full shirt/provisioning scenarios
+take tens of seconds and are exercised implicitly by the benches).
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    sys.path.insert(0, EXAMPLES_DIR)
+    try:
+        runpy.run_path(f"{EXAMPLES_DIR}/{name}.py", run_name="__main__")
+    finally:
+        sys.path.remove(EXAMPLES_DIR)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "more encryption jobs" in out
+        assert "Theorem 1 upper bound" in out
+        assert "bit-exact" in out
+
+    def test_custom_topology_app(self, capsys):
+        out = run_example("custom_topology_app", capsys)
+        assert "EAR shifted the load to the charged duplicate" in out
+        assert "Theorem 1: J*" in out
+
+    def test_battery_playground(self, capsys):
+        out = run_example("battery_playground", capsys)
+        assert "hammered" in out
+        assert "delivered" in out

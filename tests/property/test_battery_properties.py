@@ -1,0 +1,88 @@
+"""Property-based tests for the battery models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery.ideal import IdealBattery
+from repro.battery.profile import LI_FREE_THIN_FILM_PROFILE
+from repro.battery.thin_film import ThinFilmBattery, ThinFilmParameters
+
+draw_sequences = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=500.0),  # energy
+        st.integers(min_value=1, max_value=200),    # duration
+        st.integers(min_value=0, max_value=20_000), # rest after
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestIdealBatteryProperties:
+    @settings(max_examples=80)
+    @given(draw_sequences)
+    def test_conservation_and_monotonicity(self, sequence):
+        battery = IdealBattery(capacity_pj=10_000.0)
+        delivered_total = 0.0
+        last_soc = 1.0
+        for energy, duration, rest in sequence:
+            if not battery.alive:
+                break
+            result = battery.draw(energy, duration)
+            delivered_total += result.delivered_pj
+            assert result.delivered_pj <= energy + 1e-9
+            soc = battery.state_of_charge
+            assert soc <= last_soc + 1e-12
+            last_soc = soc
+            battery.rest(rest)
+        assert delivered_total == pytest.approx(battery.delivered_pj)
+        assert battery.delivered_pj <= 10_000.0 + 1e-6
+        # Ideal battery: zero conversion loss by construction.
+        assert battery.consumed_pj == pytest.approx(battery.delivered_pj)
+
+
+class TestThinFilmProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(draw_sequences)
+    def test_invariants_under_arbitrary_load(self, sequence):
+        battery = ThinFilmBattery(ThinFilmParameters(capacity_pj=10_000.0))
+        for energy, duration, rest in sequence:
+            if not battery.alive:
+                break
+            result = battery.draw(energy, duration)
+            # Delivered never exceeds requested.
+            assert result.delivered_pj <= energy + 1e-9
+            # Conversion loss is non-negative.
+            assert battery.consumed_pj >= battery.delivered_pj - 1e-9
+            # State of charge stays in [0, 1].
+            assert -1e-9 <= battery.state_of_charge <= 1.0 + 1e-9
+            # Loaded voltage never exceeds the open-circuit voltage.
+            if battery.alive:
+                assert battery.voltage <= battery.open_circuit_voltage + 1e-9
+            battery.rest(rest)
+        # Total energy book-keeping: delivered + loss + residual = nominal.
+        residual = battery.wasted_pj
+        total = battery.delivered_pj + battery.loss_pj + residual
+        assert total == pytest.approx(10_000.0, rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=50.0, max_value=400.0),
+        st.integers(min_value=5, max_value=50),
+    )
+    def test_sustained_load_never_beats_gentle_load(self, energy, duration):
+        gentle = ThinFilmBattery(ThinFilmParameters(capacity_pj=5_000.0))
+        hammered = ThinFilmBattery(ThinFilmParameters(capacity_pj=5_000.0))
+        while hammered.alive:
+            hammered.draw(energy, duration)
+        while gentle.alive:
+            gentle.draw(energy, duration)
+            gentle.rest(50_000)
+        assert gentle.delivered_pj >= hammered.delivered_pj - 1e-6
+
+    @settings(max_examples=80)
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_profile_voltage_bounded(self, dod):
+        voltage = LI_FREE_THIN_FILM_PROFILE.voltage_at(dod)
+        assert 2.5 <= voltage <= 4.17

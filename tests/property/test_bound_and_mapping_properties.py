@@ -1,0 +1,143 @@
+"""Property-based tests: Theorem 1 dominance and mapping invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import ApplicationProfile
+from repro.core.upper_bound import (
+    jobs_for_duplicates,
+    optimize_duplicates,
+    theorem1,
+)
+from repro.mesh.mapping import proportional_mapping, uniform_mapping
+from repro.mesh.topology import mesh2d
+
+
+@st.composite
+def random_profiles(draw):
+    """Random application profiles with 1..4 modules."""
+    p = draw(st.integers(min_value=1, max_value=4))
+    operations = {
+        m: draw(st.integers(min_value=1, max_value=20))
+        for m in range(1, p + 1)
+    }
+    compute = {
+        m: draw(st.floats(min_value=1.0, max_value=500.0))
+        for m in range(1, p + 1)
+    }
+    comm = {
+        m: draw(st.floats(min_value=0.0, max_value=500.0))
+        for m in range(1, p + 1)
+    }
+    return ApplicationProfile(
+        name="random",
+        operations=operations,
+        computation_energy_pj=compute,
+        communication_energy_pj=comm,
+    )
+
+
+class TestTheorem1Properties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        random_profiles(),
+        st.floats(min_value=100.0, max_value=1e6),
+        st.integers(min_value=4, max_value=30),
+    )
+    def test_closed_form_equals_relaxed_optimum(self, profile, budget, nodes):
+        bound = theorem1(profile, budget, nodes)
+        jobs, _ = optimize_duplicates(profile, budget, nodes, integral=False)
+        assert jobs == pytest.approx(bound.jobs, rel=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        random_profiles(),
+        st.floats(min_value=100.0, max_value=1e6),
+        st.integers(min_value=4, max_value=16),
+    )
+    def test_integer_allocations_never_beat_the_bound(
+        self, profile, budget, nodes
+    ):
+        bound = theorem1(profile, budget, nodes)
+        jobs, allocation = optimize_duplicates(
+            profile, budget, nodes, integral=True
+        )
+        assert jobs <= bound.jobs + 1e-9
+        assert sum(allocation.values()) == nodes
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        random_profiles(),
+        st.floats(min_value=100.0, max_value=1e6),
+        st.integers(min_value=4, max_value=16),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_arbitrary_allocation_below_optimum(
+        self, profile, budget, nodes, seed
+    ):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        modules = profile.modules
+        if nodes < len(modules):
+            return
+        # Random positive integer allocation summing to `nodes`.
+        cuts = sorted(
+            rng.choice(
+                range(1, nodes), size=len(modules) - 1, replace=False
+            ).tolist()
+        ) if len(modules) > 1 else []
+        parts = []
+        last = 0
+        for cut in cuts + [nodes]:
+            parts.append(cut - last)
+            last = cut
+        allocation = {m: float(c) for m, c in zip(modules, parts)}
+        jobs_opt, _ = optimize_duplicates(
+            profile, budget, nodes, integral=True
+        )
+        jobs_rand = jobs_for_duplicates(
+            profile, budget, allocation, floor_jobs=True
+        )
+        assert jobs_rand <= jobs_opt + 1e-9
+
+
+class TestMappingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=9),
+        st.integers(min_value=2, max_value=9),
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0),
+            min_size=2,
+            max_size=4,
+        ),
+    )
+    def test_proportional_mapping_invariants(self, width, height, weights):
+        topo = mesh2d(width, height)
+        if topo.num_nodes < len(weights):
+            return
+        energies = {m + 1: w for m, w in enumerate(weights)}
+        mapping = proportional_mapping(topo, energies)
+        counts = mapping.duplicate_counts()
+        # Total preserved, every module present.
+        assert sum(counts.values()) == topo.num_nodes
+        assert all(c >= 1 for c in counts.values())
+        # Allocation ordered like the weights (up to integer rounding).
+        heaviest = max(energies, key=lambda m: energies[m])
+        lightest = min(energies, key=lambda m: energies[m])
+        assert counts[heaviest] >= counts[lightest] - 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_uniform_mapping_balance(self, width, modules):
+        topo = mesh2d(width)
+        if topo.num_nodes < modules:
+            return
+        mapping = uniform_mapping(topo, num_modules=modules)
+        counts = mapping.duplicate_counts()
+        assert max(counts.values()) - min(counts.values()) <= 1

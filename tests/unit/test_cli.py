@@ -1,0 +1,69 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestBound:
+    def test_prints_theorem1(self, capsys):
+        assert main(["bound", "--mesh", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "131.4" in out
+        assert "H_i" in out
+
+
+class TestMapping:
+    def test_checkerboard_grid(self, capsys):
+        assert main(["mapping", "--mesh", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "n1=4, n2=4, n3=8" in out
+
+    def test_uniform_strategy(self, capsys):
+        assert main(["mapping", "--mesh", "4", "--strategy", "uniform"]) == 0
+        out = capsys.readouterr().out
+        assert "uniform mapping" in out
+
+
+class TestBatteryCurve:
+    def test_prints_discharge_rows(self, capsys):
+        assert main(["battery-curve", "--points", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "open-circuit" in out
+        assert "4.1" in out  # fresh-cell voltage visible
+
+
+class TestSimulate:
+    def test_json_summary(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--mesh",
+                "4",
+                "--routing",
+                "sdr",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["routing"] == "sdr"
+        assert payload["jobs_completed"] >= 1
+
+    def test_table_summary(self, capsys):
+        assert main(["simulate", "--mesh", "4", "--battery", "ideal"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs_completed" in out

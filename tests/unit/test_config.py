@@ -1,0 +1,155 @@
+"""Unit tests for the configuration layer (repro.config)."""
+
+import pytest
+
+from repro.battery.ideal import IdealBattery
+from repro.battery.thin_film import ThinFilmBattery
+from repro.config import (
+    ControlConfig,
+    PlatformConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPlatformConfig:
+    def test_defaults_match_paper(self):
+        platform = PlatformConfig()
+        assert platform.mesh_width == 4
+        assert platform.battery_capacity_pj == 60_000.0
+        assert platform.battery_model == "thin-film"
+        assert platform.num_mesh_nodes == 16
+
+    def test_rectangular(self):
+        platform = PlatformConfig(mesh_width=4, mesh_height=6)
+        assert platform.num_mesh_nodes == 24
+        assert platform.height == 6
+
+    def test_topology_includes_mesh_metadata(self):
+        topo = PlatformConfig(mesh_width=5).make_topology()
+        assert topo.num_nodes == 25
+        assert topo.mesh_width == 5
+
+    def test_battery_factory(self):
+        assert isinstance(PlatformConfig().make_battery(), ThinFilmBattery)
+        ideal = PlatformConfig(battery_model="ideal").make_battery()
+        assert isinstance(ideal, IdealBattery)
+
+    def test_battery_capacity_flows_through(self):
+        platform = PlatformConfig(battery_capacity_pj=1234.0)
+        assert platform.make_battery().nominal_capacity_pj == 1234.0
+
+    def test_hop_energy_near_paper_calibration(self):
+        assert PlatformConfig().hop_energy_pj() == pytest.approx(
+            116.7, abs=0.5
+        )
+
+    def test_mapping_strategies(self):
+        platform = PlatformConfig(mapping_strategy="uniform")
+        topo = platform.make_topology()
+        mapping = platform.make_mapping(topo)
+        counts = mapping.duplicate_counts()
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_proportional_needs_energies(self):
+        platform = PlatformConfig(mapping_strategy="proportional")
+        topo = platform.make_topology()
+        with pytest.raises(ConfigurationError):
+            platform.make_mapping(topo)
+        mapping = platform.make_mapping(
+            topo, normalized_energies={1: 2.0, 2: 1.5, 3: 3.0}
+        )
+        assert sum(mapping.duplicate_counts().values()) == 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(mesh_width=1)
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(battery_model="nuclear")
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(source_attach_xy=(9, 1))
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(battery_levels=1)
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(node_buffer_packets=0)
+
+
+class TestControlConfig:
+    def test_schedule_built_for_mesh(self):
+        schedule = ControlConfig().make_schedule(16)
+        assert schedule.num_nodes == 16
+        assert schedule.medium_width_bits == 2
+
+    def test_infinite_controllers(self):
+        batteries = ControlConfig(num_controllers=3).make_controller_batteries()
+        assert batteries == [None, None, None]
+
+    def test_thin_film_controllers_use_controller_cell(self):
+        config = ControlConfig(
+            num_controllers=2, controller_battery="thin-film"
+        )
+        batteries = config.make_controller_batteries()
+        assert all(isinstance(b, ThinFilmBattery) for b in batteries)
+        # The controller cell is the low-impedance variant.
+        assert batteries[0].parameters.internal_resistance_ohm < 20_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ControlConfig(num_controllers=0)
+        with pytest.raises(ConfigurationError):
+            ControlConfig(controller_battery="coal")
+
+
+class TestWorkloadConfig:
+    def test_defaults(self):
+        workload = WorkloadConfig()
+        assert workload.kind == "sequential"
+        assert workload.max_jobs is None
+        assert len(workload.aes_key) == 16
+
+    def test_key_parsing(self):
+        workload = WorkloadConfig(aes_key_hex="00" * 32)
+        assert workload.aes_key == bytes(32)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(kind="open-loop")
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(concurrency=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(aes_key_hex="0011")
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(max_jobs=0)
+
+
+class TestSimulationConfig:
+    def test_defaults(self):
+        config = SimulationConfig()
+        assert config.routing == "ear"
+        assert config.weight_function().levels == 8
+
+    def test_routing_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(routing="ospf")
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(weight_q=0.0)
+
+    def test_dict_round_trip(self):
+        config = SimulationConfig(
+            platform=PlatformConfig(mesh_width=6, battery_model="ideal"),
+            control=ControlConfig(num_controllers=4),
+            workload=WorkloadConfig(seed=42, max_jobs=7),
+            routing="sdr",
+            weight_q=2.5,
+        )
+        restored = SimulationConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_dict_round_trip_is_json_safe(self):
+        import json
+
+        config = SimulationConfig()
+        text = json.dumps(config.to_dict())
+        restored = SimulationConfig.from_dict(json.loads(text))
+        assert restored == config

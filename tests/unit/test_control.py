@@ -1,0 +1,222 @@
+"""Unit tests for the TDMA control mechanism (repro.control)."""
+
+import numpy as np
+import pytest
+
+from repro.battery.ideal import IdealBattery
+from repro.control.controller import ControlPlane, StatusReport
+from repro.control.controller_power import (
+    ControllerEnergyModel,
+    ControllerPowerReference,
+)
+from repro.control.deadlock import BlockedPortRegistry, DeadlockPolicy
+from repro.control.tdma import TdmaSchedule
+from repro.core.engines import EnergyAwareRouting
+from repro.errors import ConfigurationError
+from repro.mesh.mapping import checkerboard_mapping
+from repro.mesh.topology import mesh2d
+
+
+class TestTdmaSchedule:
+    def test_paper_medium_width(self):
+        schedule = TdmaSchedule(num_nodes=16)
+        assert schedule.medium_width_bits == 2
+
+    def test_slot_cycles(self):
+        schedule = TdmaSchedule(num_nodes=16, status_bits=4)
+        assert schedule.upload_slot_cycles == 2  # ceil(4/2)
+        assert schedule.download_slot_cycles == 6  # ceil(12/2)
+
+    def test_control_section_fits_in_frame(self):
+        schedule = TdmaSchedule(num_nodes=64)
+        assert schedule.control_section_cycles <= schedule.frame_cycles
+        assert schedule.data_section_cycles > 0
+
+    def test_frame_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TdmaSchedule(num_nodes=64, frame_cycles=100)
+
+    def test_upload_energy_from_line_model(self):
+        schedule = TdmaSchedule(num_nodes=16, medium_segment_cm=1.0)
+        assert schedule.upload_energy_pj == pytest.approx(4 * 0.4472)
+
+    def test_frame_of_cycle(self):
+        schedule = TdmaSchedule(num_nodes=16, frame_cycles=1000)
+        assert schedule.frame_of_cycle(0) == 0
+        assert schedule.frame_of_cycle(999) == 0
+        assert schedule.frame_of_cycle(1000) == 1
+
+
+class TestControllerPower:
+    def test_reference_numbers_from_paper(self):
+        ref = ControllerPowerReference()
+        # 6.94 mW at 100 MHz = 69.4 pJ/cycle; 0.57 mW = 5.7 pJ/cycle.
+        assert ref.dynamic_pj_per_cycle == pytest.approx(69.4)
+        assert ref.leakage_pj_per_cycle == pytest.approx(5.7)
+
+    def test_route_compute_scales_cubically(self):
+        model = ControllerEnergyModel(route_compute_coeff_pj=0.001)
+        e16 = model.route_compute_energy_pj(16)
+        e64 = model.route_compute_energy_pj(64)
+        assert e64 == pytest.approx(64 * e16)
+
+    def test_housekeeping_scales_with_mesh(self):
+        model = ControllerEnergyModel(housekeeping_per_frame_pj=60.0)
+        assert model.housekeeping_energy_pj(16) == pytest.approx(60.0)
+        assert model.housekeeping_energy_pj(64) == pytest.approx(240.0)
+
+    def test_rx_energy(self):
+        model = ControllerEnergyModel(rx_per_status_pj=8.0)
+        assert model.rx_energy_pj(10) == pytest.approx(80.0)
+        with pytest.raises(ConfigurationError):
+            model.rx_energy_pj(-1)
+
+
+class TestDeadlockRegistry:
+    def test_report_and_expiry(self):
+        registry = BlockedPortRegistry(
+            DeadlockPolicy(wait_threshold_frames=2, blocked_expiry_frames=5)
+        )
+        assert registry.report(3, 4, frame=10) is True
+        assert registry.is_blocked(3, 4)
+        # Re-reporting refreshes the expiry (frame 11 + 5 = 16).
+        assert registry.report(3, 4, frame=11) is False  # already known
+        assert registry.expire(frame=15) is False
+        assert registry.expire(frame=16) is True
+        assert not registry.is_blocked(3, 4)
+
+    def test_total_reports_counted(self):
+        registry = BlockedPortRegistry(DeadlockPolicy())
+        registry.report(0, 1, 0)
+        registry.report(0, 1, 1)
+        assert registry.total_reports == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeadlockPolicy(wait_threshold_frames=0)
+        with pytest.raises(ConfigurationError):
+            DeadlockPolicy(blocked_expiry_frames=0)
+
+
+def make_control_plane(batteries=None):
+    topo = mesh2d(4)
+    mapping = checkerboard_mapping(topo)
+    return ControlPlane(
+        lengths=topo.length_matrix(),
+        mapping=mapping,
+        engine=EnergyAwareRouting(),
+        levels=8,
+        schedule=TdmaSchedule(num_nodes=16),
+        energy_model=ControllerEnergyModel(),
+        deadlock_policy=DeadlockPolicy(),
+        controller_batteries=batteries if batteries is not None else [None],
+    )
+
+
+class TestControlPlane:
+    def test_bootstrap_produces_plan(self):
+        plane = make_control_plane()
+        plan = plane.bootstrap()
+        assert plan is plane.plan
+        assert plan.has_destination(0, 3)
+
+    def test_frame_without_changes_keeps_plan(self):
+        plane = make_control_plane()
+        plane.bootstrap()
+        outcome = plane.process_frame(0, reports=[], heartbeat_count=16)
+        assert outcome.recomputed is False
+        assert outcome.table_entries_sent == 0
+        assert plane.recompute_count == 0
+
+    def test_level_change_triggers_recompute(self):
+        plane = make_control_plane()
+        plane.bootstrap()
+        outcome = plane.process_frame(
+            0,
+            reports=[StatusReport(node=5, level=2, alive=True)],
+            heartbeat_count=16,
+        )
+        assert outcome.recomputed is True
+        assert plane.recompute_count == 1
+
+    def test_death_report_reroutes(self):
+        plane = make_control_plane()
+        plane.bootstrap()
+        before = plane.plan.destination(1, 1)  # nearest module-1 node
+        outcome = plane.process_frame(
+            0,
+            reports=[StatusReport(node=before, level=0, alive=False)],
+            heartbeat_count=16,
+        )
+        assert outcome.recomputed
+        assert plane.plan.destination(1, 1) != before
+
+    def test_deadlock_report_blocks_port(self):
+        plane = make_control_plane()
+        plane.bootstrap()
+        outcome = plane.process_frame(
+            0,
+            reports=[
+                StatusReport(node=1, level=7, alive=True, blocked_port=0)
+            ],
+            heartbeat_count=16,
+        )
+        assert outcome.recomputed
+        assert (1, 0) in plane.view().blocked_ports
+        assert plane.deadlock_reports == 1
+
+    def test_blocked_port_expires_and_recomputes(self):
+        plane = make_control_plane()
+        plane.bootstrap()
+        plane.process_frame(
+            0,
+            reports=[
+                StatusReport(node=1, level=7, alive=True, blocked_port=0)
+            ],
+        )
+        expiry = DeadlockPolicy().blocked_expiry_frames
+        outcome = plane.process_frame(expiry, reports=[])
+        assert outcome.recomputed  # expiry changes the view
+        assert (1, 0) not in plane.view().blocked_ports
+
+    def test_energy_charged_to_active_controller(self):
+        battery = IdealBattery(capacity_pj=1e9)
+        plane = make_control_plane(batteries=[battery])
+        plane.bootstrap()
+        plane.process_frame(0, reports=[], heartbeat_count=16)
+        assert battery.delivered_pj > 0
+
+    def test_failover_chain(self):
+        # First controller with a tiny battery dies; the spare takes over.
+        tiny = IdealBattery(capacity_pj=1.0)
+        spare = IdealBattery(capacity_pj=1e9)
+        plane = make_control_plane(batteries=[tiny, spare])
+        plane.bootstrap()
+        outcome = plane.process_frame(0, reports=[], heartbeat_count=16)
+        assert outcome.failed_over is True
+        assert plane.alive
+        outcome = plane.process_frame(1, reports=[], heartbeat_count=16)
+        assert outcome.active_controller == 1
+
+    def test_all_controllers_dead(self):
+        tiny = IdealBattery(capacity_pj=1.0)
+        plane = make_control_plane(batteries=[tiny])
+        plane.bootstrap()
+        plane.process_frame(0, reports=[], heartbeat_count=16)
+        assert not plane.alive
+        outcome = plane.process_frame(1, reports=[], heartbeat_count=16)
+        assert outcome.controllers_alive == 0
+        assert outcome.active_controller is None
+
+    def test_unknown_report_rejected(self):
+        plane = make_control_plane()
+        plane.bootstrap()
+        with pytest.raises(ConfigurationError):
+            plane.process_frame(
+                0, reports=[StatusReport(node=99, level=0, alive=True)]
+            )
+
+    def test_frames_before_bootstrap_rejected(self):
+        plane = make_control_plane()
+        with pytest.raises(ConfigurationError):
+            plane.process_frame(0, reports=[])

@@ -1,0 +1,107 @@
+"""Unit tests for the sweep harness and theory comparisons."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    SweepResult,
+    run_sweep,
+    sweep_controllers,
+    sweep_mesh_sizes,
+)
+from repro.analysis.theory import (
+    bound_comparison,
+    bound_for,
+    gap_report,
+    profile_for,
+)
+from repro.config import PlatformConfig, SimulationConfig, WorkloadConfig
+
+
+def tiny_config(**kwargs):
+    """A configuration capped to a couple of jobs for speed."""
+    return SimulationConfig(
+        platform=PlatformConfig(mesh_width=4),
+        workload=WorkloadConfig(max_jobs=2, max_frames=20_000),
+        **kwargs,
+    )
+
+
+class TestRunSweep:
+    def test_labels_and_records(self):
+        results = run_sweep(
+            {"a": tiny_config(routing="ear"), "b": tiny_config(routing="sdr")}
+        )
+        assert [r.label for r in results] == ["a", "b"]
+        record = results[0].record()
+        assert record["label"] == "a"
+        assert record["jobs_completed"] == 2
+
+    def test_hook_invoked(self):
+        seen = []
+        run_sweep(
+            {"only": tiny_config()},
+            hook=lambda label, stats: seen.append(
+                (label, stats.jobs_completed)
+            ),
+        )
+        assert seen == [("only", 2)]
+
+
+class TestGridSweeps:
+    def test_mesh_size_sweep_structure(self):
+        base = tiny_config()
+        results = sweep_mesh_sizes(base, widths=(4,), routings=("ear", "sdr"))
+        assert len(results) == 2
+        assert {r.params["routing"] for r in results} == {"ear", "sdr"}
+        assert all(r.params["mesh"] == "4x4" for r in results)
+
+    def test_controller_sweep_structure(self):
+        base = tiny_config()
+        results = sweep_controllers(
+            base, widths=(4,), controller_counts=(1, 2)
+        )
+        assert len(results) == 2
+        assert [r.params["controllers"] for r in results] == [1, 2]
+
+
+class TestTheory:
+    def test_profile_uses_config_hop_energy(self):
+        config = SimulationConfig(platform=PlatformConfig(mesh_width=4))
+        profile = profile_for(config)
+        assert profile.communication_energy_pj[1] == pytest.approx(
+            config.platform.hop_energy_pj()
+        )
+
+    def test_bound_for_matches_paper(self):
+        config = SimulationConfig(platform=PlatformConfig(mesh_width=8))
+        assert bound_for(config).jobs == pytest.approx(525.69, rel=0.01)
+
+    def test_bound_comparison_fields(self):
+        from repro.sim.et_sim import run_simulation
+
+        config = tiny_config()
+        stats = run_simulation(config)
+        comparison = bound_comparison(config, stats)
+        assert comparison.mesh == "4x4"
+        assert comparison.ratio == pytest.approx(
+            comparison.simulated_jobs / comparison.bound_jobs
+        )
+
+    def test_gap_report_covers_the_budget(self):
+        from repro.sim.et_sim import run_simulation
+
+        config = SimulationConfig(
+            platform=PlatformConfig(mesh_width=4), routing="ear"
+        )
+        stats = run_simulation(config)
+        report = gap_report(config, stats)
+        assert set(report) == {
+            "spent_compute",
+            "spent_data",
+            "spent_upload",
+            "conversion_loss",
+            "wasted_dead",
+            "stranded_alive",
+        }
+        assert sum(report.values()) == pytest.approx(1.0, abs=1e-6)
+        assert all(v >= 0 for v in report.values())

@@ -1,0 +1,100 @@
+"""Unit tests for units and the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BatteryError,
+    ConfigurationError,
+    DeadNodeError,
+    MappingError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+    UnreachableModuleError,
+    VerificationError,
+)
+from repro.units import (
+    DEFAULT_CLOCK_HZ,
+    average_current_ma,
+    cycles_to_seconds,
+    mw_to_pj_per_cycle,
+    pj_per_cycle_to_mw,
+    require_fraction,
+    require_non_negative,
+    require_positive,
+    seconds_to_cycles,
+)
+
+
+class TestUnits:
+    def test_paper_controller_power_conversion(self):
+        # 6.94 mW at 100 MHz = 69.4 pJ per cycle (paper Sec 7.3).
+        assert mw_to_pj_per_cycle(6.94) == pytest.approx(69.4)
+
+    def test_power_conversion_round_trip(self):
+        for mw in (0.57, 6.94, 100.0):
+            assert pj_per_cycle_to_mw(
+                mw_to_pj_per_cycle(mw)
+            ) == pytest.approx(mw)
+
+    def test_cycle_time_round_trip(self):
+        assert seconds_to_cycles(cycles_to_seconds(1234.0)) == pytest.approx(
+            1234.0
+        )
+
+    def test_default_clock(self):
+        assert DEFAULT_CLOCK_HZ == 100e6
+        assert cycles_to_seconds(1) == pytest.approx(10e-9)
+
+    def test_average_current(self):
+        # 120 pJ over 10 cycles (100 ns) at 3.6 V:
+        # P = 1.2 mW, I = 0.333 mA.
+        current = average_current_ma(120.0, 10, 3.6)
+        assert current == pytest.approx(1.2 / 3.6, rel=1e-6)
+
+    def test_average_current_validation(self):
+        with pytest.raises(ConfigurationError):
+            average_current_ma(1.0, 0, 3.6)
+        with pytest.raises(ConfigurationError):
+            average_current_ma(1.0, 1, 0.0)
+
+    def test_validators(self):
+        assert require_positive("x", 1.0) == 1.0
+        assert require_non_negative("x", 0.0) == 0.0
+        assert require_fraction("x", 0.5) == 0.5
+        with pytest.raises(ConfigurationError):
+            require_positive("x", 0.0)
+        with pytest.raises(ConfigurationError):
+            require_non_negative("x", -1.0)
+        with pytest.raises(ConfigurationError):
+            require_fraction("x", 1.5)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc_type in (
+            ConfigurationError,
+            TopologyError,
+            MappingError,
+            RoutingError,
+            BatteryError,
+            SimulationError,
+            VerificationError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_unreachable_module_carries_context(self):
+        error = UnreachableModuleError(2, origin=7)
+        assert error.module == 2
+        assert error.origin == 7
+        assert "module 2" in str(error)
+        assert isinstance(error, RoutingError)
+
+    def test_dead_node_error_message(self):
+        error = DeadNodeError(3, "transmit")
+        assert "node 3" in str(error)
+        assert "transmit" in str(error)
