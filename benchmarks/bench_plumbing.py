@@ -1,0 +1,48 @@
+"""Scale/executor knobs shared by the benchmark modules.
+
+Lives outside ``conftest.py`` under a unique module name so bench
+modules can import it directly (``tests/conftest.py`` would shadow a
+plain ``import conftest``).  See ``benchmarks/conftest.py`` for the
+environment variables CI uses.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.orchestration import SweepCache, make_runner
+
+#: Smoke mode: tiny grids, bounded jobs, shape assertions relaxed.
+SMOKE = os.environ.get("ETSIM_BENCH_SMOKE") == "1"
+
+#: Scenario scale matching the smoke switch.
+SCALE = "smoke" if SMOKE else "full"
+
+
+def bench_widths(
+    full: tuple[int, ...], smoke: tuple[int, ...] = (4,)
+) -> tuple[int, ...]:
+    """Grid widths for the current scale."""
+    return smoke if SMOKE else full
+
+
+def bench_cap(full: int | None = None, smoke: int = 6) -> int | None:
+    """Job cap for the current scale (None = run to system death)."""
+    return smoke if SMOKE else full
+
+
+def make_sweep_runner():
+    """Sweep executor for the sweep-shaped benches.
+
+    The result cache is **opt-in** via ``ETSIM_CACHE_DIR`` (CI sets it
+    and keys the cached directory by a hash of ``src/``).  It is off by
+    default locally on purpose: the cache is keyed by configuration
+    content only, so after editing simulator code an enabled cache
+    would serve pre-change results and the benches would assert on —
+    and time — stale numbers.
+    """
+    cache_dir = os.environ.get("ETSIM_CACHE_DIR")
+    cache = SweepCache(pathlib.Path(cache_dir)) if cache_dir else None
+    workers = int(os.environ.get("ETSIM_BENCH_WORKERS", "1"))
+    return make_runner(workers, cache=cache)

@@ -5,6 +5,20 @@ formatted artifact with the session-scoped reporter; the reporter prints
 everything in the terminal summary (so the artifacts are visible even
 with pytest's output capture active) and archives them under
 ``benchmarks/results/``.
+
+Scale and execution are environment-driven (see
+:mod:`bench_plumbing`) so CI can smoke-run every bench on a tiny grid
+through the cached parallel runner:
+
+* ``ETSIM_BENCH_SMOKE=1``   — shrink grids to seconds-scale smoke size
+  (paper-shape assertions that need the full grids are skipped);
+* ``ETSIM_BENCH_WORKERS=N`` — worker processes for the sweep-shaped
+  benches (default 1 = sequential, 0 = all cores);
+* ``ETSIM_CACHE_DIR=DIR``   — enable the sweep-point cache at DIR so
+  repeated runs reuse finished points.  Off by default: the cache keys
+  on configuration content only, so local runs after simulator edits
+  must not be satisfied by pre-change results (CI keys the cached
+  directory by a hash of ``src/`` for the same reason).
 """
 
 from __future__ import annotations
@@ -13,9 +27,17 @@ import pathlib
 
 import pytest
 
+from bench_plumbing import make_sweep_runner
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 _ARTIFACTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture(scope="session")
+def sweep_runner():
+    """Cache-backed sweep executor shared by the sweep-shaped benches."""
+    return make_sweep_runner()
 
 
 class Reporter:

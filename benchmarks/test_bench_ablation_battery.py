@@ -6,65 +6,84 @@ Separates the battery model's contributions on the 6x6 mesh:
 * voltage-death vs recovery-allowed (how much of SDR's collapse is
   rate-induced early death),
 * battery-level quantisation (how much reporting resolution matters).
+
+The labelled variant set is executed through the cached orchestration
+runner (smoke mode shrinks the mesh and caps jobs).
 """
 
 from dataclasses import replace
 
+from bench_plumbing import SMOKE, bench_cap
+
 from repro.analysis.tables import format_table
 from repro.battery.thin_film import ThinFilmParameters
-from repro.config import PlatformConfig, SimulationConfig
-from repro.sim.et_sim import run_simulation
+from repro.config import PlatformConfig, SimulationConfig, WorkloadConfig
+from repro.orchestration import SweepPoint
+
+WIDTH = 4 if SMOKE else 6
 
 
-def run_battery_ablation():
-    rows = []
+def _points():
+    workload = WorkloadConfig(max_jobs=bench_cap())
 
-    def run(label, platform, routing="ear", weight_q=None):
-        config = SimulationConfig(
-            platform=platform,
-            routing=routing,
-            **({"weight_q": weight_q} if weight_q else {}),
+    def point(label, platform, routing="ear"):
+        return SweepPoint(
+            label=f"{label}/{routing}",
+            config=SimulationConfig(
+                platform=platform, routing=routing, workload=workload
+            ),
+            params={"variant": label, "routing": routing},
         )
-        stats = run_simulation(config)
-        rows.append(
-            (
-                label,
-                routing,
-                round(stats.jobs_fractional, 1),
-                round(stats.wasted_at_death_pj / 1e3, 1),
-                round(stats.conversion_loss_pj / 1e3, 1),
+
+    recovery_params = replace(ThinFilmParameters(), allow_recovery=True)
+    points = [
+        point("ideal", PlatformConfig(mesh_width=WIDTH, battery_model="ideal")),
+        point("thin-film", PlatformConfig(mesh_width=WIDTH)),
+        point(
+            "thin-film + recovery",
+            PlatformConfig(mesh_width=WIDTH, thin_film=recovery_params),
+        ),
+        point(
+            "thin-film (SDR)",
+            PlatformConfig(mesh_width=WIDTH),
+            routing="sdr",
+        ),
+        point(
+            "thin-film + recovery (SDR)",
+            PlatformConfig(mesh_width=WIDTH, thin_film=recovery_params),
+            routing="sdr",
+        ),
+    ]
+    for levels in (4, 16):
+        points.append(
+            point(
+                f"thin-film, {levels} levels",
+                PlatformConfig(mesh_width=WIDTH, battery_levels=levels),
             )
         )
-        return stats
+    return points
 
-    run("ideal", PlatformConfig(mesh_width=6, battery_model="ideal"))
-    run("thin-film", PlatformConfig(mesh_width=6))
-    run(
-        "thin-film + recovery",
-        PlatformConfig(
-            mesh_width=6,
-            thin_film=replace(ThinFilmParameters(), allow_recovery=True),
-        ),
-    )
-    run("thin-film (SDR)", PlatformConfig(mesh_width=6), routing="sdr")
-    run(
-        "thin-film + recovery (SDR)",
-        PlatformConfig(
-            mesh_width=6,
-            thin_film=replace(ThinFilmParameters(), allow_recovery=True),
-        ),
-        routing="sdr",
-    )
-    for levels in (4, 16):
-        run(
-            f"thin-film, {levels} levels",
-            PlatformConfig(mesh_width=6, battery_levels=levels),
+
+def run_battery_ablation(runner):
+    rows = []
+    for record in runner.run(_points()):
+        summary = record.summary
+        rows.append(
+            (
+                record.params["variant"],
+                record.params["routing"],
+                round(summary["jobs_fractional"], 1),
+                round(summary["wasted_at_death_pj"] / 1e3, 1),
+                round(summary["conversion_loss_pj"] / 1e3, 1),
+            )
         )
     return rows
 
 
-def test_ablation_battery(benchmark, reporter):
-    rows = benchmark.pedantic(run_battery_ablation, rounds=1, iterations=1)
+def test_ablation_battery(benchmark, reporter, sweep_runner):
+    rows = benchmark.pedantic(
+        run_battery_ablation, args=(sweep_runner,), rounds=1, iterations=1
+    )
     table = format_table(
         [
             "battery variant",
@@ -74,13 +93,15 @@ def test_ablation_battery(benchmark, reporter):
             "conversion loss (nJ)",
         ],
         rows,
-        title="Ablation — battery model variants (6x6 mesh)",
+        title=f"Ablation — battery model variants ({WIDTH}x{WIDTH} mesh)",
     )
     reporter.add("Ablation battery models", table)
 
     jobs = {(row[0], row[1]): row[2] for row in rows}
     # The ideal cell gives the longest EAR lifetime.
     assert jobs[("ideal", "ear")] >= jobs[("thin-film", "ear")]
+    if SMOKE:
+        return  # job-capped variants all reach the cap
     # Allowing voltage recovery helps SDR (its hot nodes die of sag).
     assert (
         jobs[("thin-film + recovery (SDR)", "sdr")]

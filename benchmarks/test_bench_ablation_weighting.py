@@ -5,38 +5,57 @@ of the battery information" without publishing a sweep.  This ablation
 sweeps Q on the 5x5 mesh: Q=1 degenerates EAR into SDR; moderate Q
 spreads load and multiplies the lifetime; very large Q keeps helping
 because battery avoidance dominates path length on the small fabric.
+
+The Q grid runs through the cached orchestration runner.
 """
 
+from bench_plumbing import SMOKE, bench_cap
+
 from repro.analysis.tables import format_table
-from repro.config import PlatformConfig, SimulationConfig
-from repro.sim.et_sim import run_simulation
+from repro.config import PlatformConfig, SimulationConfig, WorkloadConfig
+from repro.orchestration import SweepPoint
 
-Q_VALUES = (1.0, 1.1, 1.3, 1.6, 2.0, 3.0)
+Q_VALUES = (1.0, 1.6) if SMOKE else (1.0, 1.1, 1.3, 1.6, 2.0, 3.0)
+WIDTH = 4 if SMOKE else 5
 
 
-def run_q_sweep():
-    rows = []
-    for q in Q_VALUES:
-        config = SimulationConfig(
-            platform=PlatformConfig(mesh_width=5),
-            routing="ear",
-            weight_q=q,
+def _points():
+    workload = WorkloadConfig(max_jobs=bench_cap())
+    return [
+        SweepPoint(
+            label=f"q{q:g}",
+            config=SimulationConfig(
+                platform=PlatformConfig(mesh_width=WIDTH),
+                routing="ear",
+                weight_q=q,
+                workload=workload,
+            ),
+            params={"q": q},
         )
-        stats = run_simulation(config)
+        for q in Q_VALUES
+    ]
+
+
+def run_q_sweep(runner):
+    rows = []
+    for record in runner.run(_points()):
+        summary = record.summary
         rows.append(
             (
-                q,
-                round(stats.jobs_fractional, 1),
-                stats.total_hops,
-                round(stats.wasted_at_death_pj / 1e3, 1),
-                round(stats.stranded_alive_pj / 1e3, 1),
+                record.params["q"],
+                round(summary["jobs_fractional"], 1),
+                summary["total_hops"],
+                round(summary["wasted_at_death_pj"] / 1e3, 1),
+                round(summary["stranded_alive_pj"] / 1e3, 1),
             )
         )
     return rows
 
 
-def test_ablation_weighting(benchmark, reporter):
-    rows = benchmark.pedantic(run_q_sweep, rounds=1, iterations=1)
+def test_ablation_weighting(benchmark, reporter, sweep_runner):
+    rows = benchmark.pedantic(
+        run_q_sweep, args=(sweep_runner,), rounds=1, iterations=1
+    )
     table = format_table(
         [
             "Q",
@@ -46,11 +65,17 @@ def test_ablation_weighting(benchmark, reporter):
             "stranded alive (nJ)",
         ],
         rows,
-        title="Ablation — EAR weighting constant Q (5x5 mesh, thin-film)",
+        title=(
+            f"Ablation — EAR weighting constant Q "
+            f"({WIDTH}x{WIDTH} mesh, thin-film)"
+        ),
     )
     reporter.add("Ablation Q sweep", table)
 
     jobs = {row[0]: row[1] for row in rows}
+    if SMOKE:
+        assert all(v > 0 for v in jobs.values())
+        return  # the Q plateau needs uncapped runs
     # Q=1 is SDR-equivalent: far below any energy-aware setting.
     assert jobs[1.0] < 0.5 * jobs[1.6]
     # The default (1.6) sits on the useful plateau of the sweep.

@@ -41,8 +41,10 @@ def test_routing_runtime_8x8(benchmark, reporter):
     benchmark(engine.compute_plan, view)
 
     # Scaling table across mesh sizes, measured once each.
+    from bench_plumbing import bench_widths
+
     rows = []
-    for width in (4, 8, 12, 16):
+    for width in bench_widths((4, 8, 12, 16), smoke=(4, 8)):
         sample_view = make_view(width)
         start = time.perf_counter()
         repeats = 5

@@ -8,6 +8,13 @@ happened, including the comparison against the SDR baseline and against
 Theorem 1's analytical bound.
 
 Run:  python examples/quickstart.py
+
+For whole sweep grids (the paper's Fig 7/8 and Table 2 plus larger
+extension scenarios), use the orchestration CLI instead — it fans
+points over worker processes and caches finished results:
+
+    PYTHONPATH=src python -m repro bench --smoke          # tiny CI grid
+    PYTHONPATH=src python -m repro bench --scenario fig7 --workers 0 --cache
 """
 
 from repro import (

@@ -10,7 +10,7 @@ distributed execution trivially checkable against the monolithic cipher.
 
 from __future__ import annotations
 
-from .gf import gf_dot
+from .gf import gf_mul
 from .sbox import INV_SBOX, SBOX
 from .state import BLOCK_BYTES, NB, validate_block
 
@@ -29,6 +29,17 @@ _INV_MIX_ROWS = (
     (0x0D, 0x09, 0x0E, 0x0B),
     (0x0B, 0x0D, 0x09, 0x0E),
 )
+
+#: Precomputed GF(2^8) multiplication rows for the fixed (Inv)MixColumns
+#: coefficients, built once from the first-principles :func:`gf_mul` (the
+#: test suite verifies the two against each other).  MixColumns runs
+#: inside every simulated act of computation, so the simulator hot path
+#: reduces to table lookups and XORs.
+_MUL_TABLE: dict[int, tuple[int, ...]] = {
+    coeff: tuple(gf_mul(coeff, value) for value in range(256))
+    for row in _MIX_ROWS + _INV_MIX_ROWS
+    for coeff in row
+}
 
 
 def sub_bytes(block: bytes) -> bytes:
@@ -79,10 +90,18 @@ def inv_sub_bytes_shift_rows(block: bytes) -> bytes:
 
 def _mix_with(block: bytes, rows: tuple[tuple[int, ...], ...]) -> bytes:
     out = bytearray(BLOCK_BYTES)
+    tables = _MUL_TABLE
     for c in range(NB):
-        column = tuple(block[r + 4 * c] for r in range(4))
+        base = 4 * c
+        b0, b1, b2, b3 = block[base : base + 4]
         for r in range(4):
-            out[r + 4 * c] = gf_dot(rows[r], column)
+            m0, m1, m2, m3 = rows[r]
+            out[base + r] = (
+                tables[m0][b0]
+                ^ tables[m1][b1]
+                ^ tables[m2][b2]
+                ^ tables[m3][b3]
+            )
     return bytes(out)
 
 

@@ -45,6 +45,11 @@ class DischargeProfile:
             raise ConfigurationError("profile voltage must be non-increasing")
         if volts[-1] < 0:
             raise ConfigurationError("profile voltage must be non-negative")
+        # voltage_at sits on the simulator's per-draw hot path; keep the
+        # knot abscissae ready instead of rebuilding them every call.
+        # (object.__setattr__ because the dataclass is frozen; the cache
+        # is not a field, so equality/serialisation are unaffected.)
+        object.__setattr__(self, "_dods", tuple(dods))
 
     @property
     def full_voltage(self) -> float:
@@ -66,8 +71,7 @@ class DischargeProfile:
             return self.full_voltage
         if dod >= 1.0:
             return self.empty_voltage
-        dods = [p[0] for p in self.points]
-        idx = bisect.bisect_right(dods, dod)
+        idx = bisect.bisect_right(self._dods, dod)
         (d0, v0), (d1, v1) = self.points[idx - 1], self.points[idx]
         frac = (dod - d0) / (d1 - d0)
         return v0 + frac * (v1 - v0)

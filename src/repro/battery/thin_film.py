@@ -160,21 +160,28 @@ class ThinFilmBattery(Battery):
         """Voltage of the cell with the load removed."""
         return self._p.profile.voltage_at(self.depth_of_discharge)
 
-    @property
-    def smoothed_current_ma(self) -> float:
-        """Exponentially averaged load current in mA."""
-        ocv = self.open_circuit_voltage
+    def _current_ma(self, ocv: float) -> float:
+        """Smoothed load current at a known open-circuit voltage."""
         if ocv <= 0:
             return 0.0
         return self._ema_power * _PJ_PER_CYCLE_TO_MW / ocv
+
+    def _loaded_voltage(self, ocv: float) -> float:
+        """IR-sagged output voltage at a known open-circuit voltage."""
+        sag = self._current_ma(ocv) * self._p.internal_resistance_ohm / 1e3
+        return max(0.0, ocv - sag)
+
+    @property
+    def smoothed_current_ma(self) -> float:
+        """Exponentially averaged load current in mA."""
+        return self._current_ma(self.open_circuit_voltage)
 
     @property
     def voltage(self) -> float:
         """Loaded output voltage ``V_oc - I_ema * R`` (0 when dead)."""
         if not self._alive:
             return 0.0
-        sag = self.smoothed_current_ma * self._p.internal_resistance_ohm / 1e3
-        return max(0.0, self.open_circuit_voltage - sag)
+        return self._loaded_voltage(self.open_circuit_voltage)
 
     # ------------------------------------------------------------------
     # Discrete-time dynamics
@@ -182,11 +189,6 @@ class ThinFilmBattery(Battery):
     def _update_ema(self, power_pj_per_cycle: float, duration_cycles: float) -> None:
         alpha = 1.0 - math.exp(-duration_cycles / self._p.ema_window_cycles)
         self._ema_power += alpha * (power_pj_per_cycle - self._ema_power)
-
-    def _penalty(self) -> float:
-        current = self.smoothed_current_ma
-        ratio = current / self._p.reference_current_ma
-        return 1.0 + self._p.rate_penalty_coeff * ratio ** self._p.rate_penalty_exponent
 
     def draw(self, energy_pj: float, duration_cycles: float) -> DrawResult:
         self._guard_alive()
@@ -200,7 +202,15 @@ class ThinFilmBattery(Battery):
             return DrawResult(0.0, 0.0, died=False, voltage=self.voltage)
 
         self._update_ema(energy_pj / duration_cycles, duration_cycles)
-        penalty = self._penalty()
+        # Evaluate the discharge curve once per state: the pre-draw OCV
+        # feeds the rate penalty, the post-draw OCV feeds sag and death.
+        ocv_before = self.open_circuit_voltage
+        ratio = self._current_ma(ocv_before) / self._p.reference_current_ma
+        penalty = (
+            1.0
+            + self._p.rate_penalty_coeff
+            * ratio ** self._p.rate_penalty_exponent
+        )
         charge_needed = energy_pj * penalty
         available = self._p.capacity_pj - self._consumed
 
@@ -213,12 +223,13 @@ class ThinFilmBattery(Battery):
             self._consumed += charge_needed
         self._delivered += delivered
 
-        loaded_voltage = self.voltage
+        ocv_after = self.open_circuit_voltage
+        loaded_voltage = self._loaded_voltage(ocv_after)
         voltage_death = (
             not self._p.allow_recovery
             and loaded_voltage < self._p.cutoff_voltage
         )
-        ocv_death = self.open_circuit_voltage < self._p.cutoff_voltage
+        ocv_death = ocv_after < self._p.cutoff_voltage
         died = exhausted or voltage_death or ocv_death
         if died:
             self._alive = False

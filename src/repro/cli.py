@@ -4,7 +4,9 @@ Subcommands:
 
 * ``bound``         — evaluate Theorem 1 for a mesh size.
 * ``simulate``      — run one et_sim simulation and print the summary.
-* ``sweep``         — the Fig 7 EAR-vs-SDR sweep.
+* ``sweep``         — the Fig 7 EAR-vs-SDR sweep (parallel, cacheable).
+* ``bench``         — run registered sweep scenarios through the
+  orchestration layer (``--smoke`` is the CI entry point).
 * ``battery-curve`` — print the thin-film discharge curve (Fig 2).
 * ``mapping``       — print the module mapping of a mesh (Fig 3b).
 """
@@ -14,12 +16,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from .analysis.tables import format_table
 from .analysis.theory import bound_for
 from .battery.thin_film import ThinFilmBattery, ThinFilmParameters
 from .config import PlatformConfig, SimulationConfig, WorkloadConfig
 from .mesh.geometry import node_id
+from .orchestration import (
+    SweepCache,
+    build_scenario,
+    make_runner,
+    scenarios,
+)
 from .sim.et_sim import run_simulation
 from .version import PAPER_CITATION, __version__
 
@@ -76,17 +85,45 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_runner(args: argparse.Namespace):
+    """Build the sweep executor selected by --workers/--cache-dir."""
+    cache = None
+    if getattr(args, "cache_dir", None) is not None:
+        cache = SweepCache(args.cache_dir)
+    elif getattr(args, "cache", False):
+        cache = SweepCache()
+    return make_runner(getattr(args, "workers", 1), cache=cache)
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes (1 = sequential, 0 = all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache finished points under DIR (reruns become no-ops)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="cache under the default directory "
+        "($ETSIM_CACHE_DIR or .etsim_cache)",
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.sweep import sweep_mesh_sizes
 
     base = SimulationConfig()
     widths = tuple(range(args.min_mesh, args.max_mesh + 1))
-    results = sweep_mesh_sizes(base, widths=widths)
+    results = sweep_mesh_sizes(
+        base, widths=widths, runner=_make_runner(args)
+    )
     by_mesh: dict[str, dict[str, float]] = {}
     for result in results:
         mesh = result.params["mesh"]
         by_mesh.setdefault(mesh, {})[result.params["routing"]] = (
-            result.stats.jobs_fractional
+            result.jobs_fractional
         )
     rows = [
         (
@@ -104,6 +141,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title="EAR vs SDR (paper Fig 7)",
         )
     )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.list:
+        rows = [
+            (entry.name, entry.description)
+            for entry in scenarios().values()
+        ]
+        print(format_table(["scenario", "description"], rows,
+                           title="registered sweep scenarios"))
+        return 0
+    names = args.scenario or list(scenarios())
+    scale = "smoke" if args.smoke else args.scale
+    runner = _make_runner(args)
+    cache = runner.cache
+    emitted: dict[str, list[dict]] = {}
+    start = time.perf_counter()
+    for name in names:
+        points = build_scenario(name, scale=scale)
+        records = runner.run(points)
+        emitted[name] = [record.record() for record in records]
+        if not args.json:
+            rows = [
+                (
+                    record.label,
+                    record.summary["jobs_fractional"],
+                    record.summary["lifetime_frames"],
+                    record.summary["death_cause"],
+                    "cached" if record.cached else "ran",
+                )
+                for record in records
+            ]
+            print(format_table(
+                ["point", "jobs", "frames", "death", "source"],
+                rows,
+                title=f"scenario {name} ({scale})",
+            ))
+            print()
+    elapsed = time.perf_counter() - start
+    if args.json:
+        print(json.dumps(emitted, indent=2, sort_keys=True))
+    else:
+        line = f"{sum(len(v) for v in emitted.values())} points in {elapsed:.1f}s"
+        if cache is not None:
+            line += (
+                f" — cache: {cache.hits} hit(s), {cache.misses} miss(es)"
+                f" at {cache.directory}"
+            )
+        print(line)
     return 0
 
 
@@ -190,7 +277,33 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="EAR vs SDR across mesh sizes")
     sweep.add_argument("--min-mesh", type=int, default=4)
     sweep.add_argument("--max-mesh", type=int, default=8)
+    _add_runner_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run registered sweep scenarios (cached, parallelisable)",
+    )
+    bench.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="scenario to run (repeatable; default: all registered)",
+    )
+    bench.add_argument(
+        "--scale", choices=("smoke", "quick", "full"), default="full",
+        help="grid scale (default full = the paper's grids)",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="shorthand for --scale smoke (the CI entry point)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="emit records as JSON"
+    )
+    _add_runner_arguments(bench)
+    bench.set_defaults(func=_cmd_bench)
 
     curve = sub.add_parser(
         "battery-curve", help="thin-film discharge curve"

@@ -11,6 +11,7 @@ table downloaded to the nodes over the TDMA medium.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -45,24 +46,41 @@ class RoutingPlan:
     def num_nodes(self) -> int:
         return int(self.distances.shape[0])
 
+    # The engines query destinations/successors once per hop of every
+    # simulated packet; plain nested lists answer those scalar lookups
+    # several times faster than numpy element access, so both tables are
+    # converted once per computed plan (plans are immutable).
+    @cached_property
+    def _destination_rows(self) -> list[list[int]]:
+        return self.destinations.tolist()
+
+    @cached_property
+    def _successor_rows(self) -> list[list[int]]:
+        return self.successors.tolist()
+
     def destination(self, node: int, module: int) -> int:
         """Chosen duplicate of ``module`` for a job at ``node``.
 
         Raises :class:`UnreachableModuleError` when no live duplicate is
         reachable — the paper's system-death condition.
         """
-        dest = int(self.destinations[node, module])
+        dest = self._destination_rows[node][module]
         if dest == NO_DESTINATION:
             raise UnreachableModuleError(module, origin=node)
         return dest
 
     def has_destination(self, node: int, module: int) -> bool:
         """True when some live duplicate of ``module`` is reachable."""
-        return int(self.destinations[node, module]) != NO_DESTINATION
+        return self._destination_rows[node][module] != NO_DESTINATION
+
+    def successor(self, node: int, destination: int) -> int:
+        """Raw successor entry (:data:`~repro.core.floyd_warshall.NO_SUCCESSOR`
+        when there is none)."""
+        return self._successor_rows[node][destination]
 
     def next_hop(self, node: int, destination: int) -> int:
         """Next hop from ``node`` toward ``destination``."""
-        hop = int(self.successors[node, destination])
+        hop = self._successor_rows[node][destination]
         if hop == NO_SUCCESSOR:
             raise RoutingError(
                 f"no successor from {node} toward {destination}"

@@ -1,0 +1,138 @@
+"""Content-addressed result cache for sweep points.
+
+A finished sweep point is summarised by a plain JSON record (the
+``SimulationStats.summary()`` dict plus the point's labels).  Because a
+run is fully determined by its :class:`~repro.config.SimulationConfig`,
+the SHA-256 hash of the canonical JSON form of that configuration is a
+sound cache key: repeated benchmark or CI invocations of the same grid
+load the stored records instead of re-simulating.
+
+Invalidation is by construction: any change to a configuration value
+changes the key, and :data:`CACHE_SCHEMA_VERSION` is mixed into every
+key so that simulator-behaviour changes can globally invalidate old
+entries with a one-line bump.  Entries are one file per key, written
+atomically, so concurrent workers and parallel CI jobs can share a
+cache directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+from ..config import SimulationConfig
+
+#: Bump when simulator behaviour changes in a way that invalidates
+#: previously cached summaries (engine semantics, summary fields, ...).
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "ETSIM_CACHE_DIR"
+
+#: Default cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".etsim_cache"
+
+
+def config_hash(config: SimulationConfig) -> str:
+    """Stable content hash of one simulation configuration."""
+    payload = json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION, "config": config.to_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The cache directory: ``$ETSIM_CACHE_DIR`` or ``.etsim_cache``."""
+    return pathlib.Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+class SweepCache:
+    """Disk-backed config-hash -> summary-record store.
+
+    Args:
+        directory: Cache directory; created lazily on first store.
+            ``None`` selects :func:`default_cache_dir`.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self.directory = pathlib.Path(
+            directory if directory is not None else default_cache_dir()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.json"
+
+    def lookup(self, key: str) -> dict | None:
+        """Stored record for ``key``; None (and a miss) when absent."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if record.get("schema") != CACHE_SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def store(self, key: str, record: dict) -> None:
+        """Atomically persist one finished point's record."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = dict(record)
+        payload["schema"] = CACHE_SCHEMA_VERSION
+        # Write-then-rename keeps readers (other workers, parallel CI
+        # jobs) from ever observing a torn file.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(
+            1
+            for p in self.directory.iterdir()
+            if p.suffix == ".json" and not p.name.startswith(".tmp-")
+        )
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed.
+
+        In-progress ``.tmp-*`` files are left alone (same predicate as
+        ``__len__``): a concurrent writer mid-``store`` must still be
+        able to complete its rename.
+        """
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.iterdir():
+                if path.suffix == ".json" and not path.name.startswith(
+                    ".tmp-"
+                ):
+                    path.unlink(missing_ok=True)
+                    removed += 1
+        return removed
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,287 @@
+"""Scenario registry: programmatic generation of sweep grids.
+
+Each scenario turns a scale (``smoke`` / ``quick`` / ``full``) into the
+list of :class:`~repro.orchestration.runner.SweepPoint` it evaluates:
+
+* the paper's own grids — ``fig7`` (mesh x routing), ``fig8``
+  (mesh x controller count), ``table2`` (ideal-battery bounds);
+* extensions the paper's machinery makes natural — ``large-mesh``
+  (beyond the paper's 8x8), ``mixed-workload`` (concurrent jobs with
+  per-point derived seeds), ``battery-ablation`` (capacity scaling).
+
+``smoke`` grids are sized for CI (seconds, bounded job counts),
+``full`` grids reproduce the paper's figures.  Grid builders are also
+exported directly (:func:`mesh_routing_grid`, :func:`controller_grid`)
+for callers composing their own sweeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+from .runner import SweepPoint
+
+#: Recognised grid scales.
+SCALES = ("smoke", "quick", "full")
+
+#: Builder signature: (scale, base config) -> sweep points.
+ScenarioBuilder = Callable[[str, SimulationConfig], list[SweepPoint]]
+
+
+def derive_seed(base_seed: int, label: str) -> int:
+    """Deterministic per-point seed: stable across runs, processes and
+    worker counts (no dependence on execution order)."""
+    digest = hashlib.sha256(f"{base_seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def _check_scale(scale: str) -> None:
+    if scale not in SCALES:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; expected one of {SCALES}"
+        )
+
+
+def _cap_jobs(config: SimulationConfig, max_jobs: int) -> SimulationConfig:
+    return replace(
+        config, workload=replace(config.workload, max_jobs=max_jobs)
+    )
+
+
+# ----------------------------------------------------------------------
+# Reusable grid builders
+# ----------------------------------------------------------------------
+def mesh_routing_grid(
+    base: SimulationConfig,
+    widths: tuple[int, ...],
+    routings: tuple[str, ...] = ("ear", "sdr"),
+) -> list[SweepPoint]:
+    """The Fig 7 shape: mesh width x routing algorithm."""
+    points = []
+    for width in widths:
+        for routing in routings:
+            config = replace(
+                base,
+                platform=replace(base.platform, mesh_width=width),
+                routing=routing,
+            )
+            points.append(
+                SweepPoint(
+                    label=f"{width}x{width}/{routing}",
+                    config=config,
+                    params={"mesh": f"{width}x{width}", "routing": routing},
+                )
+            )
+    return points
+
+
+def controller_grid(
+    base: SimulationConfig,
+    widths: tuple[int, ...],
+    controller_counts: tuple[int, ...],
+) -> list[SweepPoint]:
+    """The Fig 8 shape: mesh width x finite-battery controller count."""
+    points = []
+    for count in controller_counts:
+        for width in widths:
+            control = replace(
+                base.control,
+                num_controllers=count,
+                controller_battery="thin-film",
+            )
+            config = replace(
+                base,
+                platform=replace(base.platform, mesh_width=width),
+                control=control,
+            )
+            points.append(
+                SweepPoint(
+                    label=f"{width}x{width}/{count}ctl",
+                    config=config,
+                    params={
+                        "mesh": f"{width}x{width}",
+                        "controllers": count,
+                    },
+                )
+            )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """A named, scale-aware sweep grid generator."""
+
+    name: str
+    description: str
+    builder: ScenarioBuilder
+
+    def build(
+        self, scale: str = "full", base: SimulationConfig | None = None
+    ) -> list[SweepPoint]:
+        _check_scale(scale)
+        return self.builder(
+            scale, base if base is not None else SimulationConfig()
+        )
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def scenario(name: str, description: str):
+    """Decorator registering a scenario builder under ``name``."""
+
+    def register(builder: ScenarioBuilder) -> ScenarioBuilder:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = Scenario(name, description, builder)
+        return builder
+
+    return register
+
+
+def scenarios() -> dict[str, Scenario]:
+    """All registered scenarios, keyed by name."""
+    return dict(_REGISTRY)
+
+
+def scenario_names() -> tuple[str, ...]:
+    return tuple(_REGISTRY)
+
+
+def build_scenario(
+    name: str,
+    scale: str = "full",
+    base: SimulationConfig | None = None,
+) -> list[SweepPoint]:
+    """Generate the sweep points of the named scenario."""
+    try:
+        entry = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: {', '.join(_REGISTRY)}"
+        ) from None
+    return entry.build(scale, base)
+
+
+# ----------------------------------------------------------------------
+# Paper grids
+# ----------------------------------------------------------------------
+@scenario("fig7", "Fig 7: jobs under EAR vs SDR across mesh sizes")
+def _fig7(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    widths = {"smoke": (4,), "quick": (4, 5), "full": (4, 5, 6, 7, 8)}[scale]
+    if scale == "smoke":
+        base = _cap_jobs(base, 8)
+    return mesh_routing_grid(base, widths)
+
+
+@scenario("fig8", "Fig 8: lifetime vs controller count across mesh sizes")
+def _fig8(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    widths = {"smoke": (4,), "quick": (4, 5), "full": (4, 5, 6, 7, 8)}[scale]
+    counts = {"smoke": (1, 2), "quick": (1, 2, 4), "full": (1, 2, 4, 7, 10)}[
+        scale
+    ]
+    if scale == "smoke":
+        base = _cap_jobs(base, 8)
+    return controller_grid(base, widths, counts)
+
+
+@scenario("table2", "Table 2: EAR under the ideal battery (bound ratios)")
+def _table2(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    widths = {"smoke": (4,), "quick": (4, 5), "full": (4, 5, 6, 7, 8)}[scale]
+    if scale == "smoke":
+        base = _cap_jobs(base, 8)
+    base = replace(
+        base, platform=replace(base.platform, battery_model="ideal")
+    )
+    return mesh_routing_grid(base, widths, routings=("ear",))
+
+
+# ----------------------------------------------------------------------
+# Extensions beyond the paper
+# ----------------------------------------------------------------------
+@scenario("large-mesh", "EAR vs SDR beyond the paper's 8x8 meshes")
+def _large_mesh(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    widths = {"smoke": (6,), "quick": (10,), "full": (10, 12, 16)}[scale]
+    # Larger fabrics are job-capped even at full scale: the point is
+    # routing behaviour at scale, not multi-minute runs to system death.
+    caps = {"smoke": 8, "quick": 40, "full": 120}
+    base = _cap_jobs(base, caps[scale])
+    return mesh_routing_grid(base, widths)
+
+
+@scenario("mixed-workload", "concurrent jobs at varying concurrency")
+def _mixed_workload(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    widths = {"smoke": (4,), "quick": (4, 5), "full": (4, 5, 6)}[scale]
+    levels = {"smoke": (2,), "quick": (2, 4), "full": (2, 4, 8)}[scale]
+    caps = {"smoke": 8, "quick": 30, "full": 60}
+    points = []
+    for width in widths:
+        for concurrency in levels:
+            label = f"{width}x{width}/c{concurrency}"
+            workload = replace(
+                base.workload,
+                kind="concurrent",
+                concurrency=concurrency,
+                max_jobs=caps[scale],
+                seed=derive_seed(base.workload.seed, label),
+            )
+            config = replace(
+                base,
+                platform=replace(base.platform, mesh_width=width),
+                workload=workload,
+            )
+            points.append(
+                SweepPoint(
+                    label=label,
+                    config=config,
+                    params={
+                        "mesh": f"{width}x{width}",
+                        "concurrency": concurrency,
+                    },
+                )
+            )
+    return points
+
+
+@scenario("battery-ablation", "EAR vs SDR across battery capacities")
+def _battery_ablation(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    factors = {
+        "smoke": (0.5, 1.0),
+        "quick": (0.5, 1.0, 2.0),
+        "full": (0.25, 0.5, 1.0, 2.0, 4.0),
+    }[scale]
+    width = 4 if scale == "smoke" else 5
+    if scale == "smoke":
+        base = _cap_jobs(base, 8)
+    points = []
+    for factor in factors:
+        capacity = base.platform.battery_capacity_pj * factor
+        for routing in ("ear", "sdr"):
+            config = replace(
+                base,
+                platform=replace(
+                    base.platform,
+                    mesh_width=width,
+                    battery_capacity_pj=capacity,
+                ),
+                routing=routing,
+            )
+            points.append(
+                SweepPoint(
+                    label=f"B{factor:g}/{routing}",
+                    config=config,
+                    params={
+                        "capacity_factor": factor,
+                        "capacity_pj": capacity,
+                        "routing": routing,
+                    },
+                )
+            )
+    return points

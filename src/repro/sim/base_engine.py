@@ -73,6 +73,9 @@ class EngineBase:
         self.link_model = platform.link_energy_model()
         self.lengths = self.topology.length_matrix()
         self.hop_cycles = self.link_model.hop_cycles()
+        # Per-hop packet energy depends only on the (static) line length,
+        # and _transmit sits on the per-hop hot path: memoise by length.
+        self._hop_energy_by_length: dict[float, float] = {}
 
         # --- control --------------------------------------------------------
         self.schedule = config.control.make_schedule(self.num_mesh_nodes)
@@ -97,6 +100,9 @@ class EngineBase:
             self.tracker.observe(node, _AliveFull())
 
         # --- bookkeeping ------------------------------------------------------
+        #: Live node ids, maintained incrementally by on_node_death so
+        #: reachability checks never rescan every battery.
+        self._alive_set: set[int] = set(self.nodes)
         self.ledger = EnergyLedger(self.topology.num_nodes)
         self.factory = JobFactory(
             key=config.workload.aes_key,
@@ -184,10 +190,11 @@ class EngineBase:
     # ------------------------------------------------------------------
     def on_node_death(self, node: int) -> None:
         """Hook invoked the moment a node's battery dies."""
+        self._alive_set.discard(node)
         self.ledger.mark_death(node, self.frames_done)
 
     def _alive_ids(self) -> set[int]:
-        return {n for n, unit in self.nodes.items() if unit.alive}
+        return set(self._alive_set)
 
     def _check_reachability(self, origin: int, cause: str) -> None:
         """Raise system death if some module is unreachable from origin."""
@@ -202,9 +209,11 @@ class EngineBase:
 
     def _transmit(self, sender: int, receiver: int, holder: int) -> bool:
         """One hop; returns False when the sender died mid-transmit."""
-        energy = self.link_model.hop_energy_pj(
-            float(self.lengths[sender, receiver])
-        )
+        length = float(self.lengths[sender, receiver])
+        energy = self._hop_energy_by_length.get(length)
+        if energy is None:
+            energy = self.link_model.hop_energy_pj(length)
+            self._hop_energy_by_length[length] = energy
         unit = self.nodes[sender]
         result = unit.draw(energy, self.hop_cycles)
         if unit.has_infinite_supply:

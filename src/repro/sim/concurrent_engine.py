@@ -75,6 +75,15 @@ class ConcurrentEngine(EngineBase):
         self.jobs_completed = 0
         self._slot = 0
         self._stall_slots = 0
+        #: Packets resident in buffers or mid-computation, maintained
+        #: incrementally (inject/complete/lose/drop) so the per-slot
+        #: loop never rescans every buffer.
+        self._in_flight = 0
+        # Per-slot contention sets and the service order are reused
+        # across slots instead of being reallocated ~once per cycle.
+        self._used_links: set[tuple[int, int]] = set()
+        self._used_receivers: set[int] = set()
+        self._service_order = list(self.buffers)
 
     # ------------------------------------------------------------------
     # Death hook: resident packets die with their node
@@ -87,6 +96,7 @@ class ConcurrentEngine(EngineBase):
             self.computing.pop(node)
             dropped += 1
         self.jobs_lost += dropped
+        self._in_flight -= dropped
 
     # ------------------------------------------------------------------
     # Per-slot behaviour
@@ -94,16 +104,15 @@ class ConcurrentEngine(EngineBase):
     def _inject_jobs(self) -> None:
         """Keep ``concurrency`` jobs in flight (closed-loop workload)."""
         target = self.config.workload.concurrency
-        in_flight = sum(len(q) for q in self.buffers.values()) + len(
-            self.computing
-        )
-        while in_flight < target:
+        while self._in_flight < target:
             job = self.factory.next_job()
             self.buffers[self.source].append(_Packet(job))
-            in_flight += 1
+            self._in_flight += 1
 
     def _finish_computations(self) -> bool:
         """Apply operations whose latency elapsed; True if any finished."""
+        if not self.computing:
+            return False
         finished = [
             node
             for node, (_, done_at) in self.computing.items()
@@ -126,6 +135,7 @@ class ConcurrentEngine(EngineBase):
             return False
         self._complete_job(packet.job)
         self.buffers[node].popleft()
+        self._in_flight -= 1
         return True
 
     def _complete_job(self, job: Job) -> None:
@@ -233,6 +243,7 @@ class ConcurrentEngine(EngineBase):
         else:
             # Sender died mid-transmit: the packet is lost with it.
             self.jobs_lost += 1
+            self._in_flight -= 1
         return True
 
     def _step_node(
@@ -261,8 +272,9 @@ class ConcurrentEngine(EngineBase):
             if node == self.source:
                 self._complete_job(packet.job)
                 self.buffers[node].popleft()
+                self._in_flight -= 1
                 return True
-            successor = int(plan.successors[node, self.source])
+            successor = plan.successor(node, self.source)
             if successor < 0:
                 if not self._source_reachable_from(node):
                     raise SystemDead("source-cut")
@@ -304,25 +316,26 @@ class ConcurrentEngine(EngineBase):
         """Run the closed-loop workload to system death and summarise."""
         self.control.bootstrap()
         death = "unknown"
+        order = self._service_order
+        count = len(order)
+        used_links = self._used_links
+        used_receivers = self._used_receivers
         try:
             while True:
                 self._inject_jobs()
                 progressed = self._finish_computations()
-                used_links: set[tuple[int, int]] = set()
-                used_receivers: set[int] = set()
-                # Rotate the service order across slots for fairness.
-                order = list(self.buffers)
-                offset = self._slot % max(1, len(order))
-                order = order[offset:] + order[:offset]
-                for node in order:
+                used_links.clear()
+                used_receivers.clear()
+                # Rotate the service order across slots for fairness
+                # (modular indexing; no per-slot list rebuilds).
+                offset = self._slot % count
+                for position in range(count):
+                    node = order[(position + offset) % count]
                     if self._step_node(node, used_links, used_receivers):
                         progressed = True
-                in_flight = sum(
-                    len(q) for q in self.buffers.values()
-                ) + len(self.computing)
                 if progressed or self.computing:
                     self._stall_slots = 0
-                elif in_flight:
+                elif self._in_flight:
                     self._stall_slots += 1
                     if self._stall_slots > STALL_LIMIT_SLOTS:
                         raise SystemDead("stalled")

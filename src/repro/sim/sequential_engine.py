@@ -102,7 +102,7 @@ class SequentialEngine(EngineBase):
         hop_guard = HOP_GUARD_FACTOR * self.topology.num_nodes
         while current != self.source:
             plan = self.control.plan
-            successor = int(plan.successors[current, self.source])
+            successor = plan.successor(current, self.source)
             if successor == NO_DESTINATION or not self.nodes[successor].alive:
                 if not self._source_reachable_from(current):
                     raise SystemDead("source-cut")

@@ -222,8 +222,11 @@ class SimulationStats:
             ),
             "wasted_at_death_pj": round(self.wasted_at_death_pj, 1),
             "stranded_alive_pj": round(self.stranded_alive_pj, 1),
+            "conversion_loss_pj": round(self.conversion_loss_pj, 1),
+            "total_hops": self.total_hops,
             "recomputes": self.recompute_count,
             "op_retries": self.op_retries,
             "deadlocks_reported": self.deadlocks_reported,
+            "deadlocks_recovered": self.deadlocks_recovered,
             "verification_failures": self.verification_failures,
         }

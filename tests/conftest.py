@@ -40,34 +40,6 @@ def full_view(mesh4, mapping4):
     )
 
 
-def make_view(
-    topology,
-    mapping,
-    alive=None,
-    levels_vector=None,
-    levels: int = 8,
-    blocked=frozenset(),
-):
-    """Helper for tests that need custom views."""
-    size = topology.num_nodes
-    alive_vec = (
-        np.ones(size, dtype=bool) if alive is None else np.asarray(alive)
-    )
-    level_vec = (
-        np.full(size, levels - 1, dtype=int)
-        if levels_vector is None
-        else np.asarray(levels_vector)
-    )
-    return NetworkView(
-        lengths=topology.length_matrix(),
-        alive=alive_vec,
-        battery_levels=level_vec,
-        levels=levels,
-        mapping=mapping,
-        blocked_ports=blocked,
-    )
-
-
 @pytest.fixture
 def small_sim_config():
     """A fast-to-run 4x4 simulation configuration."""

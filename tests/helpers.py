@@ -1,0 +1,42 @@
+"""Plain-function helpers shared across the test suite.
+
+Kept out of ``conftest.py`` so test modules can import them normally
+(``from helpers import make_view``) instead of reaching into pytest's
+conftest machinery with relative imports, which breaks collection when
+the test tree is not a package.  The ``tests`` directory is on
+``pythonpath`` via ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.view import NetworkView
+
+
+def make_view(
+    topology,
+    mapping,
+    alive=None,
+    levels_vector=None,
+    levels: int = 8,
+    blocked=frozenset(),
+):
+    """Helper for tests that need custom views."""
+    size = topology.num_nodes
+    alive_vec = (
+        np.ones(size, dtype=bool) if alive is None else np.asarray(alive)
+    )
+    level_vec = (
+        np.full(size, levels - 1, dtype=int)
+        if levels_vector is None
+        else np.asarray(levels_vector)
+    )
+    return NetworkView(
+        lengths=topology.length_matrix(),
+        alive=alive_vec,
+        battery_levels=level_vec,
+        levels=levels,
+        mapping=mapping,
+        blocked_ports=blocked,
+    )

@@ -4,7 +4,6 @@ protocol, reporting, and the concurrent engine's recovery mechanics."""
 import pytest
 
 from repro.config import (
-    ControlConfig,
     PlatformConfig,
     SimulationConfig,
     WorkloadConfig,

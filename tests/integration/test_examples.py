@@ -7,8 +7,6 @@ take tens of seconds and are exercised implicitly by the benches).
 import runpy
 import sys
 
-import pytest
-
 EXAMPLES_DIR = "examples"
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the TDMA control mechanism (repro.control)."""
 
-import numpy as np
 import pytest
 
 from repro.battery.ideal import IdealBattery

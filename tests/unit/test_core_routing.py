@@ -4,6 +4,7 @@ engines (repro.core)."""
 import numpy as np
 import pytest
 
+from helpers import make_view
 from repro.core.engines import (
     EnergyAwareRouting,
     ShortestDistanceRouting,
@@ -28,10 +29,6 @@ from repro.errors import (
     UnreachableModuleError,
 )
 from repro.mesh.geometry import node_id
-from repro.mesh.mapping import checkerboard_mapping
-from repro.mesh.topology import mesh2d
-
-from ..conftest import make_view
 
 
 class TestWeightFunction:

@@ -1,0 +1,223 @@
+"""Unit tests for the orchestration layer: cache, runner, scenarios."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import PlatformConfig, SimulationConfig, WorkloadConfig
+from repro.errors import ConfigurationError
+from repro.orchestration import (
+    ParallelSweepRunner,
+    SequentialSweepRunner,
+    SweepCache,
+    SweepPoint,
+    build_scenario,
+    config_hash,
+    derive_seed,
+    scenario_names,
+    scenarios,
+)
+from repro.orchestration import cache as cache_module
+from repro.orchestration import runner as runner_module
+
+
+def tiny_config(**kwargs):
+    return SimulationConfig(
+        platform=PlatformConfig(mesh_width=4),
+        workload=WorkloadConfig(max_jobs=2, max_frames=20_000),
+        **kwargs,
+    )
+
+
+def tiny_points():
+    return [
+        SweepPoint("ear", tiny_config(routing="ear"), {"routing": "ear"}),
+        SweepPoint("sdr", tiny_config(routing="sdr"), {"routing": "sdr"}),
+    ]
+
+
+class TestConfigHash:
+    def test_stable_across_instances(self):
+        assert config_hash(tiny_config()) == config_hash(tiny_config())
+
+    def test_sensitive_to_any_knob(self):
+        base = tiny_config()
+        variants = [
+            tiny_config(routing="sdr"),
+            tiny_config(weight_q=2.0),
+            dataclasses.replace(
+                base, platform=dataclasses.replace(base.platform, mesh_width=5)
+            ),
+            dataclasses.replace(
+                base, workload=dataclasses.replace(base.workload, seed=7)
+            ),
+        ]
+        hashes = {config_hash(c) for c in variants}
+        assert config_hash(base) not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_round_trip_preserves_hash(self):
+        base = tiny_config()
+        rebuilt = SimulationConfig.from_dict(base.to_dict())
+        assert config_hash(rebuilt) == config_hash(base)
+
+
+class TestSweepCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        assert cache.lookup("deadbeef") is None
+        cache.store("deadbeef", {"summary": {"jobs_completed": 3}})
+        record = cache.lookup("deadbeef")
+        assert record["summary"]["jobs_completed"] == 3
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.store("k", {"summary": {}})
+        path = cache._path("k")
+        text = path.read_text().replace(
+            f'"schema": {cache_module.CACHE_SCHEMA_VERSION}', '"schema": 0'
+        )
+        path.write_text(text)
+        assert cache.lookup("k") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.store("k", {"summary": {}})
+        cache._path("k").write_text("{not json")
+        assert cache.lookup("k") is None
+
+    def test_len_and_clear(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        assert len(cache) == 0
+        cache.store("a", {"summary": {}})
+        cache.store("b", {"summary": {}})
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_env_var_selects_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache_module.CACHE_DIR_ENV, str(tmp_path / "c"))
+        cache = SweepCache()
+        assert cache.directory == tmp_path / "c"
+
+
+class TestSequentialRunner:
+    def test_records_in_input_order(self):
+        records = SequentialSweepRunner().run(tiny_points())
+        assert [r.label for r in records] == ["ear", "sdr"]
+        assert all(r.stats is not None for r in records)
+        assert all(not r.cached for r in records)
+        assert records[0].summary["jobs_completed"] == 2
+
+    def test_record_row_merges_params_and_summary(self):
+        record = SequentialSweepRunner().run(tiny_points())[0]
+        row = record.record()
+        assert row["label"] == "ear"
+        assert row["routing"] == "ear"
+        assert row["jobs_completed"] == 2
+
+    def test_hook_sees_every_record(self):
+        seen = []
+        SequentialSweepRunner().run(
+            tiny_points(), hook=lambda r: seen.append(r.label)
+        )
+        assert seen == ["ear", "sdr"]
+
+    def test_cache_miss_then_hit_skips_execution(self, tmp_path, monkeypatch):
+        cache = SweepCache(tmp_path)
+        first = SequentialSweepRunner(cache=cache).run(tiny_points())
+        assert cache.misses == 2 and cache.hits == 0
+
+        def boom(point):
+            raise AssertionError(f"re-executed {point.label}")
+
+        monkeypatch.setattr(runner_module, "execute_point", boom)
+        cache.reset_counters()
+        second = SequentialSweepRunner(cache=cache).run(tiny_points())
+        assert cache.hits == 2 and cache.misses == 0
+        assert all(r.cached for r in second)
+        assert [r.summary for r in second] == [r.summary for r in first]
+
+    def test_partial_cache_executes_only_missing(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        points = tiny_points()
+        SequentialSweepRunner(cache=cache).run(points[:1])
+        records = SequentialSweepRunner(cache=cache).run(points)
+        assert [r.cached for r in records] == [True, False]
+
+
+class TestParallelRunnerValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigurationError):
+            ParallelSweepRunner(max_workers=0)
+
+    def test_single_pending_point_runs_inline(self):
+        records = ParallelSweepRunner(max_workers=2).run(tiny_points()[:1])
+        assert records[0].summary["jobs_completed"] == 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(2005, "a") == derive_seed(2005, "a")
+
+    def test_varies_with_label_and_base(self):
+        seeds = {
+            derive_seed(2005, "a"),
+            derive_seed(2005, "b"),
+            derive_seed(7, "a"),
+        }
+        assert len(seeds) == 3
+
+
+class TestScenarios:
+    def test_registry_contains_paper_and_extension_grids(self):
+        names = scenario_names()
+        for expected in (
+            "fig7",
+            "fig8",
+            "table2",
+            "large-mesh",
+            "mixed-workload",
+            "battery-ablation",
+        ):
+            assert expected in names
+        assert all(s.description for s in scenarios().values())
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario("nope")
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario("fig7", scale="huge")
+
+    def test_fig7_full_matches_paper_grid(self):
+        points = build_scenario("fig7")
+        assert len(points) == 10  # 5 widths x 2 routings
+        labels = {p.label for p in points}
+        assert "8x8/ear" in labels and "4x4/sdr" in labels
+
+    def test_smoke_grids_are_small_and_bounded(self):
+        for name in scenario_names():
+            points = build_scenario(name, scale="smoke")
+            assert 0 < len(points) <= 4, name
+            for point in points:
+                assert point.config.workload.max_jobs is not None, name
+
+    def test_mixed_workload_uses_distinct_derived_seeds(self):
+        points = build_scenario("mixed-workload", scale="full")
+        seeds = [p.config.workload.seed for p in points]
+        assert len(set(seeds)) == len(seeds)
+        again = build_scenario("mixed-workload", scale="full")
+        assert seeds == [p.config.workload.seed for p in again]
+
+    def test_table2_uses_ideal_battery(self):
+        for point in build_scenario("table2", scale="smoke"):
+            assert point.config.platform.battery_model == "ideal"
+
+    def test_duplicate_registration_rejected(self):
+        from repro.orchestration.scenarios import scenario
+
+        with pytest.raises(ConfigurationError):
+            scenario("fig7", "again")(lambda scale, base: [])

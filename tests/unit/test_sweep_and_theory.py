@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.sweep import (
-    SweepResult,
     run_sweep,
     sweep_controllers,
     sweep_mesh_sizes,
