@@ -11,6 +11,7 @@ from .calibration import (
     calibrated_link_pitch_cm,
     implied_communication_energy_pj,
 )
+from .faults import fault_free_twin, fault_impact, fault_impact_for
 from .sweep import SweepResult, run_sweep, sweep_controllers, sweep_mesh_sizes
 from .tables import format_table
 from .theory import bound_comparison, gap_report
@@ -20,6 +21,9 @@ __all__ = [
     "bar_chart",
     "bound_comparison",
     "calibrated_link_pitch_cm",
+    "fault_free_twin",
+    "fault_impact",
+    "fault_impact_for",
     "format_table",
     "gap_report",
     "implied_communication_energy_pj",

@@ -1,0 +1,64 @@
+"""Fault-impact analysis: a faulty run against its fault-free twin.
+
+Per-run fault counters (links cut, packets rerouted, ...) live in
+:meth:`repro.sim.stats.SimulationStats.summary`; what they cannot say
+alone is *how much delivery was lost to the faults*.  That is a paired
+quantity: the same configuration with the fault schedule stripped is the
+baseline, and the delta between the two runs is attributable to the
+physical degradation alone (everything else — workload, seeds, platform
+— is bit-identical by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import SimulationConfig
+from ..faults import FaultConfig
+
+
+def fault_free_twin(config: SimulationConfig) -> SimulationConfig:
+    """The same run with the fault schedule stripped."""
+    return replace(config, faults=FaultConfig())
+
+
+def fault_impact(baseline: dict, faulty: dict) -> dict:
+    """Delivery-loss comparison of two summary dicts.
+
+    Args:
+        baseline: ``SimulationStats.summary()`` of the fault-free twin.
+        faulty: Summary of the fault-bearing run.
+
+    Returns:
+        JSON-safe dict with absolute and fractional delivery loss, the
+        lifetime delta and the fault counters of the faulty run.
+    """
+    base_jobs = float(baseline["jobs_fractional"])
+    faulty_jobs = float(faulty["jobs_fractional"])
+    loss = base_jobs - faulty_jobs
+    return {
+        "jobs_baseline": base_jobs,
+        "jobs_faulty": faulty_jobs,
+        "delivery_loss": round(loss, 3),
+        "delivery_loss_fraction": (
+            round(loss / base_jobs, 5) if base_jobs > 0 else 0.0
+        ),
+        "jobs_lost_delta": faulty["jobs_lost"] - baseline["jobs_lost"],
+        "lifetime_delta_frames": (
+            faulty["lifetime_frames"] - baseline["lifetime_frames"]
+        ),
+        "faults_injected": faulty.get("faults_injected", 0),
+        "links_cut": faulty.get("links_cut", 0),
+        "links_degraded": faulty.get("links_degraded", 0),
+        "nodes_fault_killed": faulty.get("nodes_fault_killed", 0),
+        "packets_rerouted": faulty.get("packets_rerouted", 0),
+    }
+
+
+def fault_impact_for(config: SimulationConfig) -> dict:
+    """Run ``config`` and its fault-free twin; return the impact record."""
+    from ..sim.et_sim import run_simulation
+
+    faulty = run_simulation(config).summary()
+    baseline = run_simulation(fault_free_twin(config)).summary()
+    return fault_impact(baseline, faulty)

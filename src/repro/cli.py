@@ -22,6 +22,7 @@ from .analysis.tables import format_table
 from .analysis.theory import bound_for
 from .battery.thin_film import ThinFilmBattery, ThinFilmParameters
 from .config import PlatformConfig, SimulationConfig, WorkloadConfig
+from .faults import FAULT_PROFILES, FaultConfig
 from .mesh.geometry import node_id
 from .orchestration import (
     SweepCache,
@@ -37,6 +38,33 @@ def _add_mesh_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mesh", type=int, default=4, metavar="W",
         help="mesh width (square WxW mesh, default 4)",
+    )
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault-profile", choices=FAULT_PROFILES, default="none",
+        help="fault-injection profile (default none)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, metavar="S",
+        help="seed of the fault schedule generator",
+    )
+    parser.add_argument(
+        "--fault-intensity", type=float, default=1.0, metavar="X",
+        help="fault event cadence multiplier (default 1.0)",
+    )
+
+
+def _fault_config(args: argparse.Namespace) -> FaultConfig:
+    if args.fault_profile == "none":
+        # Seed/intensity are inert without a profile; normalise so the
+        # config (and therefore its cache hash) matches a flag-free run.
+        return FaultConfig()
+    return FaultConfig(
+        profile=args.fault_profile,
+        seed=args.fault_seed,
+        intensity=args.fault_intensity,
     )
 
 
@@ -65,6 +93,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             battery_model=args.battery,
         ),
         workload=WorkloadConfig(seed=args.seed),
+        faults=_fault_config(args),
         routing=args.routing,
     )
     stats = run_simulation(config)
@@ -114,7 +143,7 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.sweep import sweep_mesh_sizes
 
-    base = SimulationConfig()
+    base = SimulationConfig(faults=_fault_config(args))
     widths = tuple(range(args.min_mesh, args.max_mesh + 1))
     results = sweep_mesh_sizes(
         base, widths=widths, runner=_make_runner(args)
@@ -155,12 +184,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
     names = args.scenario or list(scenarios())
     scale = "smoke" if args.smoke else args.scale
+    # The fault flags shape the *base* configuration handed to every
+    # scenario; fault scenarios (fig7-faulty, ...) override the profile
+    # with their own schedules.
+    base = SimulationConfig(faults=_fault_config(args))
     runner = _make_runner(args)
     cache = runner.cache
     emitted: dict[str, list[dict]] = {}
     start = time.perf_counter()
     for name in names:
-        points = build_scenario(name, scale=scale)
+        points = build_scenario(name, scale=scale, base=base)
         records = runner.run(points)
         emitted[name] = [record.record() for record in records]
         if not args.json:
@@ -272,12 +305,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
     )
+    _add_fault_arguments(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     sweep = sub.add_parser("sweep", help="EAR vs SDR across mesh sizes")
     sweep.add_argument("--min-mesh", type=int, default=4)
     sweep.add_argument("--max-mesh", type=int, default=8)
     _add_runner_arguments(sweep)
+    _add_fault_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     bench = sub.add_parser(
@@ -303,6 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit records as JSON"
     )
     _add_runner_arguments(bench)
+    _add_fault_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
 
     curve = sub.add_parser(

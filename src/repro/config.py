@@ -27,6 +27,7 @@ from .control.tdma import (
 )
 from .core.weights import DEFAULT_Q, BatteryWeightFunction
 from .errors import ConfigurationError
+from .faults.config import FaultConfig
 from .link.energy import LinkEnergyModel
 from .link.packet import PacketFormat
 from .mesh.mapping import (
@@ -338,6 +339,7 @@ class SimulationConfig:
         platform: Physical platform description.
         control: Control mechanism description.
         workload: Job generation description.
+        faults: Fault-injection schedule description (default: none).
         routing: ``"ear"`` or ``"sdr"``.
         weight_q: EAR's strengthening constant ``Q``.
     """
@@ -345,6 +347,7 @@ class SimulationConfig:
     platform: PlatformConfig = field(default_factory=PlatformConfig)
     control: ControlConfig = field(default_factory=ControlConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
     routing: str = "ear"
     weight_q: float = DEFAULT_Q
 
@@ -393,6 +396,7 @@ class SimulationConfig:
         platform_raw = dict(data.get("platform", {}))
         control_raw = dict(data.get("control", {}))
         workload_raw = dict(data.get("workload", {}))
+        faults_raw = data.get("faults", {})
 
         def thin_film_params(tf_raw: dict) -> ThinFilmParameters:
             tf_raw = dict(tf_raw)
@@ -438,6 +442,9 @@ class SimulationConfig:
             platform=PlatformConfig(**platform_raw),
             control=ControlConfig(**control_raw),
             workload=WorkloadConfig(**workload_raw),
+            faults=FaultConfig(**faults_raw)
+            if isinstance(faults_raw, dict)
+            else FaultConfig(),
             routing=data.get("routing", "ear"),
             weight_q=data.get("weight_q", DEFAULT_Q),
         )

@@ -127,8 +127,12 @@ class ControlPlane:
     ):
         if not controller_batteries:
             raise ConfigurationError("need at least one controller unit")
-        self._lengths = np.asarray(lengths, dtype=float)
+        # Own copy: the engine's working matrix mutates under fault
+        # injection and must only reach the controller via the
+        # update_lengths hook (the controller routes on *known* state).
+        self._lengths = np.array(lengths, dtype=float)
         self._num_nodes = int(self._lengths.shape[0])
+        self._links_changed = False
         self._mapping = mapping
         self._engine = engine
         self._levels = int(levels)
@@ -173,6 +177,17 @@ class ControlPlane:
     @property
     def deadlock_reports(self) -> int:
         return self._registry.total_reports
+
+    def update_lengths(self, lengths: np.ndarray) -> None:
+        """Hook: the physical link state changed (cut or degraded lines).
+
+        The engine calls this when fault injection rewrites the length
+        matrix (``inf`` for severed lines, scaled lengths for degraded
+        ones).  The next processed frame recomputes routing from the new
+        picture — the same trigger discipline as changed status reports.
+        """
+        self._lengths = np.array(lengths, dtype=float)
+        self._links_changed = True
 
     def view(self) -> NetworkView:
         """Current reported-state snapshot."""
@@ -290,6 +305,9 @@ class ControlPlane:
                     changed = True
         if self._registry.expire(frame):
             changed = True
+        if self._links_changed:
+            changed = True
+            self._links_changed = False
 
         received = heartbeat_count if heartbeat_count is not None else len(reports)
         energy["rx"] = self._energy_model.rx_energy_pj(received)

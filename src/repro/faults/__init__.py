@@ -1,0 +1,31 @@
+"""Fault injection for the e-textile platform.
+
+The paper exercises graceful degradation on exactly one failure mode —
+battery depletion.  This package adds the physical hazards a woven
+platform actually faces: permanent link cuts, node failures independent
+of battery state, and transient link degradation that scales hop
+energy.  Schedules are deterministic functions of a
+:class:`FaultConfig` plus the topology, so fault-bearing runs stay
+replayable, cacheable and bit-identical across sequential and parallel
+sweep runners.
+"""
+
+from .config import FAULT_KINDS, FAULT_PROFILES, FaultConfig
+from .schedule import (
+    FaultEvent,
+    FaultRuntime,
+    FaultSchedule,
+    build_fault_schedule,
+    fabric_links,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PROFILES",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultRuntime",
+    "FaultSchedule",
+    "build_fault_schedule",
+    "fabric_links",
+]

@@ -1,0 +1,99 @@
+"""Fault-model configuration.
+
+Real e-textiles do not only die of battery depletion: conductive traces
+are cut by wear, interconnects wash out, contacts become intermittent
+(Wang et al. 2023; Noda & Shinoda 2018).  A :class:`FaultConfig` selects
+a named *fault profile* — a deterministic, seedable generator of fault
+events over the fabric — and its parameters.  The configuration is a
+frozen dataclass like every other knob in :mod:`repro.config`, so a
+fault-bearing run is fully described (and content-hashed for the sweep
+cache) by its plain-dict form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: Recognised fault profiles.
+#:
+#: * ``none``            — empty schedule (bit-identical to a fault-free run);
+#: * ``link-attrition``  — permanent link cuts at a steady cadence, up to
+#:   ``max_link_fraction`` of the fabric's internal links;
+#: * ``node-dropout``    — whole-node failures independent of battery state;
+#: * ``wash-cycle``      — periodic stress bursts: several links transiently
+#:   degraded (hop energy scaled by ``degrade_factor``), with occasional
+#:   permanent cuts.
+FAULT_PROFILES = ("none", "link-attrition", "node-dropout", "wash-cycle")
+
+#: Fault-event kinds emitted by the schedule builders.
+FAULT_KINDS = ("link-cut", "node-kill", "link-degrade")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Parameters of the fault schedule generator.
+
+    Attributes:
+        profile: One of :data:`FAULT_PROFILES`.
+        seed: Seed of the schedule generator (same seed, same topology
+            and same parameters => identical schedule).
+        intensity: Event-cadence multiplier; events arrive every
+            ``period_frames / intensity`` frames.
+        start_frame: First frame at which faults may fire.
+        period_frames: Base spacing between consecutive fault events.
+        max_link_fraction: Cap on the fraction of internal fabric links
+            that may be permanently cut.
+        max_node_fraction: Fraction of mesh nodes killed by
+            ``node-dropout``.
+        degrade_factor: Hop-energy multiplier of a degraded link (models
+            increased line resistance from a worn contact).
+        degrade_frames: Frames a transient degradation lasts.
+    """
+
+    profile: str = "none"
+    seed: int = 0
+    intensity: float = 1.0
+    start_frame: int = 4
+    period_frames: int = 8
+    max_link_fraction: float = 0.25
+    max_node_fraction: float = 0.15
+    degrade_factor: float = 3.0
+    degrade_frames: int = 16
+
+    def __post_init__(self) -> None:
+        if self.profile not in FAULT_PROFILES:
+            raise ConfigurationError(
+                f"unknown fault profile {self.profile!r}; "
+                f"expected one of {FAULT_PROFILES}"
+            )
+        if self.intensity <= 0:
+            raise ConfigurationError(
+                f"fault intensity must be positive, got {self.intensity}"
+            )
+        if self.start_frame < 0:
+            raise ConfigurationError("fault start frame must be >= 0")
+        if self.period_frames < 1:
+            raise ConfigurationError("fault period must be >= 1 frame")
+        if not 0.0 <= self.max_link_fraction <= 1.0:
+            raise ConfigurationError(
+                "max_link_fraction must lie in [0, 1], got "
+                f"{self.max_link_fraction}"
+            )
+        if not 0.0 <= self.max_node_fraction < 1.0:
+            raise ConfigurationError(
+                "max_node_fraction must lie in [0, 1), got "
+                f"{self.max_node_fraction}"
+            )
+        if self.degrade_factor < 1.0:
+            raise ConfigurationError(
+                f"degrade factor must be >= 1, got {self.degrade_factor}"
+            )
+        if self.degrade_frames < 1:
+            raise ConfigurationError("degrade duration must be >= 1 frame")
+
+    @property
+    def is_active(self) -> bool:
+        """True when this configuration can produce fault events."""
+        return self.profile != "none"

@@ -1,0 +1,263 @@
+"""Deterministic fault schedules and their runtime state.
+
+A *fault schedule* is the full, precomputed list of physical-failure
+events one run will experience: permanent link cuts, node failures
+independent of battery state, and transient link degradations.  It is a
+pure function of the :class:`~repro.faults.config.FaultConfig`, the
+fabric topology and the frame horizon — the same inputs always produce
+the same events, which is what makes fault-bearing runs replayable and
+cacheable.
+
+The engines own a :class:`FaultRuntime` that walks the schedule frame by
+frame and tracks the resulting link state (cut set, active
+degradations); the actual mutation of the platform — severing topology
+edges, scaling the length matrix, killing nodes — happens in
+``EngineBase._apply_faults`` so that both simulation engines share one
+implementation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..mesh.topology import Topology
+from .config import FAULT_KINDS, FaultConfig
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled physical failure.
+
+    Attributes:
+        frame: TDMA frame at whose start the event fires.
+        kind: One of :data:`~repro.faults.config.FAULT_KINDS`.
+        node_a: Affected node (node events) or link endpoint.
+        node_b: Second link endpoint (-1 for node events).
+        factor: Hop-energy multiplier (``link-degrade`` only).
+        duration_frames: Degradation lifetime (``link-degrade`` only;
+            0 for permanent events).
+    """
+
+    frame: int
+    kind: str
+    node_a: int
+    node_b: int = -1
+    factor: float = 1.0
+    duration_frames: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+class FaultSchedule:
+    """Immutable, frame-ordered sequence of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        # Stable sort: events generated for the same frame keep their
+        # generation order, so application order is deterministic.
+        self._events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda event: event.frame)
+        )
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        return self._events == other._events
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._events
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({len(self._events)} events)"
+
+
+def fabric_links(
+    topology: Topology, num_mesh_nodes: int
+) -> list[tuple[int, int]]:
+    """Sorted internal (mesh-to-mesh) undirected links of the fabric.
+
+    External attachments (the source/sink block's line, controller
+    taps) are excluded: the fault model targets the woven interconnect,
+    and cutting the single source line would only ever produce the
+    trivial ``source-cut`` death.
+    """
+    pairs = {
+        (min(u, v), max(u, v))
+        for u, v, _ in topology.edges()
+        if u < num_mesh_nodes and v < num_mesh_nodes
+    }
+    return sorted(pairs)
+
+
+def _event_frame(config: FaultConfig, index: int) -> int:
+    """Frame of the ``index``-th event of a steady cadence."""
+    return config.start_frame + int(
+        math.ceil((index + 1) * config.period_frames / config.intensity)
+    )
+
+
+def _link_attrition(
+    config: FaultConfig,
+    links: Sequence[tuple[int, int]],
+    rng: random.Random,
+    horizon: int,
+) -> list[FaultEvent]:
+    budget = int(len(links) * config.max_link_fraction)
+    if budget == 0 and config.max_link_fraction > 0 and links:
+        budget = 1
+    chosen = rng.sample(list(links), min(budget, len(links)))
+    events = []
+    for index, (u, v) in enumerate(chosen):
+        frame = _event_frame(config, index)
+        if frame >= horizon:
+            break
+        events.append(FaultEvent(frame=frame, kind="link-cut", node_a=u, node_b=v))
+    return events
+
+
+def _node_dropout(
+    config: FaultConfig,
+    num_mesh_nodes: int,
+    rng: random.Random,
+    horizon: int,
+) -> list[FaultEvent]:
+    budget = int(num_mesh_nodes * config.max_node_fraction)
+    if budget == 0 and config.max_node_fraction > 0:
+        budget = 1
+    budget = min(budget, num_mesh_nodes - 1)
+    chosen = rng.sample(range(num_mesh_nodes), budget)
+    events = []
+    for index, node in enumerate(chosen):
+        frame = _event_frame(config, index)
+        if frame >= horizon:
+            break
+        events.append(FaultEvent(frame=frame, kind="node-kill", node_a=node))
+    return events
+
+
+def _wash_cycle(
+    config: FaultConfig,
+    links: Sequence[tuple[int, int]],
+    rng: random.Random,
+    horizon: int,
+) -> list[FaultEvent]:
+    if not links:
+        return []
+    spacing = max(1, int(round(config.period_frames * 4 / config.intensity)))
+    cut_budget = int(len(links) * config.max_link_fraction)
+    burst_size = max(1, len(links) // 8)
+    events: list[FaultEvent] = []
+    cuts = 0
+    frame = config.start_frame + spacing
+    while frame < horizon:
+        for u, v in rng.sample(list(links), min(burst_size, len(links))):
+            events.append(
+                FaultEvent(
+                    frame=frame,
+                    kind="link-degrade",
+                    node_a=u,
+                    node_b=v,
+                    factor=config.degrade_factor,
+                    duration_frames=config.degrade_frames,
+                )
+            )
+        if cuts < cut_budget and rng.random() < 0.5:
+            u, v = links[rng.randrange(len(links))]
+            events.append(
+                FaultEvent(frame=frame, kind="link-cut", node_a=u, node_b=v)
+            )
+            cuts += 1
+        frame += spacing
+    return events
+
+
+def build_fault_schedule(
+    config: FaultConfig,
+    topology: Topology,
+    num_mesh_nodes: int,
+    horizon_frames: int,
+) -> FaultSchedule:
+    """Generate the full fault schedule of one run.
+
+    Deterministic: the events depend only on the arguments (the RNG is
+    seeded from ``config.seed`` and candidate links are enumerated in
+    sorted order).
+    """
+    if not config.is_active:
+        return FaultSchedule()
+    rng = random.Random(config.seed)
+    links = fabric_links(topology, num_mesh_nodes)
+    if config.profile == "link-attrition":
+        events = _link_attrition(config, links, rng, horizon_frames)
+    elif config.profile == "node-dropout":
+        events = _node_dropout(config, num_mesh_nodes, rng, horizon_frames)
+    else:  # wash-cycle
+        events = _wash_cycle(config, links, rng, horizon_frames)
+    return FaultSchedule(events)
+
+
+class FaultRuntime:
+    """Per-run fault state: schedule cursor, cut links, degradations.
+
+    The engines query :attr:`cut_links` on every hop decision (it is a
+    plain set of *directed* pairs, empty for fault-free runs, so the
+    hot-path cost is one set membership test) and drain due events at
+    frame boundaries via :meth:`due`.
+    """
+
+    def __init__(self, schedule: FaultSchedule):
+        self.schedule = schedule
+        self._cursor = 0
+        #: Directed pairs severed so far (both directions of every cut).
+        self.cut_links: set[tuple[int, int]] = set()
+        #: Canonical ``(min, max)`` pair -> (factor, expiry frame).
+        self.degraded: dict[tuple[int, int], tuple[float, int]] = {}
+
+    def due(self, frame: int) -> list[FaultEvent]:
+        """Events scheduled at or before ``frame`` not yet delivered."""
+        events = []
+        schedule = self.schedule.events
+        while self._cursor < len(schedule):
+            event = schedule[self._cursor]
+            if event.frame > frame:
+                break
+            events.append(event)
+            self._cursor += 1
+        return events
+
+    def expire_degradations(self, frame: int) -> list[tuple[int, int]]:
+        """Remove and return degradations whose expiry has passed."""
+        expired = [
+            pair
+            for pair, (_, expiry) in self.degraded.items()
+            if expiry <= frame
+        ]
+        for pair in expired:
+            del self.degraded[pair]
+        return expired
+
+    def mark_cut(self, u: int, v: int) -> None:
+        self.cut_links.add((u, v))
+        self.cut_links.add((v, u))
+        self.degraded.pop((min(u, v), max(u, v)), None)
+
+    def is_cut(self, u: int, v: int) -> bool:
+        return (u, v) in self.cut_links

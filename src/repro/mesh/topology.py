@@ -73,6 +73,18 @@ class Topology:
         if bidirectional:
             self._adjacency[v][u] = float(length_cm)
 
+    def remove_edge(self, u: int, v: int, bidirectional: bool = True) -> None:
+        """Sever the ``u -> v`` line (fault model: a cut interconnect).
+
+        Removing an absent edge is a no-op, so repeated cuts of the same
+        line are harmless.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        self._adjacency[u].pop(v, None)
+        if bidirectional:
+            self._adjacency[v].pop(u, None)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

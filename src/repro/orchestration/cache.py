@@ -27,7 +27,9 @@ from ..config import SimulationConfig
 
 #: Bump when simulator behaviour changes in a way that invalidates
 #: previously cached summaries (engine semantics, summary fields, ...).
-CACHE_SCHEMA_VERSION = 1
+#: v2: fault-injection subsystem — configs carry a ``faults`` section
+#: and summaries gained the per-fault accounting counters.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "ETSIM_CACHE_DIR"

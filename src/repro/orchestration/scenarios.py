@@ -23,6 +23,7 @@ from typing import Callable
 
 from ..config import SimulationConfig
 from ..errors import ConfigurationError
+from ..faults import FaultConfig
 from .runner import SweepPoint
 
 #: Recognised grid scales.
@@ -244,6 +245,110 @@ def _mixed_workload(scale: str, base: SimulationConfig) -> list[SweepPoint]:
                     params={
                         "mesh": f"{width}x{width}",
                         "concurrency": concurrency,
+                    },
+                )
+            )
+    return points
+
+
+@scenario("fig7-faulty", "Fig 7 under link-attrition faults (EAR vs SDR)")
+def _fig7_faulty(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    """The paper's headline comparison on a physically degrading fabric:
+    permanent link cuts arrive while the system runs, so EAR's advantage
+    is measured against topology attrition, not only battery exhaustion.
+    """
+    widths = {"smoke": (4,), "quick": (4, 5), "full": (4, 5, 6)}[scale]
+    if scale == "smoke":
+        base = _cap_jobs(base, 8)
+    points = []
+    for width in widths:
+        for routing in ("ear", "sdr"):
+            label = f"{width}x{width}/{routing}/attrition"
+            faults = FaultConfig(
+                profile="link-attrition",
+                seed=derive_seed(base.workload.seed, label),
+            )
+            config = replace(
+                base,
+                platform=replace(base.platform, mesh_width=width),
+                routing=routing,
+                faults=faults,
+            )
+            points.append(
+                SweepPoint(
+                    label=label,
+                    config=config,
+                    params={
+                        "mesh": f"{width}x{width}",
+                        "routing": routing,
+                        "fault_profile": "link-attrition",
+                    },
+                )
+            )
+    return points
+
+
+@scenario("link-attrition", "lifetime under progressive permanent link cuts")
+def _link_attrition(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    intensities = {
+        "smoke": (1.0,),
+        "quick": (0.5, 1.0, 2.0),
+        "full": (0.25, 0.5, 1.0, 2.0, 4.0),
+    }[scale]
+    if scale == "smoke":
+        base = _cap_jobs(base, 8)
+    points = []
+    for intensity in intensities:
+        for routing in ("ear", "sdr"):
+            label = f"x{intensity:g}/{routing}"
+            faults = FaultConfig(
+                profile="link-attrition",
+                intensity=intensity,
+                seed=derive_seed(base.workload.seed, f"link-attrition/{label}"),
+            )
+            config = replace(base, routing=routing, faults=faults)
+            points.append(
+                SweepPoint(
+                    label=label,
+                    config=config,
+                    params={
+                        "fault_intensity": intensity,
+                        "routing": routing,
+                        "fault_profile": "link-attrition",
+                    },
+                )
+            )
+    return points
+
+
+@scenario("wash-cycle", "periodic transient link degradation (wash stress)")
+def _wash_cycle(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    factors = {
+        "smoke": (3.0,),
+        "quick": (2.0, 4.0),
+        "full": (1.5, 3.0, 6.0),
+    }[scale]
+    if scale == "smoke":
+        base = _cap_jobs(base, 8)
+    points = []
+    for factor in factors:
+        for routing in ("ear", "sdr"):
+            label = f"deg{factor:g}/{routing}"
+            faults = FaultConfig(
+                profile="wash-cycle",
+                degrade_factor=factor,
+                period_frames=4,
+                seed=derive_seed(base.workload.seed, f"wash-cycle/{label}"),
+            )
+            config = replace(base, routing=routing, faults=faults)
+            points.append(
+                SweepPoint(
+                    label=label,
+                    config=config,
+                    params={
+                        "degrade_factor": factor,
+                        "routing": routing,
+                        "fault_profile": "wash-cycle",
                     },
                 )
             )

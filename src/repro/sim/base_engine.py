@@ -14,6 +14,7 @@ from ..control.controller import ControlPlane, StatusReport
 from ..core.engines import EnergyAwareRouting, ShortestDistanceRouting
 from ..core.parameters import ApplicationProfile
 from ..errors import SimulationError
+from ..faults.schedule import FaultRuntime, build_fault_schedule
 from ..mesh.connectivity import reachable_set, system_is_alive
 from ..mesh.geometry import node_id as mesh_node_id
 from ..mesh.topology import attach_external_node
@@ -72,6 +73,14 @@ class EngineBase:
         # --- links --------------------------------------------------------
         self.link_model = platform.link_energy_model()
         self.lengths = self.topology.length_matrix()
+        #: Pristine lengths, kept so transient degradations can restore
+        #: a line after expiry (self.lengths is the working matrix that
+        #: fault injection rewrites in place).
+        self._base_lengths = self.lengths.copy()
+        #: The controller's picture of the link state: cuts appear here
+        #: only once *discovered* (a node failed to use the line), so a
+        #: degradation report never leaks knowledge of unrelated cuts.
+        self._known_lengths = self.lengths.copy()
         self.hop_cycles = self.link_model.hop_cycles()
         # Per-hop packet energy depends only on the (static) line length,
         # and _transmit sits on the per-hop hot path: memoise by length.
@@ -121,6 +130,28 @@ class EngineBase:
         self.deadlocks_reported = 0
         self.deadlocks_recovered = 0
 
+        # --- fault injection ----------------------------------------------
+        self.faults = FaultRuntime(
+            build_fault_schedule(
+                config.faults,
+                self.topology,
+                num_mesh_nodes=self.num_mesh_nodes,
+                horizon_frames=config.workload.max_frames,
+            )
+        )
+        self.faults_injected = 0
+        self.links_cut = 0
+        self.links_degraded = 0
+        self.nodes_fault_killed = 0
+        #: Dispatches/packets that were blocked by fault state (cut line
+        #: or fault-killed next hop) and subsequently progressed anyway.
+        self.packets_rerouted = 0
+        #: Cut lines the controller has not been told about yet: a cut
+        #: is invisible to the control plane until some node fails to
+        #: use the line and reports it (see _note_fault_block).
+        self._undiscovered: set[tuple[int, int]] = set()
+        self._link_report_pending = False
+
     # ------------------------------------------------------------------
     # Time and control frames
     # ------------------------------------------------------------------
@@ -141,13 +172,13 @@ class EngineBase:
         self._advance_time(next_boundary - self.cycle)
 
     def _run_frame(self, frame: int) -> None:
-        """One TDMA frame: heartbeats, report ingestion, plan refresh."""
+        """One TDMA frame: faults, heartbeats, reports, plan refresh."""
+        self._apply_faults(frame)
         reports: list[StatusReport] = []
         heartbeats = 0
         for node in range(self.num_mesh_nodes):
             unit = self.nodes[node]
-            battery = unit.battery
-            if battery is None:
+            if unit.battery is None:
                 raise SimulationError("mesh nodes must carry batteries")
             if unit.alive:
                 heartbeats += 1
@@ -158,32 +189,126 @@ class EngineBase:
                 self.ledger.add_upload(node, result.delivered_pj)
                 if result.died:
                     self.on_node_death(node)
+            # Liveness and level are observed through the *unit*, not the
+            # battery: a fault-killed node is dead with a charged cell,
+            # and its death must reach the controller like any other.
             blocked = self.pending_deadlock.pop(node, None)
-            if blocked is not None and battery.alive:
+            if blocked is not None and unit.alive:
                 self.deadlocks_reported += 1
                 reports.append(
                     StatusReport(
                         node=node,
                         level=self.tracker.level(node),
-                        alive=battery.alive,
+                        alive=unit.alive,
                         blocked_port=blocked,
                     )
                 )
-                self.tracker.observe(node, battery)
-            elif self.tracker.observe(node, battery):
+                self.tracker.observe(node, unit)
+            elif self.tracker.observe(node, unit):
                 reports.append(
                     StatusReport(
                         node=node,
                         level=self.tracker.level(node),
-                        alive=battery.alive,
+                        alive=unit.alive,
                     )
                 )
             if unit.alive:
                 unit.rest(self.schedule.frame_cycles)
+        if self._link_report_pending:
+            # A node discovered a dead line since the last frame and
+            # reports it in its upload slot: the controller updates its
+            # length picture (only the *discovered* state) and re-plans
+            # this frame.
+            self.control.update_lengths(self._known_lengths)
+            self._link_report_pending = False
         outcome = self.control.process_frame(frame, reports, heartbeats)
         self.ledger.add_controller(outcome.controller_energy_pj)
         if not self.control.alive:
             raise SystemDead("controller-dead")
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def _apply_faults(self, frame: int) -> None:
+        """Fire every fault event due at ``frame`` and expire transients.
+
+        Cuts sever the topology edge and mark the working length matrix
+        ``inf``; degradations scale the line length (and therefore the
+        per-hop packet energy); node kills go through the regular death
+        hook so resident state is cleaned up identically to a battery
+        death.  Any link-state change is pushed to the control plane,
+        which re-plans on its next processed frame.
+        """
+        runtime = self.faults
+        events = runtime.due(frame)
+        restored = runtime.expire_degradations(frame)
+        lengths_changed = False
+        for u, v in restored:
+            self.lengths[u, v] = self._base_lengths[u, v]
+            self.lengths[v, u] = self._base_lengths[v, u]
+            self._known_lengths[u, v] = self._base_lengths[u, v]
+            self._known_lengths[v, u] = self._base_lengths[v, u]
+            lengths_changed = True
+        for event in events:
+            if event.kind == "link-cut":
+                u, v = event.node_a, event.node_b
+                if runtime.is_cut(u, v) or not self.topology.has_edge(u, v):
+                    continue
+                self.topology.remove_edge(u, v)
+                runtime.mark_cut(u, v)
+                self.lengths[u, v] = self.lengths[v, u] = float("inf")
+                self.links_cut += 1
+                self.faults_injected += 1
+                # The cut is physical, not reported: the controller keeps
+                # routing over the severed line until a node discovers
+                # the failure by trying to use it (_note_fault_block).
+                self._undiscovered.add((u, v))
+                self._undiscovered.add((v, u))
+            elif event.kind == "node-kill":
+                unit = self.nodes[event.node_a]
+                if not unit.alive:
+                    continue
+                unit.fail()
+                self.on_node_death(event.node_a)
+                self.nodes_fault_killed += 1
+                self.faults_injected += 1
+            else:  # link-degrade
+                u, v = event.node_a, event.node_b
+                if runtime.is_cut(u, v) or not self.topology.has_edge(u, v):
+                    continue
+                self.lengths[u, v] = self._base_lengths[u, v] * event.factor
+                self.lengths[v, u] = self._base_lengths[v, u] * event.factor
+                # Degradations are measurable line quality: the frame's
+                # status exchange carries them to the controller.
+                self._known_lengths[u, v] = self.lengths[u, v]
+                self._known_lengths[v, u] = self.lengths[v, u]
+                runtime.degraded[(min(u, v), max(u, v))] = (
+                    event.factor,
+                    frame + event.duration_frames,
+                )
+                self.links_degraded += 1
+                self.faults_injected += 1
+                lengths_changed = True
+        if lengths_changed:
+            self.control.update_lengths(self._known_lengths)
+
+    def _link_alive(self, u: int, v: int) -> bool:
+        """True while the ``u -> v`` line has not been cut by a fault."""
+        return (u, v) not in self.faults.cut_links
+
+    def _note_fault_block(self, u: int, v: int) -> None:
+        """A node failed to use the ``u -> v`` line: discovery.
+
+        The discovering node reports the dead line during the next
+        frame's upload phase, at which point the controller re-plans —
+        the fault-model counterpart of the paper's deadlock reports.
+        """
+        if (u, v) in self._undiscovered:
+            self._undiscovered.discard((u, v))
+            self._undiscovered.discard((v, u))
+            self._known_lengths[u, v] = float("inf")
+            self._known_lengths[v, u] = float("inf")
+            self._link_report_pending = True
 
     # ------------------------------------------------------------------
     # Shared helpers
@@ -209,6 +334,10 @@ class EngineBase:
 
     def _transmit(self, sender: int, receiver: int, holder: int) -> bool:
         """One hop; returns False when the sender died mid-transmit."""
+        if (sender, receiver) in self.faults.cut_links:
+            raise SimulationError(
+                f"packet transmitted over cut link {sender} -> {receiver}"
+            )
         length = float(self.lengths[sender, receiver])
         energy = self._hop_energy_by_length.get(length)
         if energy is None:
@@ -243,10 +372,13 @@ class EngineBase:
         stranded = 0.0
         loss = 0.0
         for node in range(self.num_mesh_nodes):
-            battery = self.nodes[node].battery
+            unit = self.nodes[node]
+            battery = unit.battery
             if battery is None:
                 continue
-            if battery.alive:
+            # A fault-killed node's residual charge is as unreachable as
+            # a depleted cell's, so it counts as wasted, not stranded.
+            if unit.alive:
                 stranded += battery.wasted_pj
             else:
                 wasted += battery.wasted_pj
@@ -269,4 +401,9 @@ class EngineBase:
             op_retries=self.op_retries,
             verification_failures=self.verification_failures,
             total_hops=self.total_hops,
+            faults_injected=self.faults_injected,
+            links_cut=self.links_cut,
+            links_degraded=self.links_degraded,
+            nodes_fault_killed=self.nodes_fault_killed,
+            packets_rerouted=self.packets_rerouted,
         )

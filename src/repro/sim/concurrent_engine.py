@@ -39,13 +39,20 @@ STALL_LIMIT_SLOTS = 4096
 class _Packet:
     """A job moving through the buffered network."""
 
-    __slots__ = ("job", "wait_slots", "to_sink", "reported_deadlock")
+    __slots__ = (
+        "job",
+        "wait_slots",
+        "to_sink",
+        "reported_deadlock",
+        "fault_blocked",
+    )
 
     def __init__(self, job: Job):
         self.job = job
         self.wait_slots = 0
         self.to_sink = False
         self.reported_deadlock = False
+        self.fault_blocked = False
 
 
 class ConcurrentEngine(EngineBase):
@@ -173,6 +180,7 @@ class ConcurrentEngine(EngineBase):
         """Contention rules for one hop this slot."""
         return (
             self.nodes[next_hop].alive
+            and self._link_alive(node, next_hop)
             and len(self.buffers[next_hop]) < self.capacity[next_hop]
             and (node, next_hop) not in used_links
             and next_hop not in used_receivers
@@ -225,6 +233,11 @@ class ConcurrentEngine(EngineBase):
                     chosen = alternative
                     break
         if chosen is None:
+            if not self._link_alive(node, next_hop):
+                self._note_fault_block(node, next_hop)
+                packet.fault_blocked = True
+            elif self.nodes[next_hop].fault_killed:
+                packet.fault_blocked = True
             self._note_wait(node, packet, next_hop)
             return False
         # Take the packet in hand before transmitting: a sender death
@@ -239,6 +252,9 @@ class ConcurrentEngine(EngineBase):
             if packet.reported_deadlock:
                 self.deadlocks_recovered += 1
                 packet.reported_deadlock = False
+            if packet.fault_blocked:
+                self.packets_rerouted += 1
+                packet.fault_blocked = False
             packet.wait_slots = 0
         else:
             # Sender died mid-transmit: the packet is lost with it.

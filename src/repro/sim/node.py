@@ -35,11 +35,20 @@ class NetworkNode:
         self.module = module
         self.battery = battery
         self._infinite_drawn = 0.0
+        #: Physically failed (fault injection), independent of battery
+        #: state — a fault-killed node is dead even with a charged cell.
+        self.fault_killed = False
 
     # ------------------------------------------------------------------
     @property
     def alive(self) -> bool:
+        if self.fault_killed:
+            return False
         return self.battery is None or self.battery.alive
+
+    def fail(self) -> None:
+        """Kill this node physically (cut trace, crushed module, ...)."""
+        self.fault_killed = True
 
     @property
     def has_infinite_supply(self) -> bool:

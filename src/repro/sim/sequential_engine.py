@@ -57,6 +57,7 @@ class SequentialEngine(EngineBase):
         current = job.holder
         waited = 0
         hops = 0
+        fault_blocked = False
         hop_guard = HOP_GUARD_FACTOR * self.topology.num_nodes
         while True:
             plan = self.control.plan
@@ -75,11 +76,20 @@ class SequentialEngine(EngineBase):
                 continue
             destination = plan.destination(current, module)
             if destination == current:
+                if fault_blocked:
+                    self.packets_rerouted += 1
                 return current
             next_hop = plan.next_hop(current, destination)
-            if not self.nodes[next_hop].alive:
-                # The table still points at a node that just died; wait
-                # for the next frame's recomputation.
+            if not self.nodes[next_hop].alive or not self._link_alive(
+                current, next_hop
+            ):
+                # The table still points at a node or line that just
+                # failed; wait for the next frame's recomputation.
+                if not self._link_alive(current, next_hop):
+                    self._note_fault_block(current, next_hop)
+                    fault_blocked = True
+                elif self.nodes[next_hop].fault_killed:
+                    fault_blocked = True
                 waited += 1
                 if waited > MAX_WAIT_FRAMES:
                     return None
@@ -99,13 +109,24 @@ class SequentialEngine(EngineBase):
         current = job.holder
         waited = 0
         hops = 0
+        fault_blocked = False
         hop_guard = HOP_GUARD_FACTOR * self.topology.num_nodes
         while current != self.source:
             plan = self.control.plan
             successor = plan.successor(current, self.source)
-            if successor == NO_DESTINATION or not self.nodes[successor].alive:
+            if (
+                successor == NO_DESTINATION
+                or not self.nodes[successor].alive
+                or not self._link_alive(current, successor)
+            ):
                 if not self._source_reachable_from(current):
                     raise SystemDead("source-cut")
+                if successor != NO_DESTINATION:
+                    if not self._link_alive(current, successor):
+                        self._note_fault_block(current, successor)
+                        fault_blocked = True
+                    elif self.nodes[successor].fault_killed:
+                        fault_blocked = True
                 waited += 1
                 if waited > MAX_WAIT_FRAMES:
                     return False
@@ -119,6 +140,8 @@ class SequentialEngine(EngineBase):
             hops += 1
             if hops > hop_guard:
                 return False
+        if fault_blocked:
+            self.packets_rerouted += 1
         return True
 
     def _compute(self, job: Job, node: int, module: int) -> bool:

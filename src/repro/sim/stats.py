@@ -170,6 +170,12 @@ class SimulationStats:
         verification_failures: Completed jobs whose ciphertext did not
             match the reference cipher (must be 0).
         total_hops: Data-network hops traversed.
+        faults_injected: Fault events actually applied to the platform.
+        links_cut: Interconnect lines permanently severed.
+        links_degraded: Transient link-degradation events applied.
+        nodes_fault_killed: Nodes killed by faults (not battery death).
+        packets_rerouted: Dispatches/packets blocked by fault state that
+            subsequently progressed along another path or a fresh plan.
     """
 
     jobs_completed: int = 0
@@ -189,6 +195,11 @@ class SimulationStats:
     op_retries: int = 0
     verification_failures: int = 0
     total_hops: int = 0
+    faults_injected: int = 0
+    links_cut: int = 0
+    links_degraded: int = 0
+    nodes_fault_killed: int = 0
+    packets_rerouted: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -229,4 +240,9 @@ class SimulationStats:
             "deadlocks_reported": self.deadlocks_reported,
             "deadlocks_recovered": self.deadlocks_recovered,
             "verification_failures": self.verification_failures,
+            "faults_injected": self.faults_injected,
+            "links_cut": self.links_cut,
+            "links_degraded": self.links_degraded,
+            "nodes_fault_killed": self.nodes_fault_killed,
+            "packets_rerouted": self.packets_rerouted,
         }

@@ -5,12 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import (
-    ControlConfig,
-    PlatformConfig,
-    SimulationConfig,
-    WorkloadConfig,
-)
+from helpers import make_config
 from repro.core.view import NetworkView
 from repro.mesh.mapping import checkerboard_mapping
 from repro.mesh.topology import mesh2d
@@ -43,19 +38,10 @@ def full_view(mesh4, mapping4):
 @pytest.fixture
 def small_sim_config():
     """A fast-to-run 4x4 simulation configuration."""
-    return SimulationConfig(
-        platform=PlatformConfig(mesh_width=4),
-        control=ControlConfig(),
-        workload=WorkloadConfig(max_frames=50_000),
-        routing="ear",
-    )
+    return make_config(max_frames=50_000)
 
 
 @pytest.fixture
 def budget_sim_config():
     """A configuration capped at a handful of jobs (sub-second runs)."""
-    return SimulationConfig(
-        platform=PlatformConfig(mesh_width=4),
-        workload=WorkloadConfig(max_jobs=3, max_frames=50_000),
-        routing="ear",
-    )
+    return make_config(max_jobs=3, max_frames=50_000)

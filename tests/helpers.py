@@ -11,7 +11,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.config import (
+    ControlConfig,
+    PlatformConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
 from repro.core.view import NetworkView
+from repro.faults import FaultConfig
 
 
 def make_view(
@@ -40,3 +47,63 @@ def make_view(
         mapping=mapping,
         blocked_ports=blocked,
     )
+
+
+def make_config(
+    mesh_width: int = 4,
+    routing: str = "ear",
+    battery: str = "thin-film",
+    kind: str = "sequential",
+    concurrency: int = 1,
+    buffers: int | None = None,
+    recovery: bool = True,
+    fault_profile: str | None = None,
+    fault_seed: int = 0,
+    fault_intensity: float = 1.0,
+    control: ControlConfig | None = None,
+    faults: FaultConfig | None = None,
+    **workload_kwargs,
+) -> SimulationConfig:
+    """One configuration builder for every engine-driving test.
+
+    Sequential, concurrent and fault-bearing setups all route through
+    here so integration, property and fault tests exercise identically
+    constructed platforms.  ``workload_kwargs`` pass straight to
+    :class:`~repro.config.WorkloadConfig` (``max_jobs``, ``seed``, ...).
+    """
+    platform_kwargs: dict = {
+        "mesh_width": mesh_width,
+        "battery_model": battery,
+    }
+    if buffers is not None:
+        platform_kwargs["node_buffer_packets"] = buffers
+    if faults is None:
+        faults = (
+            FaultConfig()
+            if fault_profile is None
+            else FaultConfig(
+                profile=fault_profile,
+                seed=fault_seed,
+                intensity=fault_intensity,
+            )
+        )
+    return SimulationConfig(
+        platform=PlatformConfig(**platform_kwargs),
+        control=control if control is not None else ControlConfig(),
+        workload=WorkloadConfig(
+            kind=kind,
+            concurrency=concurrency,
+            deadlock_recovery=recovery,
+            **workload_kwargs,
+        ),
+        faults=faults,
+        routing=routing,
+    )
+
+
+def build_engine(config: SimulationConfig):
+    """The engine matching ``config`` (sequential or concurrent),
+    built but not run — for tests that poke at engine internals."""
+    from repro.sim.et_sim import EtSim
+
+    return EtSim(config).build_engine()

@@ -3,28 +3,20 @@ recovery."""
 
 import pytest
 
-from repro.config import (
-    PlatformConfig,
-    SimulationConfig,
-    WorkloadConfig,
-)
+from helpers import build_engine, make_config
 from repro.sim.et_sim import run_simulation
 
 
 def concurrent_config(
     width=4, concurrency=4, buffers=2, recovery=True, **extra
 ):
-    return SimulationConfig(
-        platform=PlatformConfig(
-            mesh_width=width, node_buffer_packets=buffers
-        ),
-        workload=WorkloadConfig(
-            kind="concurrent",
-            concurrency=concurrency,
-            deadlock_recovery=recovery,
-            **extra,
-        ),
-        routing="ear",
+    return make_config(
+        mesh_width=width,
+        kind="concurrent",
+        concurrency=concurrency,
+        buffers=buffers,
+        recovery=recovery,
+        **extra,
     )
 
 
@@ -35,10 +27,7 @@ class TestConcurrentEngine:
         assert stats.verification_failures == 0
 
     def test_single_job_concurrency_close_to_sequential(self):
-        sequential = SimulationConfig(
-            platform=PlatformConfig(mesh_width=4), routing="ear"
-        )
-        seq_jobs = run_simulation(sequential).jobs_fractional
+        seq_jobs = run_simulation(make_config(mesh_width=4)).jobs_fractional
         conc_jobs = run_simulation(
             concurrent_config(concurrency=1)
         ).jobs_fractional
@@ -107,10 +96,7 @@ class TestDeadlockRecovery:
 
 class TestConcurrencyThroughput:
     def test_energy_conservation_concurrent(self):
-        from repro.sim.et_sim import EtSim
-
-        config = concurrent_config(concurrency=4)
-        engine = EtSim(config).build_engine()
+        engine = build_engine(concurrent_config(concurrency=4))
         stats = engine.run()
         delivered = sum(
             engine.nodes[n].battery.delivered_pj for n in range(16)

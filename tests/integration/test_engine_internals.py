@@ -3,23 +3,22 @@ protocol, reporting, and the concurrent engine's recovery mechanics."""
 
 import pytest
 
-from repro.config import (
-    PlatformConfig,
-    SimulationConfig,
-    WorkloadConfig,
-)
+from helpers import make_config
+from repro.config import PlatformConfig, SimulationConfig
 from repro.sim.base_engine import SystemDead
 from repro.sim.concurrent_engine import ConcurrentEngine
 from repro.sim.sequential_engine import SequentialEngine
 
 
 def sequential_engine(**platform_kwargs) -> SequentialEngine:
-    return SequentialEngine(
-        SimulationConfig(
-            platform=PlatformConfig(mesh_width=4, **platform_kwargs),
-            routing="ear",
+    if platform_kwargs:
+        return SequentialEngine(
+            SimulationConfig(
+                platform=PlatformConfig(mesh_width=4, **platform_kwargs),
+                routing="ear",
+            )
         )
-    )
+    return SequentialEngine(make_config(mesh_width=4))
 
 
 class TestPlatformConstruction:
@@ -66,12 +65,7 @@ class TestFrameProtocol:
         assert engine.ledger.upload_pj == pytest.approx(expected)
 
     def test_frame_budget_raises(self):
-        config = SimulationConfig(
-            platform=PlatformConfig(mesh_width=4),
-            workload=WorkloadConfig(max_frames=3),
-            routing="ear",
-        )
-        engine = SequentialEngine(config)
+        engine = SequentialEngine(make_config(max_frames=3))
         engine.control.bootstrap()
         with pytest.raises(SystemDead) as excinfo:
             engine._advance_time(10 * engine.schedule.frame_cycles)
@@ -116,14 +110,10 @@ class TestTransmitAccounting:
 
 
 def concurrent_engine(**kwargs) -> ConcurrentEngine:
-    workload = dict(kind="concurrent", concurrency=2)
+    workload = dict(concurrency=2)
     workload.update(kwargs.pop("workload", {}))
     return ConcurrentEngine(
-        SimulationConfig(
-            platform=PlatformConfig(mesh_width=4, **kwargs),
-            workload=WorkloadConfig(**workload),
-            routing="ear",
-        )
+        make_config(mesh_width=4, kind="concurrent", **workload, **kwargs)
     )
 
 

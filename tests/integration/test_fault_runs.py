@@ -1,0 +1,159 @@
+"""Integration tests: full runs under fault injection.
+
+The acceptance pairing: a faulty run must diverge from its fault-free
+twin (same platform, same workload, same seeds) while two same-seed
+faulty runs stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import build_engine, make_config
+from repro.analysis.faults import (
+    fault_free_twin,
+    fault_impact,
+    fault_impact_for,
+)
+from repro.faults import FaultConfig
+from repro.sim.et_sim import run_simulation
+
+
+class TestFaultyVersusTwin:
+    def test_faulty_run_diverges_and_replays_bit_identically(self):
+        faulty_config = make_config(
+            fault_profile="link-attrition", fault_seed=7
+        )
+        faulty_a = run_simulation(faulty_config).summary()
+        faulty_b = run_simulation(faulty_config).summary()
+        baseline = run_simulation(fault_free_twin(faulty_config)).summary()
+
+        assert faulty_a == faulty_b  # same-seed twins are bit-identical
+        assert faulty_a != baseline  # physical faults changed the run
+        assert faulty_a["links_cut"] > 0
+        assert baseline["links_cut"] == 0
+
+    def test_attrition_costs_delivery(self):
+        impact = fault_impact_for(
+            make_config(fault_profile="link-attrition", fault_seed=7)
+        )
+        assert impact["links_cut"] > 0
+        assert impact["delivery_loss"] > 0
+        assert 0.0 < impact["delivery_loss_fraction"] < 1.0
+
+    def test_node_dropout_shortens_lifetime(self):
+        impact = fault_impact_for(
+            make_config(fault_profile="node-dropout", fault_seed=3)
+        )
+        assert impact["nodes_fault_killed"] > 0
+        assert impact["lifetime_delta_frames"] < 0
+
+    def test_impact_record_is_consistent(self):
+        config = make_config(fault_profile="wash-cycle", fault_seed=2)
+        faulty = run_simulation(config).summary()
+        baseline = run_simulation(fault_free_twin(config)).summary()
+        impact = fault_impact(baseline, faulty)
+        assert impact["jobs_baseline"] == baseline["jobs_fractional"]
+        assert impact["jobs_faulty"] == faulty["jobs_fractional"]
+        assert impact["links_degraded"] == faulty["links_degraded"]
+
+
+def wash_only(factor: float = 3.0, frames: int = 16) -> "FaultConfig":
+    """Wash-cycle profile with permanent cuts disabled: pure transient
+    degradation, connectivity guaranteed intact."""
+    return FaultConfig(
+        profile="wash-cycle",
+        seed=9,
+        period_frames=2,
+        degrade_factor=factor,
+        degrade_frames=frames,
+        max_link_fraction=0.0,
+    )
+
+
+class TestDegradationSemantics:
+    def test_degradation_only_wash_preserves_connectivity(self):
+        stats = run_simulation(make_config(faults=wash_only(), max_jobs=8))
+        assert stats.links_degraded > 0
+        assert stats.links_cut == 0
+        assert stats.jobs_completed == 8
+
+    def test_degradation_raises_transport_energy(self):
+        base_tx = run_simulation(make_config(max_jobs=8)).energy.data_tx_pj
+        worn_tx = run_simulation(
+            make_config(faults=wash_only(factor=6.0), max_jobs=8)
+        ).energy.data_tx_pj
+        assert worn_tx > base_tx
+
+    def test_degradation_expires_and_restores_lengths(self):
+        engine = build_engine(
+            make_config(faults=wash_only(frames=4), max_jobs=8)
+        )
+        engine.run()
+        assert engine.links_degraded > 0
+        # Flush any still-active transients the way a frame would, then
+        # check the working matrix is back to pristine (no cuts here).
+        for u, v in engine.faults.expire_degradations(10**9):
+            engine.lengths[u, v] = engine._base_lengths[u, v]
+            engine.lengths[v, u] = engine._base_lengths[v, u]
+        assert (engine.lengths == engine._base_lengths).all()
+
+
+class TestEngineStateUnderFaults:
+    def test_cut_links_leave_topology_and_alive_set_consistent(self):
+        config = make_config(
+            fault_profile="link-attrition", fault_seed=7, max_jobs=10
+        )
+        engine = build_engine(config)
+        engine.run()
+        for u, v in engine.faults.cut_links:
+            assert not engine.topology.has_edge(u, v)
+            assert engine.lengths[u, v] == float("inf")
+
+    def test_fault_killed_nodes_report_dead_with_charged_cells(self):
+        config = make_config(fault_profile="node-dropout", fault_seed=3)
+        engine = build_engine(config)
+        stats = engine.run()
+        killed = [
+            node
+            for node in range(engine.num_mesh_nodes)
+            if engine.nodes[node].fault_killed
+        ]
+        assert len(killed) == stats.nodes_fault_killed
+        for node in killed:
+            assert not engine.nodes[node].alive
+            assert engine.nodes[node].battery.alive  # cell still charged
+            assert node not in engine._alive_ids()
+
+    def test_energy_conservation_holds_under_faults(self):
+        config = make_config(fault_profile="link-attrition", fault_seed=7)
+        engine = build_engine(config)
+        stats = engine.run()
+        delivered = sum(
+            engine.nodes[n].battery.delivered_pj
+            for n in range(engine.num_mesh_nodes)
+        )
+        assert delivered == pytest.approx(
+            stats.energy.node_total_pj, rel=1e-9
+        )
+        nominal = engine.num_mesh_nodes * 60_000.0
+        residual = stats.wasted_at_death_pj + stats.stranded_alive_pj
+        assert nominal == pytest.approx(
+            delivered + stats.conversion_loss_pj + residual, rel=1e-9
+        )
+
+    def test_deadlock_recovery_survives_attrition(self):
+        # Buffered congestion plus live topology changes: the recovery
+        # protocol must still fire and still make progress.
+        config = make_config(
+            kind="concurrent",
+            concurrency=8,
+            buffers=1,
+            mesh_width=6,
+            fault_profile="link-attrition",
+            fault_seed=5,
+            max_jobs=25,
+        )
+        stats = run_simulation(config)
+        assert stats.jobs_completed > 0
+        assert stats.verification_failures == 0

@@ -1,0 +1,87 @@
+"""Golden-trace regression tests.
+
+One smoke point of each paper grid (fig7, fig8, table2) has its full
+``SimulationStats.summary()`` checked in under ``tests/golden/``.  These
+tests assert bit-identical replay through both sweep runners, so any
+future "behaviour-identical" hot-path optimisation is verified against
+stored truth rather than against itself.
+
+Regenerating (only after an *intentional* behaviour change — bump
+``CACHE_SCHEMA_VERSION`` alongside):
+
+    PYTHONPATH=src python -c "
+    import json, pathlib
+    from repro.orchestration import build_scenario
+    from repro.sim.et_sim import run_simulation
+    for scenario, label, filename in [
+        ('fig7', '4x4/ear', 'fig7_smoke_4x4_ear.json'),
+        ('fig8', '4x4/1ctl', 'fig8_smoke_4x4_1ctl.json'),
+        ('table2', '4x4/ear', 'table2_smoke_4x4_ear.json'),
+    ]:
+        point = next(p for p in build_scenario(scenario, scale='smoke')
+                     if p.label == label)
+        payload = {'scenario': scenario, 'scale': 'smoke', 'label': label,
+                   'summary': run_simulation(point.config).summary()}
+        pathlib.Path('tests/golden', filename).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + '\n')
+    "
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.orchestration import (
+    ParallelSweepRunner,
+    SequentialSweepRunner,
+    build_scenario,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+CASES = [
+    ("fig7", "4x4/ear", "fig7_smoke_4x4_ear.json"),
+    ("fig8", "4x4/1ctl", "fig8_smoke_4x4_1ctl.json"),
+    ("table2", "4x4/ear", "table2_smoke_4x4_ear.json"),
+]
+
+
+def golden(filename: str) -> dict:
+    return json.loads((GOLDEN_DIR / filename).read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("scenario,label,filename", CASES)
+def test_sequential_replay_is_bit_identical(scenario, label, filename):
+    expected = golden(filename)
+    points = [
+        point
+        for point in build_scenario(scenario, scale="smoke")
+        if point.label == label
+    ]
+    assert len(points) == 1, f"golden point {label} missing from {scenario}"
+    records = SequentialSweepRunner().run(points)
+    assert records[0].summary == expected["summary"]
+
+
+@pytest.mark.parametrize("scenario,label,filename", CASES)
+def test_parallel_replay_is_bit_identical(scenario, label, filename):
+    # The whole smoke grid goes through the pool so the golden point is
+    # executed alongside siblings, exactly as `bench --smoke` runs it.
+    expected = golden(filename)
+    records = ParallelSweepRunner(max_workers=2).run(
+        build_scenario(scenario, scale="smoke")
+    )
+    record = next(r for r in records if r.label == label)
+    assert record.summary == expected["summary"]
+
+
+def test_golden_fixtures_carry_their_identity():
+    # The stored files name the scenario/scale/label they were cut from,
+    # so a mismatched regeneration is caught by inspection.
+    for scenario, label, filename in CASES:
+        payload = golden(filename)
+        assert payload["scenario"] == scenario
+        assert payload["label"] == label
+        assert payload["scale"] == "smoke"
+        assert payload["summary"]["verification_failures"] == 0

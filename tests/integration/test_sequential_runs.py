@@ -2,22 +2,20 @@
 
 import pytest
 
-from repro.config import (
-    ControlConfig,
-    PlatformConfig,
-    SimulationConfig,
-    WorkloadConfig,
-)
-from repro.sim.et_sim import EtSim, run_simulation
+from helpers import build_engine, make_config
+from repro.config import ControlConfig
+from repro.sim.et_sim import run_simulation
 
 
 def run(width=4, routing="ear", battery="thin-film", **workload_kwargs):
-    config = SimulationConfig(
-        platform=PlatformConfig(mesh_width=width, battery_model=battery),
-        workload=WorkloadConfig(**workload_kwargs),
-        routing=routing,
+    return run_simulation(
+        make_config(
+            mesh_width=width,
+            routing=routing,
+            battery=battery,
+            **workload_kwargs,
+        )
     )
-    return run_simulation(config)
 
 
 class TestBasicRuns:
@@ -62,10 +60,7 @@ class TestBasicRuns:
 
 class TestEnergyAccounting:
     def test_energy_conservation(self):
-        config = SimulationConfig(
-            platform=PlatformConfig(mesh_width=4), routing="ear"
-        )
-        engine = EtSim(config).build_engine()
+        engine = build_engine(make_config(mesh_width=4, routing="ear"))
         stats = engine.run()
         ledger = stats.energy
 
@@ -103,12 +98,7 @@ class TestEnergyAccounting:
 
 class TestBudgets:
     def test_frame_budget_stops_runaway(self):
-        config = SimulationConfig(
-            platform=PlatformConfig(mesh_width=4),
-            workload=WorkloadConfig(max_frames=20),
-            routing="ear",
-        )
-        stats = run_simulation(config)
+        stats = run_simulation(make_config(max_frames=20))
         assert stats.death_cause == "frame-budget"
         assert stats.lifetime_frames == 20
 
@@ -119,14 +109,12 @@ class TestBudgets:
 
 class TestControllerDeath:
     def test_single_weak_controller_ends_the_system(self):
-        config = SimulationConfig(
-            platform=PlatformConfig(mesh_width=4),
+        config = make_config(
             control=ControlConfig(
                 num_controllers=1,
                 controller_battery="ideal",
                 controller_capacity_pj=5_000.0,
             ),
-            routing="ear",
         )
         stats = run_simulation(config)
         assert stats.death_cause == "controller-dead"
@@ -134,13 +122,11 @@ class TestControllerDeath:
     def test_more_controllers_never_hurt(self):
         jobs = []
         for count in (1, 2, 4):
-            config = SimulationConfig(
-                platform=PlatformConfig(mesh_width=4),
+            config = make_config(
                 control=ControlConfig(
                     num_controllers=count,
                     controller_battery="thin-film",
                 ),
-                routing="ear",
             )
             jobs.append(run_simulation(config).jobs_fractional)
         assert jobs[0] <= jobs[1] <= jobs[2]
@@ -148,13 +134,11 @@ class TestControllerDeath:
 
 class TestReturnToSink:
     def test_sink_return_costs_jobs(self):
-        with_return = SimulationConfig(
-            platform=PlatformConfig(mesh_width=4, return_to_sink=True),
-            routing="ear",
-        )
-        without = SimulationConfig(
-            platform=PlatformConfig(mesh_width=4, return_to_sink=False),
-            routing="ear",
+        from dataclasses import replace
+
+        without = make_config(mesh_width=4)
+        with_return = replace(
+            without, platform=replace(without.platform, return_to_sink=True)
         )
         jobs_with = run_simulation(with_return).jobs_fractional
         jobs_without = run_simulation(without).jobs_fractional

@@ -67,3 +67,94 @@ class TestSimulate:
         assert main(["simulate", "--mesh", "4", "--battery", "ideal"]) == 0
         out = capsys.readouterr().out
         assert "jobs_completed" in out
+
+
+class TestFaultFlags:
+    def test_fault_flags_parse_on_all_run_commands(self):
+        parser = build_parser()
+        for command in (
+            ["simulate"],
+            ["sweep"],
+            ["bench", "--smoke"],
+        ):
+            args = parser.parse_args(
+                command
+                + [
+                    "--fault-profile", "link-attrition",
+                    "--fault-seed", "7",
+                    "--fault-intensity", "2.0",
+                ]
+            )
+            assert args.fault_profile == "link-attrition"
+            assert args.fault_seed == 7
+            assert args.fault_intensity == 2.0
+
+    def test_fault_profile_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--fault-profile", "meteor-strike"]
+            )
+
+    def test_simulate_with_faults_reports_fault_counters(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--mesh", "4",
+                "--fault-profile", "link-attrition",
+                "--fault-seed", "7",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["links_cut"] > 0
+        assert payload["faults_injected"] >= payload["links_cut"]
+
+    def test_simulate_fault_seed_changes_the_outcome(self, capsys):
+        payloads = []
+        for seed in ("7", "8"):
+            assert main(
+                [
+                    "simulate",
+                    "--fault-profile", "node-dropout",
+                    "--fault-seed", seed,
+                    "--json",
+                ]
+            ) == 0
+            payloads.append(json.loads(capsys.readouterr().out))
+        assert payloads[0] != payloads[1]
+
+    def test_inert_fault_flags_do_not_change_the_config(self):
+        # Seed/intensity without a profile must normalise away, so the
+        # sweep-cache hash matches a flag-free invocation exactly.
+        from repro.cli import _fault_config
+        from repro.faults import FaultConfig
+
+        parser = build_parser()
+        flagged = parser.parse_args(
+            ["simulate", "--fault-seed", "7", "--fault-intensity", "3.0"]
+        )
+        assert _fault_config(flagged) == FaultConfig()
+
+    def test_default_is_fault_free(self, capsys):
+        assert main(["simulate", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["faults_injected"] == 0
+        assert payload["links_cut"] == 0
+
+    def test_bench_smoke_runs_a_fault_scenario(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("ETSIM_CACHE_DIR", str(tmp_path))
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--scenario", "fig7-faulty",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        records = payload["fig7-faulty"]
+        assert {r["routing"] for r in records} == {"ear", "sdr"}
+        assert all(r["fault_profile"] == "link-attrition" for r in records)
+        assert any(r["links_cut"] > 0 for r in records)

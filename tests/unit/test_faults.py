@@ -1,0 +1,197 @@
+"""Unit tests: fault configuration, schedule generation, runtime state,
+and sweep-cache invalidation on fault-profile changes."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from helpers import make_config
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FAULT_PROFILES,
+    FaultConfig,
+    FaultEvent,
+    FaultRuntime,
+    FaultSchedule,
+    build_fault_schedule,
+    fabric_links,
+)
+from repro.mesh.topology import attach_external_node, mesh2d
+from repro.orchestration import config_hash
+
+
+class TestFaultConfig:
+    def test_defaults_are_inactive(self):
+        config = FaultConfig()
+        assert config.profile == "none"
+        assert not config.is_active
+
+    @pytest.mark.parametrize("profile", FAULT_PROFILES[1:])
+    def test_active_profiles(self, profile):
+        assert FaultConfig(profile=profile).is_active
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(profile="meteor-strike")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"intensity": 0.0},
+            {"intensity": -1.0},
+            {"start_frame": -1},
+            {"period_frames": 0},
+            {"max_link_fraction": 1.5},
+            {"max_node_fraction": 1.0},
+            {"degrade_factor": 0.5},
+            {"degrade_frames": 0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(profile="link-attrition", **kwargs)
+
+    def test_round_trips_through_simulation_config(self):
+        config = make_config(fault_profile="wash-cycle", fault_seed=42)
+        rebuilt = type(config).from_dict(config.to_dict())
+        assert rebuilt.faults == config.faults
+
+    def test_old_documents_without_faults_section_still_load(self):
+        config = make_config()
+        raw = config.to_dict()
+        del raw["faults"]
+        assert type(config).from_dict(raw).faults == FaultConfig()
+
+
+class TestFabricLinks:
+    def test_excludes_external_attachments(self):
+        topology = mesh2d(4)
+        external = attach_external_node(topology, 0, 10.0)
+        links = fabric_links(topology, num_mesh_nodes=16)
+        assert len(links) == 24  # 2 * 4 * 3 internal mesh lines
+        assert all(external not in pair for pair in links)
+        assert links == sorted(links)
+
+
+class TestScheduleBuilders:
+    def test_none_profile_is_empty(self):
+        schedule = build_fault_schedule(
+            FaultConfig(), mesh2d(4), num_mesh_nodes=16, horizon_frames=1000
+        )
+        assert schedule.is_empty
+        assert len(schedule) == 0
+
+    def test_attrition_respects_link_budget(self):
+        config = FaultConfig(
+            profile="link-attrition", seed=1, max_link_fraction=0.25
+        )
+        schedule = build_fault_schedule(
+            config, mesh2d(4), num_mesh_nodes=16, horizon_frames=100_000
+        )
+        cuts = [e for e in schedule if e.kind == "link-cut"]
+        assert 0 < len(cuts) <= int(24 * 0.25)
+        assert len({(e.node_a, e.node_b) for e in cuts}) == len(cuts)
+
+    def test_intensity_accelerates_cadence(self):
+        slow = build_fault_schedule(
+            FaultConfig(profile="link-attrition", seed=1, intensity=1.0),
+            mesh2d(4), num_mesh_nodes=16, horizon_frames=100_000,
+        )
+        fast = build_fault_schedule(
+            FaultConfig(profile="link-attrition", seed=1, intensity=4.0),
+            mesh2d(4), num_mesh_nodes=16, horizon_frames=100_000,
+        )
+        assert fast.events[-1].frame < slow.events[-1].frame
+
+    def test_horizon_caps_events(self):
+        schedule = build_fault_schedule(
+            FaultConfig(profile="wash-cycle", seed=1),
+            mesh2d(4), num_mesh_nodes=16, horizon_frames=200,
+        )
+        assert all(event.frame < 200 for event in schedule)
+
+    def test_zero_node_fraction_disables_dropout(self):
+        schedule = build_fault_schedule(
+            FaultConfig(profile="node-dropout", seed=1,
+                        max_node_fraction=0.0),
+            mesh2d(4), num_mesh_nodes=16, horizon_frames=100_000,
+        )
+        assert schedule.is_empty
+
+    def test_dropout_never_touches_the_source(self):
+        schedule = build_fault_schedule(
+            FaultConfig(profile="node-dropout", seed=1,
+                        max_node_fraction=0.9),
+            mesh2d(4), num_mesh_nodes=16, horizon_frames=100_000,
+        )
+        kills = [e for e in schedule if e.kind == "node-kill"]
+        assert kills
+        assert all(0 <= e.node_a < 16 for e in kills)
+        # never every node: the fabric keeps at least one survivor
+        assert len(kills) < 16
+
+    def test_event_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultEvent(frame=0, kind="gremlin", node_a=0)
+
+
+class TestFaultRuntime:
+    def make_runtime(self):
+        return FaultRuntime(
+            FaultSchedule(
+                [
+                    FaultEvent(frame=2, kind="link-cut", node_a=0, node_b=1),
+                    FaultEvent(frame=2, kind="node-kill", node_a=5),
+                    FaultEvent(frame=7, kind="link-degrade", node_a=2,
+                               node_b=3, factor=2.0, duration_frames=3),
+                ]
+            )
+        )
+
+    def test_due_drains_in_frame_order(self):
+        runtime = self.make_runtime()
+        assert runtime.due(1) == []
+        assert len(runtime.due(2)) == 2
+        assert runtime.due(2) == []  # already delivered
+        assert len(runtime.due(100)) == 1
+
+    def test_cut_marks_both_directions(self):
+        runtime = self.make_runtime()
+        runtime.mark_cut(0, 1)
+        assert runtime.is_cut(0, 1)
+        assert runtime.is_cut(1, 0)
+        assert not runtime.is_cut(0, 2)
+
+    def test_cut_clears_degradation(self):
+        runtime = self.make_runtime()
+        runtime.degraded[(0, 1)] = (2.0, 50)
+        runtime.mark_cut(1, 0)
+        assert (0, 1) not in runtime.degraded
+
+    def test_degradation_expiry(self):
+        runtime = self.make_runtime()
+        runtime.degraded[(2, 3)] = (2.0, 10)
+        assert runtime.expire_degradations(9) == []
+        assert runtime.expire_degradations(10) == [(2, 3)]
+        assert runtime.degraded == {}
+
+
+class TestSweepCacheInvalidation:
+    def test_fault_profile_changes_the_config_hash(self):
+        plain = make_config()
+        faulty = replace(
+            plain, faults=FaultConfig(profile="link-attrition", seed=1)
+        )
+        assert config_hash(plain) != config_hash(faulty)
+
+    def test_fault_seed_changes_the_config_hash(self):
+        one = make_config(fault_profile="link-attrition", fault_seed=1)
+        two = make_config(fault_profile="link-attrition", fault_seed=2)
+        assert config_hash(one) != config_hash(two)
+
+    def test_identical_fault_configs_share_a_hash(self):
+        one = make_config(fault_profile="wash-cycle", fault_seed=4)
+        two = make_config(fault_profile="wash-cycle", fault_seed=4)
+        assert config_hash(one) == config_hash(two)
