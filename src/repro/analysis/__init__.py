@@ -11,7 +11,14 @@ from .calibration import (
     calibrated_link_pitch_cm,
     implied_communication_energy_pj,
 )
-from .faults import fault_free_twin, fault_impact, fault_impact_for
+from .faults import (
+    fault_free_twin,
+    fault_impact,
+    fault_impact_for,
+    wear_aware_twin,
+    wear_comparison,
+    wear_comparison_for,
+)
 from .sweep import SweepResult, run_sweep, sweep_controllers, sweep_mesh_sizes
 from .tables import format_table
 from .theory import bound_comparison, gap_report
@@ -31,4 +38,7 @@ __all__ = [
     "series_chart",
     "sweep_controllers",
     "sweep_mesh_sizes",
+    "wear_aware_twin",
+    "wear_comparison",
+    "wear_comparison_for",
 ]

@@ -50,6 +50,7 @@ def fault_impact(baseline: dict, faulty: dict) -> dict:
         "faults_injected": faulty.get("faults_injected", 0),
         "links_cut": faulty.get("links_cut", 0),
         "links_degraded": faulty.get("links_degraded", 0),
+        "links_repaired": faulty.get("links_repaired", 0),
         "nodes_fault_killed": faulty.get("nodes_fault_killed", 0),
         "packets_rerouted": faulty.get("packets_rerouted", 0),
     }
@@ -62,3 +63,50 @@ def fault_impact_for(config: SimulationConfig) -> dict:
     faulty = run_simulation(config).summary()
     baseline = run_simulation(fault_free_twin(config)).summary()
     return fault_impact(baseline, faulty)
+
+
+def wear_aware_twin(config: SimulationConfig) -> SimulationConfig:
+    """The same run with the wear-prediction weight switched on."""
+    return replace(config, wear_aware=True)
+
+
+def wear_comparison(reactive: dict, wear_aware: dict) -> dict:
+    """Wear-aware EAR against reactive EAR on the same fault schedule.
+
+    Args:
+        reactive: ``SimulationStats.summary()`` of the plain-EAR run.
+        wear_aware: Summary of the wear-aware run of the same config.
+
+    Returns:
+        JSON-safe dict with the lifetime and delivery deltas the
+        wear-prediction weight bought (positive = wear-aware is ahead).
+    """
+    reactive_jobs = float(reactive["jobs_fractional"])
+    wear_jobs = float(wear_aware["jobs_fractional"])
+    return {
+        "jobs_reactive": reactive_jobs,
+        "jobs_wear_aware": wear_jobs,
+        "jobs_gain": round(wear_jobs - reactive_jobs, 3),
+        "lifetime_reactive_frames": reactive["lifetime_frames"],
+        "lifetime_wear_aware_frames": wear_aware["lifetime_frames"],
+        "lifetime_gain_frames": (
+            wear_aware["lifetime_frames"] - reactive["lifetime_frames"]
+        ),
+        "recomputes_reactive": reactive.get("recomputes", 0),
+        "recomputes_wear_aware": wear_aware.get("recomputes", 0),
+        "packets_rerouted_reactive": reactive.get("packets_rerouted", 0),
+        "packets_rerouted_wear_aware": wear_aware.get(
+            "packets_rerouted", 0
+        ),
+    }
+
+
+def wear_comparison_for(config: SimulationConfig) -> dict:
+    """Run ``config`` reactively and wear-aware; return the comparison."""
+    from ..sim.et_sim import run_simulation
+
+    reactive = run_simulation(
+        replace(config, wear_aware=False)
+    ).summary()
+    wear_aware = run_simulation(wear_aware_twin(config)).summary()
+    return wear_comparison(reactive, wear_aware)

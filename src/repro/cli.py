@@ -54,6 +54,15 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
         "--fault-intensity", type=float, default=1.0, metavar="X",
         help="fault event cadence multiplier (default 1.0)",
     )
+    parser.add_argument(
+        "--fault-repair-frames", type=int, default=0, metavar="F",
+        help="re-sew every cut line F frames after its cut (0 = never)",
+    )
+    parser.add_argument(
+        "--wear-weight", action="store_true",
+        help="enable the wear-prediction routing weight (EAR routes "
+        "around high-wear lines before they sever)",
+    )
 
 
 def _fault_config(args: argparse.Namespace) -> FaultConfig:
@@ -65,6 +74,7 @@ def _fault_config(args: argparse.Namespace) -> FaultConfig:
         profile=args.fault_profile,
         seed=args.fault_seed,
         intensity=args.fault_intensity,
+        repair_after_frames=args.fault_repair_frames,
     )
 
 
@@ -95,6 +105,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         workload=WorkloadConfig(seed=args.seed),
         faults=_fault_config(args),
         routing=args.routing,
+        wear_aware=args.wear_weight,
     )
     stats = run_simulation(config)
     if args.json:
@@ -143,7 +154,9 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.sweep import sweep_mesh_sizes
 
-    base = SimulationConfig(faults=_fault_config(args))
+    base = SimulationConfig(
+        faults=_fault_config(args), wear_aware=args.wear_weight
+    )
     widths = tuple(range(args.min_mesh, args.max_mesh + 1))
     results = sweep_mesh_sizes(
         base, widths=widths, runner=_make_runner(args)
@@ -187,7 +200,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # The fault flags shape the *base* configuration handed to every
     # scenario; fault scenarios (fig7-faulty, ...) override the profile
     # with their own schedules.
-    base = SimulationConfig(faults=_fault_config(args))
+    base = SimulationConfig(
+        faults=_fault_config(args), wear_aware=args.wear_weight
+    )
     runner = _make_runner(args)
     cache = runner.cache
     emitted: dict[str, list[dict]] = {}

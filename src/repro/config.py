@@ -25,7 +25,13 @@ from .control.tdma import (
     DEFAULT_TABLE_ENTRY_BITS,
     TdmaSchedule,
 )
-from .core.weights import DEFAULT_Q, BatteryWeightFunction
+from .core.weights import (
+    DEFAULT_Q,
+    DEFAULT_WEAR_Q,
+    DEFAULT_WEAR_QUANTUM,
+    BatteryWeightFunction,
+    WearWeightFunction,
+)
 from .errors import ConfigurationError
 from .faults.config import FaultConfig
 from .link.energy import LinkEnergyModel
@@ -342,6 +348,13 @@ class SimulationConfig:
         faults: Fault-injection schedule description (default: none).
         routing: ``"ear"`` or ``"sdr"``.
         weight_q: EAR's strengthening constant ``Q``.
+        wear_aware: Enable the wear-prediction weight: EAR additionally
+            penalises links with high traversal counts or degradation
+            history, routing around failing lines *before* they sever.
+            Only meaningful with ``routing == "ear"``.
+        wear_q: Penalty base of the wear weight (>= 1; 1 degenerates to
+            reactive EAR).
+        wear_quantum: Traversals per quantised wear level.
     """
 
     platform: PlatformConfig = field(default_factory=PlatformConfig)
@@ -350,6 +363,9 @@ class SimulationConfig:
     faults: FaultConfig = field(default_factory=FaultConfig)
     routing: str = "ear"
     weight_q: float = DEFAULT_Q
+    wear_aware: bool = False
+    wear_q: float = DEFAULT_WEAR_Q
+    wear_quantum: int = DEFAULT_WEAR_QUANTUM
 
     def __post_init__(self) -> None:
         if self.routing not in ROUTING_ALGORITHMS:
@@ -359,11 +375,21 @@ class SimulationConfig:
             )
         if self.weight_q <= 0:
             raise ConfigurationError("weight Q must be positive")
+        if self.wear_q < 1.0:
+            raise ConfigurationError("wear Q must be >= 1")
+        if self.wear_quantum < 1:
+            raise ConfigurationError("wear quantum must be >= 1")
 
     def weight_function(self) -> BatteryWeightFunction:
         return BatteryWeightFunction(
             q=self.weight_q, levels=self.platform.battery_levels
         )
+
+    def wear_function(self) -> WearWeightFunction | None:
+        """The wear-prediction penalty, or None when disabled."""
+        if not self.wear_aware:
+            return None
+        return WearWeightFunction(q=self.wear_q, quantum=self.wear_quantum)
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -447,4 +473,7 @@ class SimulationConfig:
             else FaultConfig(),
             routing=data.get("routing", "ear"),
             weight_q=data.get("weight_q", DEFAULT_Q),
+            wear_aware=data.get("wear_aware", False),
+            wear_q=data.get("wear_q", DEFAULT_WEAR_Q),
+            wear_quantum=data.get("wear_quantum", DEFAULT_WEAR_QUANTUM),
         )

@@ -147,6 +147,9 @@ class ControlPlane:
         self._plan: RoutingPlan | None = None
         self._last_tables: np.ndarray | None = None
         self._recompute_count = 0
+        #: Quantised per-link wear levels pushed by the engine (None
+        #: while wear-aware routing is off or nothing wore out yet).
+        self._wear: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -189,6 +192,17 @@ class ControlPlane:
         self._lengths = np.array(lengths, dtype=float)
         self._links_changed = True
 
+    def update_wear(self, wear: np.ndarray) -> None:
+        """Hook: the quantised wear picture changed.
+
+        The engine pushes a fresh wear-level matrix only when some link
+        crossed a level boundary (the fault runtime's quantisation), so
+        this triggers a recomputation exactly as a changed battery
+        report would — not on every traversal.
+        """
+        self._wear = np.array(wear, dtype=int)
+        self._links_changed = True
+
     def view(self) -> NetworkView:
         """Current reported-state snapshot."""
         return NetworkView(
@@ -198,6 +212,7 @@ class ControlPlane:
             levels=self._levels,
             mapping=self._mapping,
             blocked_ports=self._registry.blocked_ports(),
+            wear=self._wear,
         )
 
     # ------------------------------------------------------------------
@@ -328,9 +343,13 @@ class ControlPlane:
             if self._last_tables is None:
                 entries_sent = int(np.count_nonzero(new_tables >= 0))
             else:
-                entries_sent = int(
-                    np.count_nonzero(new_tables != self._last_tables)
-                )
+                # Only rows of *live* nodes are downloaded: a dead
+                # node's row flips to -1 against the previous tables,
+                # and the controller must not pay to download a routing
+                # table to a corpse.
+                changed = new_tables != self._last_tables
+                changed &= self._node_alive[:, np.newaxis]
+                entries_sent = int(np.count_nonzero(changed))
             self._last_tables = new_tables
             energy["download_tx"] = (
                 entries_sent * self._schedule.table_entry_energy_pj
@@ -340,9 +359,6 @@ class ControlPlane:
             u for i, u in enumerate(self._units)
             if i != active_index and u.alive
         ]
-        energy["idle_leak"] = len(idle_units) * self._energy_model.idle_energy_pj(
-            self._num_nodes
-        )
 
         # Charge the energy: active unit pays rx+compute+download+housekeeping,
         # idle units pay their own leak.
@@ -353,11 +369,16 @@ class ControlPlane:
             + energy["housekeeping"]
         )
         survived = active.draw(active_cost, self._schedule.frame_cycles)
+        idle_cost = self._energy_model.idle_energy_pj(self._num_nodes)
+        # The reported leak is what the idle cells actually *delivered*
+        # — a unit dying mid-draw delivers less than the nominal quantum,
+        # and the frame breakdown must agree with the batteries.
+        idle_delivered = 0.0
         for unit in idle_units:
-            unit.draw(
-                self._energy_model.idle_energy_pj(self._num_nodes),
-                self._schedule.frame_cycles,
-            )
+            before = unit.delivered_pj
+            unit.draw(idle_cost, self._schedule.frame_cycles)
+            idle_delivered += unit.delivered_pj - before
+        energy["idle_leak"] = idle_delivered
 
         failed_over = False
         if not survived:

@@ -18,6 +18,8 @@ from .phase3 import RoutingPlan, select_destinations
 from .view import NetworkView
 from .weights import (
     BatteryWeightFunction,
+    WearWeightFunction,
+    apply_wear_penalty,
     ear_weight_matrix,
     sdr_weight_matrix,
 )
@@ -59,37 +61,66 @@ class ShortestDistanceRouting(RoutingEngine):
 
 
 class EnergyAwareRouting(RoutingEngine):
-    """EAR: lengths scaled by the receiver's battery weight ``f(N_B(j))``."""
+    """EAR: lengths scaled by the receiver's battery weight ``f(N_B(j))``.
+
+    With a :class:`~repro.core.weights.WearWeightFunction` attached, the
+    weight matrix is additionally scaled by the per-link wear penalty
+    whenever the view carries wear information — routing drifts away
+    from worn lines before they sever, instead of only reacting to
+    discovered cuts.
+    """
 
     name = "ear"
 
-    def __init__(self, weight_function: BatteryWeightFunction | None = None):
+    def __init__(
+        self,
+        weight_function: BatteryWeightFunction | None = None,
+        wear_function: WearWeightFunction | None = None,
+    ):
         self._weight_function = (
             weight_function
             if weight_function is not None
             else BatteryWeightFunction()
         )
+        self._wear_function = wear_function
 
     @property
     def weight_function(self) -> BatteryWeightFunction:
         """The battery weighting function ``f`` in use."""
         return self._weight_function
 
+    @property
+    def wear_function(self) -> WearWeightFunction | None:
+        """The wear-prediction penalty in use (None = reactive EAR)."""
+        return self._wear_function
+
     def weight_matrix(self, view: NetworkView) -> np.ndarray:
-        return ear_weight_matrix(view, self._weight_function)
+        weights = ear_weight_matrix(view, self._weight_function)
+        if self._wear_function is not None and view.wear is not None:
+            weights = apply_wear_penalty(
+                weights, view.wear, self._wear_function
+            )
+        return weights
 
     def __repr__(self) -> str:
         wf = self._weight_function
-        return f"EnergyAwareRouting(q={wf.q}, levels={wf.levels})"
+        if self._wear_function is None:
+            return f"EnergyAwareRouting(q={wf.q}, levels={wf.levels})"
+        return (
+            f"EnergyAwareRouting(q={wf.q}, levels={wf.levels}, "
+            f"wear_q={self._wear_function.q})"
+        )
 
 
 def routing_engine(
-    name: str, weight_function: BatteryWeightFunction | None = None
+    name: str,
+    weight_function: BatteryWeightFunction | None = None,
+    wear_function: WearWeightFunction | None = None,
 ) -> RoutingEngine:
     """Factory by short name (``"ear"`` or ``"sdr"``)."""
     normalized = name.strip().lower()
     if normalized == "ear":
-        return EnergyAwareRouting(weight_function)
+        return EnergyAwareRouting(weight_function, wear_function)
     if normalized == "sdr":
         return ShortestDistanceRouting()
     raise ConfigurationError(

@@ -32,6 +32,9 @@ class NetworkView:
         mapping: Module-to-node assignment.
         blocked_ports: Set of ``(node, successor)`` pairs currently in a
             deadlock state; phase 3 avoids choosing them.
+        wear: Optional ``(K, K)`` matrix of quantised per-link wear
+            levels (traversal counts plus degradation history, reported
+            by the fault runtime); None when wear-aware routing is off.
     """
 
     lengths: np.ndarray
@@ -42,6 +45,7 @@ class NetworkView:
     blocked_ports: frozenset[tuple[int, int]] = field(
         default_factory=frozenset
     )
+    wear: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         lengths = np.asarray(self.lengths, dtype=float)
@@ -72,6 +76,15 @@ class NetworkView:
         object.__setattr__(self, "lengths", lengths)
         object.__setattr__(self, "alive", alive)
         object.__setattr__(self, "battery_levels", levels_vec)
+        if self.wear is not None:
+            wear = np.asarray(self.wear, dtype=int)
+            if wear.shape != (size, size):
+                raise ConfigurationError(
+                    f"wear matrix must be {size}x{size}, got {wear.shape}"
+                )
+            if wear.min(initial=0) < 0:
+                raise ConfigurationError("wear levels must be >= 0")
+            object.__setattr__(self, "wear", wear)
 
     @property
     def num_nodes(self) -> int:
@@ -93,4 +106,5 @@ class NetworkView:
             levels=self.levels,
             mapping=self.mapping,
             blocked_ports=blocked,
+            wear=self.wear,
         )

@@ -32,6 +32,22 @@ from .view import NetworkView
 #: paper's 44.5-48.2 % band of the analytical bound (see EXPERIMENTS.md).
 DEFAULT_Q = 1.6
 
+#: Default wear-penalty base: a link one wear level up looks 10 %
+#: longer.  Deliberately gentler than the battery weight — wear is a
+#: *prediction* of failure, not a measured depletion, and an aggressive
+#: penalty would fight the battery balancing it rides on top of.
+#: Calibrated (with the quantum below) on the wear-aware scenario's
+#: attrition grid so the wear weight never shortens lifetime there.
+DEFAULT_WEAR_Q = 1.1
+
+#: Default traversal count per wear level (one quantum of mechanical
+#: stress); each past degradation event also counts as one full level.
+DEFAULT_WEAR_QUANTUM = 96
+
+#: Wear-level cap shared by the fault runtime's quantiser and the
+#: penalty table — one source of truth for where wear saturates.
+DEFAULT_WEAR_LEVELS = 8
+
 
 @dataclass(frozen=True)
 class BatteryWeightFunction:
@@ -65,6 +81,72 @@ class BatteryWeightFunction:
     def table(self) -> np.ndarray:
         """Vector of multipliers indexed by level (used for vectorising)."""
         return np.array([self(level) for level in range(self.levels)])
+
+
+@dataclass(frozen=True)
+class WearWeightFunction:
+    """Wear-prediction penalty: ``g(w) = Q_w ** min(w, levels - 1)``.
+
+    ``w`` is a link's quantised wear level — its traversal count in
+    units of a wear quantum plus one level per degradation event it has
+    suffered.  Heavily-used or previously-degraded lines look longer,
+    so EAR drifts traffic off them *before* they sever (the ROADMAP's
+    wear-prediction open item).  A pristine link (level 0) is
+    unpenalised, and ``q == 1`` degenerates to reactive EAR.
+
+    Args:
+        q: Penalty base ``Q_w`` (>= 1).
+        quantum: Traversals per wear level (>= 1).
+        levels: Level cap (the penalty saturates, like battery levels).
+    """
+
+    q: float = DEFAULT_WEAR_Q
+    quantum: int = DEFAULT_WEAR_QUANTUM
+    levels: int = DEFAULT_WEAR_LEVELS
+
+    def __post_init__(self) -> None:
+        if self.q < 1.0:
+            raise ConfigurationError(
+                f"wear penalty base must be >= 1, got {self.q}"
+            )
+        if self.quantum < 1:
+            raise ConfigurationError(
+                f"wear quantum must be >= 1, got {self.quantum}"
+            )
+        if self.levels < 1:
+            raise ConfigurationError(
+                f"wear levels must be >= 1, got {self.levels}"
+            )
+
+    def __call__(self, level: int) -> float:
+        """Weight multiplier of a link at wear ``level``."""
+        if level < 0:
+            raise ConfigurationError(
+                f"wear level must be >= 0, got {level}"
+            )
+        return self.q ** min(level, self.levels - 1)
+
+    def table(self) -> np.ndarray:
+        """Vector of multipliers indexed by level."""
+        return np.array([self(level) for level in range(self.levels)])
+
+
+def apply_wear_penalty(
+    weights: np.ndarray,
+    wear: np.ndarray,
+    wear_function: WearWeightFunction,
+) -> np.ndarray:
+    """Scale a weight matrix by the per-link wear penalty.
+
+    ``inf`` entries (severed or masked lines) stay ``inf`` and the
+    diagonal stays 0, so the Floyd–Warshall conventions survive.
+    """
+    multipliers = wear_function.table()[
+        np.minimum(wear, wear_function.levels - 1)
+    ]
+    weights = weights * multipliers
+    np.fill_diagonal(weights, 0.0)
+    return weights
 
 
 def _masked_lengths(view: NetworkView) -> np.ndarray:

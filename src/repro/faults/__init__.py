@@ -10,7 +10,12 @@ replayable, cacheable and bit-identical across sequential and parallel
 sweep runners.
 """
 
-from .config import FAULT_KINDS, FAULT_PROFILES, FaultConfig
+from .config import (
+    CUTTING_PROFILES,
+    FAULT_KINDS,
+    FAULT_PROFILES,
+    FaultConfig,
+)
 from .schedule import (
     FaultEvent,
     FaultRuntime,
@@ -20,6 +25,7 @@ from .schedule import (
 )
 
 __all__ = [
+    "CUTTING_PROFILES",
     "FAULT_KINDS",
     "FAULT_PROFILES",
     "FaultConfig",

@@ -24,11 +24,30 @@ from ..errors import ConfigurationError
 #: * ``node-dropout``    — whole-node failures independent of battery state;
 #: * ``wash-cycle``      — periodic stress bursts: several links transiently
 #:   degraded (hop energy scaled by ``degrade_factor``), with occasional
-#:   permanent cuts.
-FAULT_PROFILES = ("none", "link-attrition", "node-dropout", "wash-cycle")
+#:   permanent cuts;
+#: * ``tear``            — spatially *correlated* cuts: each event picks a
+#:   seed link and severs its whole geometric neighbourhood within
+#:   ``tear_radius`` (a tear through the fabric takes adjacent lines with
+#:   it, Wang et al. 2023);
+#: * ``moisture``        — a patch of links degrades *together*; the patch
+#:   centre drifts across the fabric between bursts (a damp region
+#:   spreading through the weave).
+FAULT_PROFILES = (
+    "none",
+    "link-attrition",
+    "node-dropout",
+    "wash-cycle",
+    "tear",
+    "moisture",
+)
 
-#: Fault-event kinds emitted by the schedule builders.
-FAULT_KINDS = ("link-cut", "node-kill", "link-degrade")
+#: Fault-event kinds emitted by the schedule builders.  ``link-repair``
+#: restores a previously cut line (a re-sewn interconnect).
+FAULT_KINDS = ("link-cut", "node-kill", "link-degrade", "link-repair")
+
+#: Profiles that emit permanent ``link-cut`` events (and therefore can
+#: schedule follow-up repairs via ``repair_after_frames``).
+CUTTING_PROFILES = ("link-attrition", "wash-cycle", "tear")
 
 
 @dataclass(frozen=True)
@@ -50,6 +69,14 @@ class FaultConfig:
         degrade_factor: Hop-energy multiplier of a degraded link (models
             increased line resistance from a worn contact).
         degrade_frames: Frames a transient degradation lasts.
+        tear_radius: Geometric radius (in link-pitch units) of the
+            neighbourhood a ``tear`` event cuts around its seed link.
+        moisture_radius: Radius of the patch a ``moisture`` burst
+            degrades around its drifting centre.
+        repair_after_frames: When > 0, every permanent cut emitted by a
+            cutting profile (:data:`CUTTING_PROFILES`) is followed by a
+            ``link-repair`` event this many frames later — the line is
+            re-sewn and routing capacity restored.  0 disables repair.
     """
 
     profile: str = "none"
@@ -61,6 +88,9 @@ class FaultConfig:
     max_node_fraction: float = 0.15
     degrade_factor: float = 3.0
     degrade_frames: int = 16
+    tear_radius: float = 1.5
+    moisture_radius: float = 2.0
+    repair_after_frames: int = 0
 
     def __post_init__(self) -> None:
         if self.profile not in FAULT_PROFILES:
@@ -92,6 +122,19 @@ class FaultConfig:
             )
         if self.degrade_frames < 1:
             raise ConfigurationError("degrade duration must be >= 1 frame")
+        if self.tear_radius <= 0:
+            raise ConfigurationError(
+                f"tear radius must be positive, got {self.tear_radius}"
+            )
+        if self.moisture_radius <= 0:
+            raise ConfigurationError(
+                f"moisture radius must be positive, got {self.moisture_radius}"
+            )
+        if self.repair_after_frames < 0:
+            raise ConfigurationError(
+                "repair_after_frames must be >= 0 (0 disables repair), "
+                f"got {self.repair_after_frames}"
+            )
 
     @property
     def is_active(self) -> bool:

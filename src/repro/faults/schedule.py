@@ -23,6 +23,9 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
+from ..core.weights import DEFAULT_WEAR_LEVELS
 from ..mesh.topology import Topology
 from .config import FAULT_KINDS, FaultConfig
 
@@ -166,6 +169,7 @@ def _wash_cycle(
     burst_size = max(1, len(links) // 8)
     events: list[FaultEvent] = []
     cuts = 0
+    uncut = list(links)
     frame = config.start_frame + spacing
     while frame < horizon:
         for u, v in rng.sample(list(links), min(burst_size, len(links))):
@@ -179,14 +183,174 @@ def _wash_cycle(
                     duration_frames=config.degrade_frames,
                 )
             )
-        if cuts < cut_budget and rng.random() < 0.5:
-            u, v = links[rng.randrange(len(links))]
+        if uncut and cuts < cut_budget and rng.random() < 0.5:
+            # Sample from the links not yet chosen for a cut: a duplicate
+            # pick would be silently skipped at application time, burning
+            # the budget without severing anything.
+            u, v = uncut.pop(rng.randrange(len(uncut)))
             events.append(
                 FaultEvent(frame=frame, kind="link-cut", node_a=u, node_b=v)
             )
             cuts += 1
         frame += spacing
     return events
+
+
+def _link_midpoints(
+    topology: Topology, links: Sequence[tuple[int, int]]
+) -> dict[tuple[int, int], tuple[float, float]]:
+    """Geometric midpoint of every link that has one."""
+    midpoints = {}
+    for pair in links:
+        midpoint = topology.edge_midpoint(*pair)
+        if midpoint is not None:
+            midpoints[pair] = midpoint
+    return midpoints
+
+
+def _distance(a: tuple[float, float], b: tuple[float, float]) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def _tear(
+    config: FaultConfig,
+    links: Sequence[tuple[int, int]],
+    topology: Topology,
+    rng: random.Random,
+    horizon: int,
+) -> list[FaultEvent]:
+    """Spatially correlated cuts: each event severs a whole neighbourhood.
+
+    One tear picks a seed link and cuts every not-yet-cut link whose
+    midpoint lies within ``tear_radius`` of the seed's midpoint,
+    nearest-first (so a budget truncation still leaves a connected
+    patch).  Fabrics without geometry degrade to single-link tears.
+    """
+    if not links:
+        return []
+    budget = int(len(links) * config.max_link_fraction)
+    if budget == 0 and config.max_link_fraction > 0:
+        budget = 1
+    midpoints = _link_midpoints(topology, links)
+    uncut = list(links)
+    events: list[FaultEvent] = []
+    burst = 0
+    while budget > 0 and uncut:
+        frame = _event_frame(config, burst)
+        burst += 1
+        if frame >= horizon:
+            break
+        seed = uncut[rng.randrange(len(uncut))]
+        centre = midpoints.get(seed)
+        if centre is None:
+            neighbourhood = [seed]
+        else:
+            # Nearest-first, pair-ordered on ties: deterministic, and a
+            # budget cut-off keeps the severed patch connected.
+            reachable = sorted(
+                (distance, pair)
+                for pair in uncut
+                if pair in midpoints
+                and (distance := _distance(midpoints[pair], centre))
+                <= config.tear_radius
+            )
+            neighbourhood = [pair for _, pair in reachable]
+        for u, v in neighbourhood[:budget]:
+            events.append(
+                FaultEvent(frame=frame, kind="link-cut", node_a=u, node_b=v)
+            )
+            uncut.remove((u, v))
+            budget -= 1
+    return events
+
+
+def _moisture(
+    config: FaultConfig,
+    links: Sequence[tuple[int, int]],
+    topology: Topology,
+    rng: random.Random,
+    horizon: int,
+) -> list[FaultEvent]:
+    """A damp patch degrades a whole region; the patch drifts over time.
+
+    Every cadence burst degrades all links within ``moisture_radius`` of
+    the current patch centre (refreshing any still-active degradation),
+    then the centre takes one random unit step, clamped to the fabric's
+    bounding box.  Without geometry the patch is a single random link.
+    """
+    if not links:
+        return []
+    midpoints = _link_midpoints(topology, links)
+    spacing = max(
+        1, int(math.ceil(config.period_frames / config.intensity))
+    )
+    events: list[FaultEvent] = []
+    if midpoints:
+        xs = [p[0] for p in midpoints.values()]
+        ys = [p[1] for p in midpoints.values()]
+        bounds = (min(xs), max(xs), min(ys), max(ys))
+        seed = list(midpoints)[rng.randrange(len(midpoints))]
+        centre = midpoints[seed]
+    else:
+        bounds = None
+        centre = None
+    frame = config.start_frame + spacing
+    while frame < horizon:
+        if centre is None:
+            patch = [links[rng.randrange(len(links))]]
+        else:
+            patch = [
+                pair
+                for pair in links
+                if pair in midpoints
+                and _distance(midpoints[pair], centre)
+                <= config.moisture_radius
+            ]
+        for u, v in patch:
+            events.append(
+                FaultEvent(
+                    frame=frame,
+                    kind="link-degrade",
+                    node_a=u,
+                    node_b=v,
+                    factor=config.degrade_factor,
+                    duration_frames=config.degrade_frames,
+                )
+            )
+        if centre is not None and bounds is not None:
+            dx = rng.choice((-1.0, 0.0, 1.0))
+            dy = rng.choice((-1.0, 0.0, 1.0))
+            centre = (
+                min(max(centre[0] + dx, bounds[0]), bounds[1]),
+                min(max(centre[1] + dy, bounds[2]), bounds[3]),
+            )
+        frame += spacing
+    return events
+
+
+def _with_repairs(
+    config: FaultConfig, events: list[FaultEvent], horizon: int
+) -> list[FaultEvent]:
+    """Schedule a ``link-repair`` after every cut, when configured.
+
+    A repair re-sews the severed line ``repair_after_frames`` after its
+    cut; repairs that would land past the horizon are dropped (the run
+    ends with the line still severed).
+    """
+    if config.repair_after_frames <= 0:
+        return events
+    repairs = [
+        FaultEvent(
+            frame=event.frame + config.repair_after_frames,
+            kind="link-repair",
+            node_a=event.node_a,
+            node_b=event.node_b,
+        )
+        for event in events
+        if event.kind == "link-cut"
+        and event.frame + config.repair_after_frames < horizon
+    ]
+    return events + repairs
 
 
 def build_fault_schedule(
@@ -209,27 +373,59 @@ def build_fault_schedule(
         events = _link_attrition(config, links, rng, horizon_frames)
     elif config.profile == "node-dropout":
         events = _node_dropout(config, num_mesh_nodes, rng, horizon_frames)
+    elif config.profile == "tear":
+        events = _tear(config, links, topology, rng, horizon_frames)
+    elif config.profile == "moisture":
+        events = _moisture(config, links, topology, rng, horizon_frames)
     else:  # wash-cycle
         events = _wash_cycle(config, links, rng, horizon_frames)
+    # _with_repairs keys on the emitted link-cut events themselves, so
+    # any profile that cuts (today: CUTTING_PROFILES) gets its repairs
+    # without needing a second registration.
+    events = _with_repairs(config, events, horizon_frames)
     return FaultSchedule(events)
 
 
 class FaultRuntime:
-    """Per-run fault state: schedule cursor, cut links, degradations.
+    """Per-run fault state: schedule cursor, cut links, degradations,
+    and the per-link wear history backing the wear-prediction weight.
 
     The engines query :attr:`cut_links` on every hop decision (it is a
     plain set of *directed* pairs, empty for fault-free runs, so the
     hot-path cost is one set membership test) and drain due events at
     frame boundaries via :meth:`due`.
+
+    Wear tracking (:meth:`note_traversal` / :meth:`note_degraded`) is
+    opt-in via ``wear_quantum``: each link's wear level is its traversal
+    count in units of ``wear_quantum`` plus one full level per
+    degradation event it has suffered, capped at ``wear_levels - 1``.
+    :attr:`wear_dirty` flips whenever some link crosses a level
+    boundary, so the engine only pushes a fresh wear picture to the
+    controller when the quantised state actually changed — the same
+    trigger discipline as battery-level reports.
     """
 
-    def __init__(self, schedule: FaultSchedule):
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        wear_quantum: int = 0,
+        wear_levels: int = DEFAULT_WEAR_LEVELS,
+    ):
         self.schedule = schedule
         self._cursor = 0
         #: Directed pairs severed so far (both directions of every cut).
         self.cut_links: set[tuple[int, int]] = set()
         #: Canonical ``(min, max)`` pair -> (factor, expiry frame).
         self.degraded: dict[tuple[int, int], tuple[float, int]] = {}
+        #: Canonical pair -> data-network traversal count.
+        self.traversals: dict[tuple[int, int], int] = {}
+        #: Canonical pair -> degradation events suffered so far.
+        self.degrade_counts: dict[tuple[int, int], int] = {}
+        self.wear_quantum = int(wear_quantum)
+        self.wear_levels = int(wear_levels)
+        #: Canonical pair -> current quantised wear level (> 0 only).
+        self._levels: dict[tuple[int, int], int] = {}
+        self.wear_dirty = False
 
     def due(self, frame: int) -> list[FaultEvent]:
         """Events scheduled at or before ``frame`` not yet delivered."""
@@ -259,5 +455,60 @@ class FaultRuntime:
         self.cut_links.add((v, u))
         self.degraded.pop((min(u, v), max(u, v)), None)
 
+    def mark_repaired(self, u: int, v: int) -> None:
+        """A cut line was re-sewn: clear its severed state.
+
+        The repaired line starts a fresh wear life — the traversal and
+        degradation history of the old line is discarded along with any
+        quantised wear level it had accumulated.
+        """
+        self.cut_links.discard((u, v))
+        self.cut_links.discard((v, u))
+        pair = (min(u, v), max(u, v))
+        self.traversals.pop(pair, None)
+        self.degrade_counts.pop(pair, None)
+        if self._levels.pop(pair, None) is not None:
+            self.wear_dirty = True
+
     def is_cut(self, u: int, v: int) -> bool:
         return (u, v) in self.cut_links
+
+    # ------------------------------------------------------------------
+    # Wear tracking
+    # ------------------------------------------------------------------
+    def _refresh_level(self, pair: tuple[int, int]) -> None:
+        level = min(
+            self.wear_levels - 1,
+            self.traversals.get(pair, 0) // self.wear_quantum
+            + self.degrade_counts.get(pair, 0),
+        )
+        if level != self._levels.get(pair, 0):
+            if level:
+                self._levels[pair] = level
+            else:
+                self._levels.pop(pair, None)
+            self.wear_dirty = True
+
+    def note_traversal(self, u: int, v: int) -> None:
+        """One packet crossed the ``u - v`` line (hot path when enabled)."""
+        if not self.wear_quantum:
+            return
+        pair = (u, v) if u < v else (v, u)
+        self.traversals[pair] = self.traversals.get(pair, 0) + 1
+        self._refresh_level(pair)
+
+    def note_degraded(self, u: int, v: int) -> None:
+        """The ``u - v`` line suffered one degradation event."""
+        if not self.wear_quantum:
+            return
+        pair = (u, v) if u < v else (v, u)
+        self.degrade_counts[pair] = self.degrade_counts.get(pair, 0) + 1
+        self._refresh_level(pair)
+
+    def wear_level_matrix(self, num_nodes: int) -> np.ndarray:
+        """Dense symmetric ``(K, K)`` int matrix of quantised wear levels."""
+        matrix = np.zeros((num_nodes, num_nodes), dtype=np.int64)
+        for (u, v), level in self._levels.items():
+            matrix[u, v] = level
+            matrix[v, u] = level
+        return matrix

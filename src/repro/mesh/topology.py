@@ -141,6 +141,33 @@ class Topology:
         self._check_node(node)
         return node_coordinates(node, self.mesh_width)
 
+    def node_position(self, node: int) -> tuple[float, float] | None:
+        """Physical position of ``node``, or None when unknown.
+
+        Explicit :attr:`positions` win; mesh topologies fall back to
+        their coordinate system, arbitrary fabrics without positions
+        return None (geometric fault correlation degrades gracefully to
+        single-link events there).
+        """
+        self._check_node(node)
+        if node in self.positions:
+            return self.positions[node]
+        if self.mesh_width is not None:
+            x, y = node_coordinates(node, self.mesh_width)
+            return (float(x), float(y))
+        return None
+
+    def edge_midpoint(self, u: int, v: int) -> tuple[float, float] | None:
+        """Geometric midpoint of the ``u - v`` line, or None when either
+        endpoint has no known position.  The spatially correlated fault
+        profiles (tear, moisture) measure link-to-link distance between
+        these midpoints."""
+        pu = self.node_position(u)
+        pv = self.node_position(v)
+        if pu is None or pv is None:
+            return None
+        return ((pu[0] + pv[0]) / 2.0, (pu[1] + pv[1]) / 2.0)
+
     # ------------------------------------------------------------------
     # Matrix and interop views
     # ------------------------------------------------------------------

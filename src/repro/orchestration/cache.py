@@ -29,7 +29,12 @@ from ..config import SimulationConfig
 #: previously cached summaries (engine semantics, summary fields, ...).
 #: v2: fault-injection subsystem — configs carry a ``faults`` section
 #: and summaries gained the per-fault accounting counters.
-CACHE_SCHEMA_VERSION = 2
+#: v3: correlated tear/moisture profiles, repair events and the
+#: wear-aware weight — configs gained ``wear_*`` knobs and fault
+#: parameters, summaries gained ``links_repaired``, and the controller
+#: energy-accounting fixes (dead-node table diffs, delivered idle leak)
+#: changed existing records.
+CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "ETSIM_CACHE_DIR"

@@ -355,6 +355,111 @@ def _wash_cycle(scale: str, base: SimulationConfig) -> list[SweepPoint]:
     return points
 
 
+@scenario("tear-repair", "correlated tear bursts with re-sewn repairs")
+def _tear_repair(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    """Spatially correlated damage and recovery: each tear severs a
+    whole neighbourhood of adjacent links in one event, and every cut
+    line is re-sewn a fixed number of frames later.  The smoke grid
+    pins one point per engine (sequential and concurrent) so the
+    golden traces cover both code paths.
+    """
+    widths = {"smoke": (4,), "quick": (4, 5), "full": (4, 5, 6)}[scale]
+    kinds = {
+        "smoke": ("sequential", "concurrent"),
+        "quick": ("sequential",),
+        "full": ("sequential",),
+    }[scale]
+    routings = {"smoke": ("ear",), "quick": ("ear", "sdr"),
+                "full": ("ear", "sdr")}[scale]
+    caps = {"smoke": 8, "quick": 30, "full": None}
+    points = []
+    for width in widths:
+        for kind in kinds:
+            for routing in routings:
+                suffix = "/conc" if kind == "concurrent" else ""
+                label = f"{width}x{width}/{routing}{suffix}"
+                # A full-fraction tear on a small mesh routinely rips
+                # the source corner out before any repair can land;
+                # 15 % keeps the scenario about surviving *through* the
+                # cut-repair cycle rather than instant death.
+                faults = FaultConfig(
+                    profile="tear",
+                    max_link_fraction=0.15,
+                    repair_after_frames=24,
+                    seed=derive_seed(
+                        base.workload.seed, f"tear-repair/{label}"
+                    ),
+                )
+                workload = replace(
+                    base.workload,
+                    kind=kind,
+                    concurrency=4 if kind == "concurrent" else 1,
+                    max_jobs=caps[scale],
+                )
+                config = replace(
+                    base,
+                    platform=replace(base.platform, mesh_width=width),
+                    workload=workload,
+                    routing=routing,
+                    faults=faults,
+                )
+                points.append(
+                    SweepPoint(
+                        label=label,
+                        config=config,
+                        params={
+                            "mesh": f"{width}x{width}",
+                            "routing": routing,
+                            "workload": kind,
+                            "fault_profile": "tear",
+                            "repair_after_frames": 24,
+                        },
+                    )
+                )
+    return points
+
+
+@scenario("wear-aware", "wear-prediction weight vs reactive EAR under faults")
+def _wear_aware(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    """The ROADMAP's fault-aware-routing item, measured: the same
+    link-attrition schedule routed reactively (plain EAR) and with the
+    wear-prediction weight that penalises high-traversal lines before
+    they sever.
+    """
+    intensities = {
+        "smoke": (1.0,),
+        "quick": (0.5, 1.0),
+        "full": (0.5, 1.0, 2.0),
+    }[scale]
+    if scale == "smoke":
+        base = _cap_jobs(base, 8)
+    points = []
+    for intensity in intensities:
+        faults = FaultConfig(
+            profile="link-attrition",
+            intensity=intensity,
+            seed=derive_seed(
+                base.workload.seed, f"wear-aware/x{intensity:g}"
+            ),
+        )
+        for strategy, wear_aware in (("reactive", False), ("wear", True)):
+            config = replace(
+                base, routing="ear", faults=faults, wear_aware=wear_aware
+            )
+            points.append(
+                SweepPoint(
+                    label=f"x{intensity:g}/{strategy}",
+                    config=config,
+                    params={
+                        "fault_intensity": intensity,
+                        "strategy": strategy,
+                        "fault_profile": "link-attrition",
+                    },
+                )
+            )
+    return points
+
+
 @scenario("battery-ablation", "EAR vs SDR across battery capacities")
 def _battery_ablation(scale: str, base: SimulationConfig) -> list[SweepPoint]:
     factors = {

@@ -88,8 +88,18 @@ class EngineBase:
 
         # --- control --------------------------------------------------------
         self.schedule = config.control.make_schedule(self.num_mesh_nodes)
+        #: One shared wear function keeps the routing penalty table and
+        #: the fault runtime's quantiser on the same parameters.  It is
+        #: None unless this is a wear-aware EAR run: SDR ignores wear,
+        #: and tracking it there would charge the controller spurious
+        #: recomputes, biasing EAR-vs-SDR comparisons under
+        #: --wear-weight.
+        wear_function = (
+            config.wear_function() if config.routing == "ear" else None
+        )
+        self._track_wear = wear_function is not None
         routing_engine = (
-            EnergyAwareRouting(config.weight_function())
+            EnergyAwareRouting(config.weight_function(), wear_function)
             if config.routing == "ear"
             else ShortestDistanceRouting()
         )
@@ -137,11 +147,16 @@ class EngineBase:
                 self.topology,
                 num_mesh_nodes=self.num_mesh_nodes,
                 horizon_frames=config.workload.max_frames,
-            )
+            ),
+            # The runtime quantises with the same cap the penalty table
+            # saturates at — one source of truth via the wear function.
+            wear_quantum=wear_function.quantum if wear_function else 0,
+            wear_levels=wear_function.levels if wear_function else 1,
         )
         self.faults_injected = 0
         self.links_cut = 0
         self.links_degraded = 0
+        self.links_repaired = 0
         self.nodes_fault_killed = 0
         #: Dispatches/packets that were blocked by fault state (cut line
         #: or fault-killed next hop) and subsequently progressed anyway.
@@ -221,6 +236,14 @@ class EngineBase:
             # this frame.
             self.control.update_lengths(self._known_lengths)
             self._link_report_pending = False
+        if self._track_wear and self.faults.wear_dirty:
+            # Some link crossed a quantised wear level since the last
+            # frame: push the new picture so the controller re-plans
+            # around the wear *before* the line actually severs.
+            self.control.update_wear(
+                self.faults.wear_level_matrix(self.topology.num_nodes)
+            )
+            self.faults.wear_dirty = False
         outcome = self.control.process_frame(frame, reports, heartbeats)
         self.ledger.add_controller(outcome.controller_energy_pj)
         if not self.control.alive:
@@ -264,6 +287,25 @@ class EngineBase:
                 # the failure by trying to use it (_note_fault_block).
                 self._undiscovered.add((u, v))
                 self._undiscovered.add((v, u))
+            elif event.kind == "link-repair":
+                u, v = event.node_a, event.node_b
+                if not runtime.is_cut(u, v):
+                    continue  # never cut (budget/horizon) or already re-sewn
+                base = float(self._base_lengths[u, v])
+                self.topology.add_edge(u, v, base)
+                runtime.mark_repaired(u, v)
+                self.lengths[u, v] = self._base_lengths[u, v]
+                self.lengths[v, u] = self._base_lengths[v, u]
+                # A repair is a deliberate physical intervention, so the
+                # controller learns of the restored line immediately —
+                # including one it never discovered as cut.
+                self._known_lengths[u, v] = self._base_lengths[u, v]
+                self._known_lengths[v, u] = self._base_lengths[v, u]
+                self._undiscovered.discard((u, v))
+                self._undiscovered.discard((v, u))
+                self.links_repaired += 1
+                self.faults_injected += 1
+                lengths_changed = True
             elif event.kind == "node-kill":
                 unit = self.nodes[event.node_a]
                 if not unit.alive:
@@ -286,6 +328,7 @@ class EngineBase:
                     event.factor,
                     frame + event.duration_frames,
                 )
+                runtime.note_degraded(u, v)
                 self.links_degraded += 1
                 self.faults_injected += 1
                 lengths_changed = True
@@ -343,6 +386,8 @@ class EngineBase:
         if energy is None:
             energy = self.link_model.hop_energy_pj(length)
             self._hop_energy_by_length[length] = energy
+        if self._track_wear:
+            self.faults.note_traversal(sender, receiver)
         unit = self.nodes[sender]
         result = unit.draw(energy, self.hop_cycles)
         if unit.has_infinite_supply:
@@ -404,6 +449,7 @@ class EngineBase:
             faults_injected=self.faults_injected,
             links_cut=self.links_cut,
             links_degraded=self.links_degraded,
+            links_repaired=self.links_repaired,
             nodes_fault_killed=self.nodes_fault_killed,
             packets_rerouted=self.packets_rerouted,
         )

@@ -173,6 +173,7 @@ class SimulationStats:
         faults_injected: Fault events actually applied to the platform.
         links_cut: Interconnect lines permanently severed.
         links_degraded: Transient link-degradation events applied.
+        links_repaired: Cut lines re-sewn by repair events.
         nodes_fault_killed: Nodes killed by faults (not battery death).
         packets_rerouted: Dispatches/packets blocked by fault state that
             subsequently progressed along another path or a fresh plan.
@@ -198,6 +199,7 @@ class SimulationStats:
     faults_injected: int = 0
     links_cut: int = 0
     links_degraded: int = 0
+    links_repaired: int = 0
     nodes_fault_killed: int = 0
     packets_rerouted: int = 0
     extra: dict = field(default_factory=dict)
@@ -243,6 +245,7 @@ class SimulationStats:
             "faults_injected": self.faults_injected,
             "links_cut": self.links_cut,
             "links_degraded": self.links_degraded,
+            "links_repaired": self.links_repaired,
             "nodes_fault_killed": self.nodes_fault_killed,
             "packets_rerouted": self.packets_rerouted,
         }

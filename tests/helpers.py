@@ -62,6 +62,7 @@ def make_config(
     fault_intensity: float = 1.0,
     control: ControlConfig | None = None,
     faults: FaultConfig | None = None,
+    wear_aware: bool = False,
     **workload_kwargs,
 ) -> SimulationConfig:
     """One configuration builder for every engine-driving test.
@@ -98,6 +99,7 @@ def make_config(
         ),
         faults=faults,
         routing=routing,
+        wear_aware=wear_aware,
     )
 
 

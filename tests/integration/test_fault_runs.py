@@ -142,6 +142,83 @@ class TestEngineStateUnderFaults:
             delivered + stats.conversion_loss_pj + residual, rel=1e-9
         )
 
+    def test_cut_with_both_endpoints_dead_is_never_discovered(self):
+        """A cut link whose endpoints both die before any dispatch can
+        probe it must never raise a link report: dead nodes cannot
+        discover anything, so the controller's length picture keeps the
+        (physically severed) line until the run ends."""
+        from repro.faults.schedule import (
+            FaultEvent,
+            FaultRuntime,
+            FaultSchedule,
+        )
+
+        engine = build_engine(make_config(max_jobs=12))
+        u, v = 10, 11
+        engine.faults = FaultRuntime(
+            FaultSchedule(
+                [
+                    FaultEvent(frame=5, kind="link-cut", node_a=u, node_b=v),
+                    FaultEvent(frame=5, kind="node-kill", node_a=u),
+                    FaultEvent(frame=5, kind="node-kill", node_a=v),
+                ]
+            )
+        )
+        base = engine._base_lengths[u, v]
+        engine.run()
+        assert engine.links_cut == 1
+        assert engine.nodes_fault_killed == 2
+        # Never discovered: the report flag is clear, the cut is still
+        # in the undiscovered set, and the controller's picture still
+        # carries the pristine length.
+        assert engine._link_report_pending is False
+        assert (u, v) in engine._undiscovered
+        assert engine._known_lengths[u, v] == base
+        # The physical matrices are severed all the same.
+        assert engine.lengths[u, v] == float("inf")
+        assert not engine.topology.has_edge(u, v)
+
+    def test_degrade_expiry_on_cut_frame_does_not_resurrect_the_line(self):
+        """A transient degradation expiring on the very frame its line
+        is cut must not restore the severed line in either length
+        matrix — and discovery afterwards must stick."""
+        from repro.faults.schedule import (
+            FaultEvent,
+            FaultRuntime,
+            FaultSchedule,
+        )
+
+        engine = build_engine(make_config())
+        u, v = 5, 6
+        base = engine._base_lengths[u, v]
+        engine.faults = FaultRuntime(
+            FaultSchedule(
+                [
+                    FaultEvent(
+                        frame=4, kind="link-degrade", node_a=u, node_b=v,
+                        factor=3.0, duration_frames=4,
+                    ),
+                    FaultEvent(frame=8, kind="link-cut", node_a=u, node_b=v),
+                ]
+            )
+        )
+        engine._apply_faults(4)
+        assert engine.lengths[u, v] == pytest.approx(base * 3.0)
+        assert engine._known_lengths[u, v] == pytest.approx(base * 3.0)
+        # Frame 8: the degradation expires *and* the cut fires.
+        engine._apply_faults(8)
+        assert engine.lengths[u, v] == float("inf")
+        # The cut is undiscovered, so the controller's picture holds the
+        # restored pristine length — not the degraded one, not inf.
+        assert engine._known_lengths[u, v] == pytest.approx(base)
+        # Discovery writes inf; later frames must never restore it.
+        engine._note_fault_block(u, v)
+        assert engine._known_lengths[u, v] == float("inf")
+        for frame in range(9, 30):
+            engine._apply_faults(frame)
+        assert engine.lengths[u, v] == float("inf")
+        assert engine._known_lengths[u, v] == float("inf")
+
     def test_deadlock_recovery_survives_attrition(self):
         # Buffered congestion plus live topology changes: the recovery
         # protocol must still fire and still make progress.
@@ -157,3 +234,127 @@ class TestEngineStateUnderFaults:
         stats = run_simulation(config)
         assert stats.jobs_completed > 0
         assert stats.verification_failures == 0
+
+
+def tear_repair_config(**kwargs):
+    return make_config(
+        faults=FaultConfig(
+            profile="tear", seed=0, repair_after_frames=24
+        ),
+        **kwargs,
+    )
+
+
+class TestRepairSemantics:
+    def test_repair_restores_topology_and_length_state(self):
+        engine = build_engine(tear_repair_config(max_jobs=8))
+        engine.run()
+        assert engine.links_cut > 0
+        assert engine.links_repaired == engine.links_cut
+        # Every cut was re-sewn: no severed state left anywhere.
+        assert engine.faults.cut_links == set()
+        assert engine._undiscovered == set()
+        assert (engine.lengths == engine._base_lengths).all()
+        assert (engine._known_lengths == engine._base_lengths).all()
+        for u, v, _ in engine.topology.edges():
+            assert engine.topology.has_edge(u, v)
+
+    def test_repair_counts_surface_in_summary(self):
+        stats = run_simulation(tear_repair_config(max_jobs=8)).summary()
+        assert stats["links_repaired"] > 0
+        assert stats["links_repaired"] <= stats["links_cut"]
+        assert stats["verification_failures"] == 0
+
+    def test_concurrent_engine_survives_tear_and_repair(self):
+        config = tear_repair_config(
+            kind="concurrent", concurrency=4, max_jobs=10
+        )
+        stats = run_simulation(config)
+        assert stats.links_repaired > 0
+        assert stats.verification_failures == 0
+        assert (
+            run_simulation(config).summary()
+            == run_simulation(config).summary()
+        )
+
+
+class TestMoistureRuns:
+    def test_moisture_patch_degrades_and_costs_energy(self):
+        config = make_config(
+            faults=FaultConfig(profile="moisture", seed=4), max_jobs=8
+        )
+        stats = run_simulation(config)
+        assert stats.links_degraded > 0
+        assert stats.links_cut == 0
+        assert stats.jobs_completed == 8
+        base_tx = run_simulation(
+            fault_free_twin(config)
+        ).energy.data_tx_pj
+        assert stats.energy.data_tx_pj > base_tx
+
+
+class TestWearAwareRouting:
+    def test_wear_aware_run_is_deterministic_and_clean(self):
+        config = make_config(
+            fault_profile="link-attrition",
+            fault_seed=11,
+            wear_aware=True,
+            max_jobs=15,
+        )
+        first = run_simulation(config).summary()
+        assert first == run_simulation(config).summary()
+        assert first["verification_failures"] == 0
+
+    def test_wear_awareness_is_inert_under_sdr(self):
+        # SDR never reads wear: enabling the flag on an SDR point (as a
+        # shared base config does) must not change the run at all — no
+        # tracking overhead, no spurious recomputes charged to the
+        # controller.
+        from dataclasses import replace as dc_replace
+
+        config = make_config(
+            fault_profile="link-attrition",
+            fault_seed=7,
+            routing="sdr",
+            max_jobs=20,
+        )
+        plain = run_simulation(config).summary()
+        wear = run_simulation(dc_replace(config, wear_aware=True)).summary()
+        assert plain == wear
+
+    def test_wear_weight_changes_routing_under_load(self):
+        # Uncapped attrition run: enough traffic for links to cross
+        # wear levels, so the weight must actually alter the plan
+        # history (recompute counts differ from the reactive twin).
+        from dataclasses import replace as dc_replace
+
+        config = make_config(fault_profile="link-attrition", fault_seed=11)
+        reactive = run_simulation(config).summary()
+        wear = run_simulation(
+            dc_replace(config, wear_aware=True)
+        ).summary()
+        assert wear["recomputes"] != reactive["recomputes"]
+
+    def test_wear_aware_never_shortens_lifetime_on_the_quick_grid(self):
+        """Acceptance: on the attrition quick grid, the wear-prediction
+        weight yields a lifetime >= reactive EAR's — routing around
+        worn lines must not cost lifetime."""
+        from repro.orchestration import build_scenario
+
+        points = {
+            p.label: p for p in build_scenario("wear-aware", scale="quick")
+        }
+        intensities = sorted(
+            {p.params["fault_intensity"] for p in points.values()}
+        )
+        assert intensities  # the grid pairs reactive/wear per intensity
+        for intensity in intensities:
+            reactive = run_simulation(
+                points[f"x{intensity:g}/reactive"].config
+            ).summary()
+            wear = run_simulation(
+                points[f"x{intensity:g}/wear"].config
+            ).summary()
+            assert (
+                wear["lifetime_frames"] >= reactive["lifetime_frames"]
+            ), f"wear-aware lost lifetime at intensity {intensity}"

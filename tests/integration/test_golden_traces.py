@@ -17,6 +17,9 @@ Regenerating (only after an *intentional* behaviour change — bump
         ('fig7', '4x4/ear', 'fig7_smoke_4x4_ear.json'),
         ('fig8', '4x4/1ctl', 'fig8_smoke_4x4_1ctl.json'),
         ('table2', '4x4/ear', 'table2_smoke_4x4_ear.json'),
+        ('tear-repair', '4x4/ear', 'tear_repair_smoke_4x4_ear.json'),
+        ('tear-repair', '4x4/ear/conc',
+         'tear_repair_smoke_4x4_ear_conc.json'),
     ]:
         point = next(p for p in build_scenario(scenario, scale='smoke')
                      if p.label == label)
@@ -44,6 +47,10 @@ CASES = [
     ("fig7", "4x4/ear", "fig7_smoke_4x4_ear.json"),
     ("fig8", "4x4/1ctl", "fig8_smoke_4x4_1ctl.json"),
     ("table2", "4x4/ear", "table2_smoke_4x4_ear.json"),
+    # One tear-repair smoke point per engine: the sequential point and
+    # the concurrent (buffered) point both cut and re-sew three links.
+    ("tear-repair", "4x4/ear", "tear_repair_smoke_4x4_ear.json"),
+    ("tear-repair", "4x4/ear/conc", "tear_repair_smoke_4x4_ear_conc.json"),
 ]
 
 

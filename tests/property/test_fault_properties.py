@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -144,16 +145,74 @@ class TestEmptyScheduleIsolation:
         assert run_simulation(config).summary()["links_cut"] == 0
 
 
+class TestTearCorrelation:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        width=st.integers(3, 7),
+    )
+    def test_tear_bursts_cut_connected_neighbourhoods(self, seed, width):
+        """Every tear burst (the link-cut events of one frame) severs a
+        *connected* patch: each cut link shares an endpoint with
+        another cut link of the same burst (single-link tears are
+        trivially connected)."""
+        schedule = build_fault_schedule(
+            FaultConfig(profile="tear", seed=seed),
+            mesh2d(width),
+            num_mesh_nodes=width * width,
+            horizon_frames=100_000,
+        )
+        bursts: dict[int, list[tuple[int, int]]] = {}
+        for event in schedule:
+            if event.kind == "link-cut":
+                bursts.setdefault(event.frame, []).append(
+                    (event.node_a, event.node_b)
+                )
+        assert bursts
+        for batch in bursts.values():
+            # Union-find over links sharing endpoints.
+            components = [set(pair) for pair in batch]
+            merged = True
+            while merged:
+                merged = False
+                for i in range(len(components)):
+                    for j in range(i + 1, len(components)):
+                        if components[i] & components[j]:
+                            components[i] |= components.pop(j)
+                            merged = True
+                            break
+                    if merged:
+                        break
+            assert len(components) == 1, (
+                f"tear burst {batch} is not a connected patch"
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_moisture_only_degrades(self, seed):
+        schedule = build_fault_schedule(
+            FaultConfig(profile="moisture", seed=seed),
+            mesh2d(4),
+            num_mesh_nodes=16,
+            horizon_frames=5_000,
+        )
+        assert len(schedule) > 0
+        assert all(event.kind == "link-degrade" for event in schedule)
+
+
 class _HopRecordingEngine(SequentialEngine):
     """Sequential engine that logs every hop with the cut-set state."""
 
     def __init__(self, config):
         super().__init__(config)
         self.violations: list[tuple[int, int]] = []
+        #: Every hop as ``(frame, sender, receiver)``.
+        self.hops: list[tuple[int, int, int]] = []
 
     def _transmit(self, sender, receiver, holder):
         if (sender, receiver) in self.faults.cut_links:
             self.violations.append((sender, receiver))
+        self.hops.append((self.frames_done, sender, receiver))
         return super()._transmit(sender, receiver, holder)
 
 
@@ -174,6 +233,50 @@ class TestNoTrafficOverCutLinks:
         stats = engine.run()
         assert engine.violations == []
         assert stats.verification_failures == 0
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        profile=st.sampled_from(("tear", "moisture")),
+    )
+    def test_correlated_profiles_never_use_cut_links(self, seed, profile):
+        config = make_config(
+            fault_profile=profile, fault_seed=seed, max_jobs=8
+        )
+        engine = _HopRecordingEngine(config)
+        stats = engine.run()
+        assert engine.violations == []
+        assert stats.verification_failures == 0
+
+    @pytest.mark.parametrize("seed", (0, 1, 5, 9))
+    def test_post_repair_traffic_traverses_the_resewn_line(self, seed):
+        """A repair must actually restore routing *over* the line: after
+        a cut link is re-sewn, later traffic crosses the re-added edge
+        again (not merely around it)."""
+        config = make_config(
+            faults=FaultConfig(
+                profile="tear", seed=seed, repair_after_frames=24
+            ),
+            max_jobs=8,
+        )
+        engine = _HopRecordingEngine(config)
+        stats = engine.run()
+        assert engine.violations == []
+        assert stats.links_repaired > 0
+        repair_frames = {
+            (event.node_a, event.node_b): event.frame
+            for event in engine.faults.schedule
+            if event.kind == "link-repair"
+        }
+        crossings = 0
+        for (u, v), frame in repair_frames.items():
+            crossings += sum(
+                1
+                for hop_frame, sender, receiver in engine.hops
+                if hop_frame >= frame
+                and {sender, receiver} == {u, v}
+            )
+        assert crossings > 0
 
     def test_concurrent_run_survives_heavy_attrition(self):
         # _transmit raises SimulationError on any cut-link traversal, so

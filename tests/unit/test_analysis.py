@@ -78,3 +78,49 @@ class TestCharts:
         )
         assert "legend" in chart
         assert "o = a" in chart
+
+
+class TestWearComparison:
+    def test_wear_aware_twin_only_flips_the_flag(self):
+        from repro.analysis.faults import wear_aware_twin
+        from repro.config import SimulationConfig
+
+        config = SimulationConfig()
+        twin = wear_aware_twin(config)
+        assert twin.wear_aware is True
+        assert twin.faults == config.faults
+        assert twin.routing == config.routing
+
+    def test_comparison_record_reports_gains(self):
+        from repro.analysis.faults import wear_comparison
+
+        reactive = {
+            "jobs_fractional": 50.0,
+            "lifetime_frames": 300,
+            "recomputes": 70,
+            "packets_rerouted": 5,
+        }
+        wear = {
+            "jobs_fractional": 52.5,
+            "lifetime_frames": 312,
+            "recomputes": 90,
+            "packets_rerouted": 4,
+        }
+        record = wear_comparison(reactive, wear)
+        assert record["jobs_gain"] == pytest.approx(2.5)
+        assert record["lifetime_gain_frames"] == 12
+        assert record["jobs_reactive"] == 50.0
+        assert record["recomputes_wear_aware"] == 90
+
+    def test_comparison_for_runs_both_strategies(self):
+        from repro.analysis.faults import wear_comparison_for
+        from repro.config import SimulationConfig, WorkloadConfig
+        from repro.faults import FaultConfig
+
+        config = SimulationConfig(
+            faults=FaultConfig(profile="link-attrition", seed=7),
+            workload=WorkloadConfig(max_jobs=6),
+        )
+        record = wear_comparison_for(config)
+        assert record["jobs_reactive"] > 0
+        assert record["jobs_wear_aware"] > 0

@@ -142,6 +142,65 @@ class TestFaultFlags:
         assert payload["faults_injected"] == 0
         assert payload["links_cut"] == 0
 
+    def test_wear_and_repair_flags_parse_on_all_run_commands(self):
+        parser = build_parser()
+        for command in (["simulate"], ["sweep"], ["bench", "--smoke"]):
+            args = parser.parse_args(
+                command
+                + [
+                    "--fault-profile", "tear",
+                    "--fault-repair-frames", "24",
+                    "--wear-weight",
+                ]
+            )
+            assert args.fault_profile == "tear"
+            assert args.fault_repair_frames == 24
+            assert args.wear_weight is True
+
+    def test_simulate_tear_with_repair_reports_repairs(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--fault-profile", "tear",
+                "--fault-seed", "0",
+                "--fault-repair-frames", "24",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["links_cut"] > 0
+        assert payload["links_repaired"] > 0
+
+    def test_simulate_moisture_reports_degradations(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--fault-profile", "moisture",
+                "--fault-seed", "4",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["links_degraded"] > 0
+        assert payload["links_cut"] == 0
+
+    def test_wear_weight_changes_a_faulty_run(self, capsys):
+        payloads = []
+        for extra in ([], ["--wear-weight"]):
+            assert main(
+                [
+                    "simulate",
+                    "--fault-profile", "link-attrition",
+                    "--fault-seed", "7",
+                    "--json",
+                ]
+                + extra
+            ) == 0
+            payloads.append(json.loads(capsys.readouterr().out))
+        assert payloads[0] != payloads[1]
+
     def test_bench_smoke_runs_a_fault_scenario(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("ETSIM_CACHE_DIR", str(tmp_path))
         code = main(

@@ -153,3 +153,29 @@ class TestSimulationConfig:
         text = json.dumps(config.to_dict())
         restored = SimulationConfig.from_dict(json.loads(text))
         assert restored == config
+
+    def test_wear_defaults_and_validation(self):
+        config = SimulationConfig()
+        assert config.wear_aware is False
+        assert config.wear_function() is None
+        aware = SimulationConfig(wear_aware=True)
+        assert aware.wear_function() is not None
+        assert aware.wear_function().q == aware.wear_q
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(wear_q=0.5)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(wear_quantum=0)
+
+    def test_wear_fields_round_trip(self):
+        config = SimulationConfig(
+            wear_aware=True, wear_q=1.25, wear_quantum=32
+        )
+        restored = SimulationConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert restored.wear_function().quantum == 32
+
+    def test_old_documents_without_wear_fields_still_load(self):
+        raw = SimulationConfig().to_dict()
+        for key in ("wear_aware", "wear_q", "wear_quantum"):
+            del raw[key]
+        assert SimulationConfig.from_dict(raw) == SimulationConfig()

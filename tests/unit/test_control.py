@@ -219,3 +219,110 @@ class TestControlPlane:
         plane = make_control_plane()
         with pytest.raises(ConfigurationError):
             plane.process_frame(0, reports=[])
+
+
+class TestDeadNodeTableAccounting:
+    """Regression: the controller must not pay to download routing
+    tables to dead nodes.  A death flips the corpse's table row to -1
+    against the previous tables, and every one of those stale entries
+    used to be charged as ``download_tx``."""
+
+    def test_dead_node_rows_not_charged(self):
+        import numpy as np
+
+        plane = make_control_plane()
+        plane.bootstrap()
+        victim = 5
+        before = plane._tables_of(plane.plan)
+        outcome = plane.process_frame(
+            0,
+            reports=[StatusReport(node=victim, level=0, alive=False)],
+            heartbeat_count=15,
+        )
+        assert outcome.recomputed
+        after = plane._tables_of(plane.plan)
+        # The corpse's row flipped to -1 — a non-empty stale diff that
+        # the old accounting charged as download_tx.
+        assert np.all(after[victim] == -1)
+        assert int(np.count_nonzero(after[victim] != before[victim])) > 0
+        # The pinned count is the hand diff over *live* rows only.
+        alive = plane._node_alive
+        hand_count = int(
+            np.count_nonzero((after != before) & alive[:, np.newaxis])
+        )
+        assert outcome.table_entries_sent == hand_count
+        assert hand_count < int(np.count_nonzero(after != before))
+
+    def test_download_energy_matches_masked_entries(self):
+        plane = make_control_plane()
+        plane.bootstrap()
+        outcome = plane.process_frame(
+            0,
+            reports=[StatusReport(node=10, level=0, alive=False)],
+            heartbeat_count=15,
+        )
+        schedule = TdmaSchedule(num_nodes=16)
+        assert outcome.controller_energy_pj["download_tx"] == pytest.approx(
+            outcome.table_entries_sent * schedule.table_entry_energy_pj
+        )
+
+
+class TestIdleLeakAccounting:
+    """Regression: ``idle_leak`` must report what the idle cells
+    actually *delivered*, not the nominal per-unit quantum — a unit
+    dying mid-draw delivers less."""
+
+    def test_healthy_idle_units_report_nominal_leak(self):
+        active = IdealBattery(capacity_pj=1e9)
+        idle = IdealBattery(capacity_pj=1e9)
+        plane = make_control_plane(batteries=[active, idle])
+        plane.bootstrap()
+        outcome = plane.process_frame(0, reports=[], heartbeat_count=16)
+        idle_cost = ControllerEnergyModel().idle_energy_pj(16)
+        assert outcome.controller_energy_pj["idle_leak"] == pytest.approx(
+            idle_cost
+        )
+
+    def test_dying_idle_unit_reports_delivered_energy(self):
+        idle_cost = ControllerEnergyModel().idle_energy_pj(16)
+        active = IdealBattery(capacity_pj=1e9)
+        # The idle unit holds half a leak quantum: it dies mid-draw and
+        # delivers only what it had.
+        dying = IdealBattery(capacity_pj=idle_cost / 2)
+        plane = make_control_plane(batteries=[active, dying])
+        plane.bootstrap()
+        outcome = plane.process_frame(0, reports=[], heartbeat_count=16)
+        assert outcome.controller_energy_pj["idle_leak"] == pytest.approx(
+            idle_cost / 2
+        )
+        assert not dying.alive
+        # The breakdown agrees with the battery's own ledger.
+        assert plane.units[1].delivered_pj == pytest.approx(idle_cost / 2)
+
+    def test_dead_idle_unit_contributes_nothing(self):
+        active = IdealBattery(capacity_pj=1e9)
+        dead = IdealBattery(capacity_pj=1.0)
+        dead.draw(2.0, 1.0)  # deplete before the frame
+        assert not dead.alive
+        plane = make_control_plane(batteries=[active, dead])
+        plane.bootstrap()
+        outcome = plane.process_frame(0, reports=[], heartbeat_count=16)
+        assert outcome.controller_energy_pj["idle_leak"] == 0.0
+
+
+class TestWearHook:
+    def test_update_wear_triggers_recompute(self):
+        import numpy as np
+
+        plane = make_control_plane()
+        plane.bootstrap()
+        wear = np.zeros((16, 16), dtype=int)
+        wear[0, 1] = wear[1, 0] = 3
+        plane.update_wear(wear)
+        outcome = plane.process_frame(0, reports=[], heartbeat_count=16)
+        assert outcome.recomputed
+        assert plane.view().wear is not None
+        assert plane.view().wear[0, 1] == 3
+        # No further change, no further recompute.
+        outcome = plane.process_frame(1, reports=[], heartbeat_count=16)
+        assert not outcome.recomputed

@@ -20,6 +20,8 @@ from repro.core.floyd_warshall import (
 from repro.core.phase3 import NO_DESTINATION, select_destinations
 from repro.core.weights import (
     BatteryWeightFunction,
+    WearWeightFunction,
+    apply_wear_penalty,
     ear_weight_matrix,
     sdr_weight_matrix,
 )
@@ -61,6 +63,74 @@ class TestWeightFunction:
         f = BatteryWeightFunction(levels=8)
         with pytest.raises(ConfigurationError):
             f(8)
+
+
+class TestWearWeightFunction:
+    def test_pristine_link_is_unpenalised(self):
+        g = WearWeightFunction(q=1.3, quantum=8, levels=8)
+        assert g(0) == pytest.approx(1.0)
+
+    def test_monotone_and_saturating(self):
+        g = WearWeightFunction(q=1.3, quantum=8, levels=4)
+        values = [g(level) for level in range(6)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert g(3) == g(5)  # saturates at levels - 1
+
+    def test_q_one_degenerates_to_reactive_ear(self):
+        g = WearWeightFunction(q=1.0, quantum=8, levels=8)
+        assert all(g(level) == 1.0 for level in range(8))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            WearWeightFunction(q=0.9)
+        with pytest.raises(ConfigurationError):
+            WearWeightFunction(quantum=0)
+        with pytest.raises(ConfigurationError):
+            WearWeightFunction(levels=0)
+        with pytest.raises(ConfigurationError):
+            WearWeightFunction()(-1)
+
+    def test_apply_wear_penalty_preserves_conventions(
+        self, mesh4, mapping4, full_view
+    ):
+        weights = sdr_weight_matrix(full_view)
+        wear = np.zeros((16, 16), dtype=int)
+        wear[0, 1] = wear[1, 0] = 2
+        wear[3, 3] = 5  # diagonal wear must stay inert
+        g = WearWeightFunction(q=1.5, quantum=8, levels=8)
+        penalised = apply_wear_penalty(weights, wear, g)
+        pitch = mesh4.edge_length(0, 1)
+        assert penalised[0, 1] == pytest.approx(pitch * 1.5**2)
+        assert penalised[1, 0] == pytest.approx(pitch * 1.5**2)
+        assert penalised[0, 4] == pytest.approx(pitch)  # untouched
+        assert penalised[3, 3] == 0.0
+        assert np.isinf(penalised[0, 5])  # non-edges stay inf
+
+    def test_ear_engine_applies_wear_from_the_view(
+        self, mesh4, mapping4, full_view
+    ):
+        wear = np.zeros((16, 16), dtype=int)
+        wear[0, 1] = wear[1, 0] = 3
+        worn_view = make_view(mesh4, mapping4)
+        worn_view = type(worn_view)(
+            lengths=worn_view.lengths,
+            alive=worn_view.alive,
+            battery_levels=worn_view.battery_levels,
+            levels=worn_view.levels,
+            mapping=worn_view.mapping,
+            wear=wear,
+        )
+        g = WearWeightFunction(q=1.5, quantum=8, levels=8)
+        engine = EnergyAwareRouting(wear_function=g)
+        weights = engine.weight_matrix(worn_view)
+        reactive = EnergyAwareRouting().weight_matrix(worn_view)
+        assert weights[0, 1] == pytest.approx(reactive[0, 1] * 1.5**3)
+        assert weights[2, 3] == pytest.approx(reactive[2, 3])
+        # Without wear data in the view, the wear engine is reactive.
+        assert np.array_equal(
+            engine.weight_matrix(full_view),
+            EnergyAwareRouting().weight_matrix(full_view),
+        )
 
 
 class TestWeightMatrices:

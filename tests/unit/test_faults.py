@@ -178,6 +178,275 @@ class TestFaultRuntime:
         assert runtime.degraded == {}
 
 
+class TestTearSchedule:
+    def test_tear_cuts_a_neighbourhood_in_one_event(self):
+        config = FaultConfig(profile="tear", seed=3)
+        schedule = build_fault_schedule(
+            config, mesh2d(4), num_mesh_nodes=16, horizon_frames=100_000
+        )
+        cuts = [e for e in schedule if e.kind == "link-cut"]
+        assert cuts
+        by_frame: dict[int, list] = {}
+        for event in cuts:
+            by_frame.setdefault(event.frame, []).append(event)
+        # Correlation: at least one burst severs several links at once.
+        assert max(len(batch) for batch in by_frame.values()) > 1
+
+    def test_tear_respects_link_budget(self):
+        config = FaultConfig(
+            profile="tear", seed=1, max_link_fraction=0.25
+        )
+        schedule = build_fault_schedule(
+            config, mesh2d(4), num_mesh_nodes=16, horizon_frames=100_000
+        )
+        cuts = [e for e in schedule if e.kind == "link-cut"]
+        assert 0 < len(cuts) <= int(24 * 0.25)
+        assert len({(e.node_a, e.node_b) for e in cuts}) == len(cuts)
+
+    def test_tear_radius_limits_the_neighbourhood(self):
+        topology = mesh2d(6)
+        wide = build_fault_schedule(
+            FaultConfig(profile="tear", seed=2, tear_radius=2.5),
+            topology, num_mesh_nodes=36, horizon_frames=100_000,
+        )
+        narrow = build_fault_schedule(
+            FaultConfig(profile="tear", seed=2, tear_radius=0.8),
+            topology, num_mesh_nodes=36, horizon_frames=100_000,
+        )
+        # Same budget, but the narrow tear needs more bursts: its first
+        # burst severs fewer links.
+        def first_burst(schedule):
+            cuts = [e for e in schedule if e.kind == "link-cut"]
+            first = min(e.frame for e in cuts)
+            return [e for e in cuts if e.frame == first]
+
+        assert len(first_burst(narrow)) < len(first_burst(wide))
+
+    def test_tear_without_geometry_degrades_to_single_links(self):
+        from repro.mesh.topology import Topology
+
+        topology = Topology(4, name="strip")
+        for u in range(3):
+            topology.add_edge(u, u + 1, 1.0)
+        schedule = build_fault_schedule(
+            FaultConfig(profile="tear", seed=1, max_link_fraction=1.0),
+            topology, num_mesh_nodes=4, horizon_frames=100_000,
+        )
+        cuts = [e for e in schedule if e.kind == "link-cut"]
+        assert cuts
+        # No midpoints to correlate on: every burst is one link.
+        frames = [e.frame for e in cuts]
+        assert len(set(frames)) == len(frames)
+
+    def test_moisture_without_geometry_degrades_single_links(self):
+        from repro.mesh.topology import Topology
+
+        topology = Topology(4, name="strip")
+        for u in range(3):
+            topology.add_edge(u, u + 1, 1.0)
+        schedule = build_fault_schedule(
+            FaultConfig(profile="moisture", seed=1),
+            topology, num_mesh_nodes=4, horizon_frames=500,
+        )
+        assert len(schedule) > 0
+        by_frame: dict[int, int] = {}
+        for event in schedule:
+            assert event.kind == "link-degrade"
+            by_frame[event.frame] = by_frame.get(event.frame, 0) + 1
+        assert all(count == 1 for count in by_frame.values())
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(profile="tear", tear_radius=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(profile="moisture", moisture_radius=-1.0)
+
+
+class TestMoistureSchedule:
+    def test_moisture_degrades_a_region_together(self):
+        config = FaultConfig(profile="moisture", seed=5)
+        schedule = build_fault_schedule(
+            config, mesh2d(4), num_mesh_nodes=16, horizon_frames=200
+        )
+        assert len(schedule) > 0
+        assert all(e.kind == "link-degrade" for e in schedule)
+        by_frame: dict[int, list] = {}
+        for event in schedule:
+            by_frame.setdefault(event.frame, []).append(event)
+        # A patch of radius 2 on a 4x4 mesh always covers several links.
+        assert all(len(batch) > 1 for batch in by_frame.values())
+        assert all(
+            e.factor == config.degrade_factor
+            and e.duration_frames == config.degrade_frames
+            for e in schedule
+        )
+
+    def test_moisture_patch_drifts(self):
+        config = FaultConfig(
+            profile="moisture", seed=5, moisture_radius=1.0
+        )
+        schedule = build_fault_schedule(
+            config, mesh2d(6), num_mesh_nodes=36, horizon_frames=2_000
+        )
+        patches = {}
+        for event in schedule:
+            patches.setdefault(event.frame, set()).add(
+                (event.node_a, event.node_b)
+            )
+        # The drifting centre produces at least two distinct patches.
+        assert len({frozenset(patch) for patch in patches.values()}) > 1
+
+
+class TestRepairSchedule:
+    def test_repair_follows_every_cut(self):
+        config = FaultConfig(
+            profile="link-attrition", seed=1, repair_after_frames=10
+        )
+        schedule = build_fault_schedule(
+            config, mesh2d(4), num_mesh_nodes=16, horizon_frames=100_000
+        )
+        cuts = {
+            (e.node_a, e.node_b): e.frame
+            for e in schedule
+            if e.kind == "link-cut"
+        }
+        repairs = {
+            (e.node_a, e.node_b): e.frame
+            for e in schedule
+            if e.kind == "link-repair"
+        }
+        assert cuts
+        assert set(repairs) == set(cuts)
+        for pair, frame in repairs.items():
+            assert frame == cuts[pair] + 10
+
+    def test_repairs_past_horizon_are_dropped(self):
+        config = FaultConfig(
+            profile="link-attrition", seed=1, repair_after_frames=10**6
+        )
+        schedule = build_fault_schedule(
+            config, mesh2d(4), num_mesh_nodes=16, horizon_frames=1_000
+        )
+        assert not [e for e in schedule if e.kind == "link-repair"]
+
+    def test_zero_repair_frames_means_no_repairs(self):
+        config = FaultConfig(profile="tear", seed=1)
+        schedule = build_fault_schedule(
+            config, mesh2d(4), num_mesh_nodes=16, horizon_frames=100_000
+        )
+        assert not [e for e in schedule if e.kind == "link-repair"]
+
+    def test_rejects_negative_repair_frames(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(profile="tear", repair_after_frames=-1)
+
+    def test_cutting_profiles_constant_matches_reality(self):
+        """:data:`CUTTING_PROFILES` documents which profiles emit
+        permanent cuts (and therefore respond to repair_after_frames);
+        derive the set empirically so the constant cannot go stale when
+        a profile is added."""
+        from repro.faults import CUTTING_PROFILES
+
+        cutting = set()
+        for profile in FAULT_PROFILES:
+            if profile == "none":
+                continue
+            for seed in range(4):
+                schedule = build_fault_schedule(
+                    FaultConfig(
+                        profile=profile, seed=seed, max_link_fraction=0.5
+                    ),
+                    mesh2d(4),
+                    num_mesh_nodes=16,
+                    horizon_frames=50_000,
+                )
+                if any(e.kind == "link-cut" for e in schedule):
+                    cutting.add(profile)
+                    break
+        assert cutting == set(CUTTING_PROFILES)
+
+
+class TestWashCycleBudget:
+    def test_cut_budget_not_burned_on_duplicates(self):
+        # Long horizon: the burst loop offers far more cut opportunities
+        # than the budget, so duplicate picks would visibly undershoot.
+        config = FaultConfig(
+            profile="wash-cycle", seed=9, max_link_fraction=0.25
+        )
+        schedule = build_fault_schedule(
+            config, mesh2d(4), num_mesh_nodes=16, horizon_frames=20_000
+        )
+        cuts = [e for e in schedule if e.kind == "link-cut"]
+        assert len(cuts) == int(24 * 0.25)
+        # ... and every cut severs a *distinct* line.
+        assert len({(e.node_a, e.node_b) for e in cuts}) == len(cuts)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cuts_unique_across_seeds(self, seed):
+        config = FaultConfig(
+            profile="wash-cycle", seed=seed, max_link_fraction=0.5
+        )
+        schedule = build_fault_schedule(
+            config, mesh2d(4), num_mesh_nodes=16, horizon_frames=50_000
+        )
+        cuts = [(e.node_a, e.node_b) for e in schedule if e.kind == "link-cut"]
+        assert len(set(cuts)) == len(cuts)
+
+
+class TestWearTracking:
+    def test_traversals_quantise_into_levels(self):
+        runtime = FaultRuntime(
+            FaultSchedule(), wear_quantum=4, wear_levels=8
+        )
+        for _ in range(3):
+            runtime.note_traversal(0, 1)
+        assert not runtime.wear_dirty  # still level 0
+        runtime.note_traversal(1, 0)  # 4th crossing, either direction
+        assert runtime.wear_dirty
+        matrix = runtime.wear_level_matrix(4)
+        assert matrix[0, 1] == 1
+        assert matrix[1, 0] == 1
+
+    def test_degradation_counts_as_a_full_level(self):
+        runtime = FaultRuntime(
+            FaultSchedule(), wear_quantum=100, wear_levels=8
+        )
+        runtime.note_degraded(2, 3)
+        assert runtime.wear_dirty
+        assert runtime.wear_level_matrix(4)[2, 3] == 1
+
+    def test_levels_saturate(self):
+        runtime = FaultRuntime(
+            FaultSchedule(), wear_quantum=1, wear_levels=4
+        )
+        for _ in range(100):
+            runtime.note_traversal(0, 1)
+        assert runtime.wear_level_matrix(2)[0, 1] == 3
+
+    def test_disabled_tracking_is_inert(self):
+        runtime = FaultRuntime(FaultSchedule())  # quantum 0 = off
+        runtime.note_traversal(0, 1)
+        runtime.note_degraded(0, 1)
+        assert not runtime.wear_dirty
+        assert runtime.traversals == {}
+        assert (runtime.wear_level_matrix(2) == 0).all()
+
+    def test_repair_resets_the_wear_history(self):
+        runtime = FaultRuntime(
+            FaultSchedule(), wear_quantum=2, wear_levels=8
+        )
+        for _ in range(6):
+            runtime.note_traversal(0, 1)
+        runtime.mark_cut(0, 1)
+        runtime.wear_dirty = False
+        runtime.mark_repaired(0, 1)
+        assert not runtime.is_cut(0, 1)
+        assert not runtime.is_cut(1, 0)
+        assert runtime.traversals == {}
+        assert runtime.wear_dirty  # the level dropped back to 0
+        assert runtime.wear_level_matrix(2)[0, 1] == 0
+
+
 class TestSweepCacheInvalidation:
     def test_fault_profile_changes_the_config_hash(self):
         plain = make_config()
@@ -195,3 +464,35 @@ class TestSweepCacheInvalidation:
         one = make_config(fault_profile="wash-cycle", fault_seed=4)
         two = make_config(fault_profile="wash-cycle", fault_seed=4)
         assert config_hash(one) == config_hash(two)
+
+    def test_wear_awareness_changes_the_config_hash(self):
+        plain = make_config()
+        wear = replace(plain, wear_aware=True)
+        assert config_hash(plain) != config_hash(wear)
+
+    def test_repair_frames_change_the_config_hash(self):
+        one = make_config(fault_profile="tear", fault_seed=1)
+        two = replace(
+            one, faults=replace(one.faults, repair_after_frames=24)
+        )
+        assert config_hash(one) != config_hash(two)
+
+    def test_schema_v3_invalidates_v2_entries(self, tmp_path):
+        from repro.orchestration.cache import (
+            CACHE_SCHEMA_VERSION,
+            SweepCache,
+        )
+
+        assert CACHE_SCHEMA_VERSION == 3
+        cache = SweepCache(tmp_path)
+        key = config_hash(make_config())
+        cache.store(key, {"summary": {"jobs_fractional": 1.0}})
+        record = dict(cache.lookup(key))
+        # Rewrite the entry as a v2 record: it must no longer be served.
+        record["schema"] = 2
+        import json
+
+        (tmp_path / f"{key}.json").write_text(json.dumps(record))
+        cache.reset_counters()
+        assert cache.lookup(key) is None
+        assert cache.misses == 1

@@ -119,6 +119,31 @@ class TestTopologyEdits:
         assert topo.edge_length(external, 0) == 10.0
 
 
+class TestGeometryLookups:
+    def test_mesh_node_position_from_coordinates(self):
+        topo = mesh2d(4)
+        assert topo.node_position(0) == (1.0, 1.0)
+        assert topo.node_position(5) == (2.0, 2.0)
+
+    def test_edge_midpoint_on_mesh(self):
+        topo = mesh2d(4)
+        assert topo.edge_midpoint(0, 1) == (1.5, 1.0)
+        assert topo.edge_midpoint(0, 4) == (1.0, 1.5)
+
+    def test_position_unknown_without_geometry(self):
+        topo = Topology(3)
+        topo.add_edge(0, 1, 1.0)
+        assert topo.node_position(0) is None
+        assert topo.edge_midpoint(0, 1) is None
+
+    def test_explicit_positions_win(self):
+        topo = Topology(2)
+        topo.add_edge(0, 1, 1.0)
+        topo.positions[0] = (0.0, 0.0)
+        topo.positions[1] = (2.0, 2.0)
+        assert topo.edge_midpoint(0, 1) == (1.0, 1.0)
+
+
 class TestCheckerboardMapping:
     def test_paper_rule_on_4x4(self, mesh4):
         mapping = checkerboard_mapping(mesh4)

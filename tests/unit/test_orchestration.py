@@ -221,3 +221,37 @@ class TestScenarios:
 
         with pytest.raises(ConfigurationError):
             scenario("fig7", "again")(lambda scale, base: [])
+
+    def test_tear_repair_smoke_covers_both_engines(self):
+        points = build_scenario("tear-repair", scale="smoke")
+        kinds = {p.config.workload.kind for p in points}
+        assert kinds == {"sequential", "concurrent"}
+        for point in points:
+            assert point.config.faults.profile == "tear"
+            assert point.config.faults.repair_after_frames > 0
+
+    def test_tear_repair_uses_distinct_derived_seeds(self):
+        points = build_scenario("tear-repair", scale="full")
+        seeds = [p.config.faults.seed for p in points]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_wear_aware_pairs_reactive_and_wear_points(self):
+        points = build_scenario("wear-aware", scale="quick")
+        by_intensity: dict[float, set[str]] = {}
+        for point in points:
+            by_intensity.setdefault(
+                point.params["fault_intensity"], set()
+            ).add(point.params["strategy"])
+        assert by_intensity
+        for strategies in by_intensity.values():
+            assert strategies == {"reactive", "wear"}
+        for point in points:
+            wear_expected = point.params["strategy"] == "wear"
+            assert point.config.wear_aware is wear_expected
+            assert point.config.routing == "ear"
+            # The paired points share one fault schedule per intensity.
+        seeds = {
+            (p.params["fault_intensity"], p.config.faults.seed)
+            for p in points
+        }
+        assert len(seeds) == len(by_intensity)
