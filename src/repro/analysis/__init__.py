@@ -19,6 +19,14 @@ from .faults import (
     wear_comparison,
     wear_comparison_for,
 )
+from .harvest import (
+    harvest_aware_twin,
+    harvest_comparison,
+    harvest_comparison_for,
+    harvest_free_twin,
+    harvest_impact,
+    harvest_impact_for,
+)
 from .sweep import SweepResult, run_sweep, sweep_controllers, sweep_mesh_sizes
 from .tables import format_table
 from .theory import bound_comparison, gap_report
@@ -33,6 +41,12 @@ __all__ = [
     "fault_impact_for",
     "format_table",
     "gap_report",
+    "harvest_aware_twin",
+    "harvest_comparison",
+    "harvest_comparison_for",
+    "harvest_free_twin",
+    "harvest_impact",
+    "harvest_impact_for",
     "implied_communication_energy_pj",
     "run_sweep",
     "series_chart",

@@ -1,0 +1,106 @@
+"""Harvest-impact analysis: income-bearing runs against their twins.
+
+Per-run harvest counters (energy accepted, bus transfers, ...) live in
+:meth:`repro.sim.stats.SimulationStats.summary`; what they cannot say
+alone is *what the income (or the harvest-aware weight) bought*.  Those
+are paired quantities: the same configuration with the income stripped
+(or the harvest weight toggled) is the twin, and the delta between the
+two runs is attributable to the harvesting alone — everything else
+(workload, seeds, platform) is bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import SimulationConfig
+from ..harvest import HarvestConfig
+
+
+def harvest_free_twin(config: SimulationConfig) -> SimulationConfig:
+    """The same run with the income schedule stripped."""
+    return replace(config, harvest=HarvestConfig(), harvest_aware=False)
+
+
+def harvest_aware_twin(config: SimulationConfig) -> SimulationConfig:
+    """The same run with the harvest-bonus weight switched on."""
+    return replace(config, harvest_aware=True)
+
+
+def harvest_comparison(reactive: dict, harvest_aware: dict) -> dict:
+    """Harvest-aware EAR against reactive EAR on the same income schedule.
+
+    Args:
+        reactive: ``SimulationStats.summary()`` of the plain-EAR run.
+        harvest_aware: Summary of the harvest-aware run of the same
+            configuration.
+
+    Returns:
+        JSON-safe dict with the delivery and lifetime deltas the
+        harvest-bonus weight bought (positive = harvest-aware is
+        ahead), plus both runs' harvest accounting.
+    """
+    reactive_jobs = float(reactive["jobs_fractional"])
+    aware_jobs = float(harvest_aware["jobs_fractional"])
+    return {
+        "jobs_reactive": reactive_jobs,
+        "jobs_harvest_aware": aware_jobs,
+        "jobs_gain": round(aware_jobs - reactive_jobs, 3),
+        "lifetime_reactive_frames": reactive["lifetime_frames"],
+        "lifetime_harvest_aware_frames": harvest_aware["lifetime_frames"],
+        "lifetime_gain_frames": (
+            harvest_aware["lifetime_frames"] - reactive["lifetime_frames"]
+        ),
+        "harvested_reactive_pj": reactive.get("harvested_pj", 0.0),
+        "harvested_aware_pj": harvest_aware.get("harvested_pj", 0.0),
+        "shared_reactive_pj": reactive.get("shared_pj", 0.0),
+        "shared_aware_pj": harvest_aware.get("shared_pj", 0.0),
+        "recomputes_reactive": reactive.get("recomputes", 0),
+        "recomputes_harvest_aware": harvest_aware.get("recomputes", 0),
+    }
+
+
+def harvest_comparison_for(config: SimulationConfig) -> dict:
+    """Run ``config`` reactively and harvest-aware; return the comparison."""
+    from ..sim.et_sim import run_simulation
+
+    reactive = run_simulation(
+        replace(config, harvest_aware=False)
+    ).summary()
+    aware = run_simulation(harvest_aware_twin(config)).summary()
+    return harvest_comparison(reactive, aware)
+
+
+def harvest_impact(baseline: dict, harvesting: dict) -> dict:
+    """Delivery gain of an income-bearing run over its harvest-free twin.
+
+    Args:
+        baseline: ``SimulationStats.summary()`` of the harvest-free twin.
+        harvesting: Summary of the income-bearing run.
+    """
+    base_jobs = float(baseline["jobs_fractional"])
+    harvest_jobs = float(harvesting["jobs_fractional"])
+    gain = harvest_jobs - base_jobs
+    return {
+        "jobs_baseline": base_jobs,
+        "jobs_harvesting": harvest_jobs,
+        "delivery_gain": round(gain, 3),
+        "delivery_gain_fraction": (
+            round(gain / base_jobs, 5) if base_jobs > 0 else 0.0
+        ),
+        "lifetime_delta_frames": (
+            harvesting["lifetime_frames"] - baseline["lifetime_frames"]
+        ),
+        "harvested_pj": harvesting.get("harvested_pj", 0.0),
+        "shared_pj": harvesting.get("shared_pj", 0.0),
+        "harvest_events": harvesting.get("harvest_events", 0),
+    }
+
+
+def harvest_impact_for(config: SimulationConfig) -> dict:
+    """Run ``config`` and its harvest-free twin; return the impact."""
+    from ..sim.et_sim import run_simulation
+
+    harvesting = run_simulation(config).summary()
+    baseline = run_simulation(harvest_free_twin(config)).summary()
+    return harvest_impact(baseline, harvesting)

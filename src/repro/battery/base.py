@@ -5,7 +5,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
-from ..errors import BatteryError
+from ..errors import BatteryError, ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -80,13 +80,38 @@ class Battery(abc.ABC):
         """Let the battery idle for ``duration_cycles`` (relaxes the load
         average; never revives a dead cell)."""
 
+    def recharge(self, energy_pj: float) -> float:
+        """Accept up to ``energy_pj`` of harvested charge into the store.
+
+        Returns the energy actually accepted: capped at the nominal
+        capacity (a full cell accepts nothing) and 0 for a dead cell —
+        recharge never revives a battery, matching the paper's
+        permanent-death semantics.  The base implementation models a
+        cell without a charge path (accepts nothing); the ideal and
+        thin-film models override it.
+        """
+        if energy_pj < 0:
+            raise ConfigurationError(
+                f"cannot recharge negative energy {energy_pj}"
+            )
+        return 0.0
+
+    @property
+    def recharged_pj(self) -> float:
+        """Total harvested energy accepted into the store so far."""
+        return 0.0
+
     @property
     def wasted_pj(self) -> float:
-        """Energy stranded in the cell (nominal minus everything drawn).
+        """Energy stranded in the cell (everything put in minus
+        everything drawn out).
 
         For a dead battery this is the paper's "remaining energy stored
         in the attached battery is wasted"; for a living one it is the
-        energy still available.
+        energy still available.  Models account recharge inside
+        :attr:`consumed_pj` (the ideal cell nets it off, the thin-film
+        cell rolls its depth of discharge back), so this is always the
+        true remaining store.
         """
         return max(0.0, self.nominal_capacity_pj - self.consumed_pj)
 

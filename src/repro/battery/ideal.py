@@ -39,6 +39,7 @@ class IdealBattery(Battery):
         self._capacity = float(capacity_pj)
         self._voltage = float(voltage)
         self._delivered = 0.0
+        self._recharged = 0.0
         self._alive = True
 
     @property
@@ -50,6 +51,15 @@ class IdealBattery(Battery):
         return self._delivered
 
     @property
+    def recharged_pj(self) -> float:
+        return self._recharged
+
+    @property
+    def consumed_pj(self) -> float:
+        """Net charge removed from the store (delivered minus refilled)."""
+        return self._delivered - self._recharged
+
+    @property
     def alive(self) -> bool:
         return self._alive
 
@@ -59,7 +69,7 @@ class IdealBattery(Battery):
 
     @property
     def state_of_charge(self) -> float:
-        return max(0.0, 1.0 - self._delivered / self._capacity)
+        return min(1.0, max(0.0, 1.0 - self.consumed_pj / self._capacity))
 
     def draw(self, energy_pj: float, duration_cycles: float) -> DrawResult:
         self._guard_alive()
@@ -69,10 +79,10 @@ class IdealBattery(Battery):
             raise ConfigurationError(
                 f"draw duration must be positive, got {duration_cycles}"
             )
-        available = self._capacity - self._delivered
+        available = self._capacity - self.consumed_pj
         delivered = min(energy_pj, available)
         self._delivered += delivered
-        died = self._delivered >= self._capacity - 1e-9
+        died = self.consumed_pj >= self._capacity - 1e-9
         if died:
             self._alive = False
         return DrawResult(
@@ -81,6 +91,25 @@ class IdealBattery(Battery):
             died=died,
             voltage=self._voltage,
         )
+
+    def recharge(self, energy_pj: float) -> float:
+        """Accept harvested charge (100 % efficiency, capped at nominal).
+
+        The accepted amount never exceeds the charge already removed,
+        so the store never holds more than its nominal capacity; a dead
+        cell rejects everything.
+        """
+        if energy_pj < 0:
+            raise ConfigurationError(
+                f"cannot recharge negative energy {energy_pj}"
+            )
+        if not self._alive:
+            return 0.0
+        # The headroom can carry float dust (delivered and recharged
+        # accumulate separately); clamp so a full cell accepts exactly 0.
+        accepted = min(energy_pj, max(0.0, self.consumed_pj))
+        self._recharged += accepted
+        return accepted
 
     def rest(self, duration_cycles: float) -> None:
         """No-op: an ideal cell has no load-history state."""

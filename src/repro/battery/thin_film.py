@@ -114,6 +114,7 @@ class ThinFilmBattery(Battery):
         self._p = params if params is not None else ThinFilmParameters()
         self._consumed = 0.0       # charge removed from the store (pJ)
         self._delivered = 0.0      # energy handed to the load (pJ)
+        self._recharged = 0.0      # harvested charge accepted (pJ)
         self._ema_power = 0.0      # smoothed drawn power (pJ/cycle)
         self._alive = True
 
@@ -138,9 +139,18 @@ class ThinFilmBattery(Battery):
         return self._consumed
 
     @property
+    def recharged_pj(self) -> float:
+        return self._recharged
+
+    @property
     def loss_pj(self) -> float:
-        """Charge lost to the rate-capacity effect so far."""
-        return self._consumed - self._delivered
+        """Charge lost to the rate-capacity effect so far.
+
+        Recharge rolls :attr:`consumed_pj` back (the DoD rollback), so
+        the accepted harvest is added back here to keep the loss a
+        monotone gross quantity: ``gross removed = delivered + loss``.
+        """
+        return self._consumed + self._recharged - self._delivered
 
     @property
     def alive(self) -> bool:
@@ -239,6 +249,27 @@ class ThinFilmBattery(Battery):
             died=died,
             voltage=loaded_voltage,
         )
+
+    def recharge(self, energy_pj: float) -> float:
+        """Accept harvested charge by rolling the depth of discharge back.
+
+        The accepted amount is capped by the present DoD (the store
+        never exceeds nominal capacity) and a dead cell rejects
+        everything — neither voltage death nor exhaustion is reversible
+        (Sec 5.1.3's death is permanent).  Rolling ``consumed`` back
+        raises the open-circuit voltage for subsequent draws, which is
+        exactly how a refilled thin-film cell behaves.
+        """
+        if energy_pj < 0:
+            raise ConfigurationError(
+                f"cannot recharge negative energy {energy_pj}"
+            )
+        if not self._alive:
+            return 0.0
+        accepted = min(energy_pj, max(0.0, self._consumed))
+        self._consumed -= accepted
+        self._recharged += accepted
+        return accepted
 
     def rest(self, duration_cycles: float) -> None:
         if duration_cycles < 0:

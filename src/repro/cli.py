@@ -23,6 +23,7 @@ from .analysis.theory import bound_for
 from .battery.thin_film import ThinFilmBattery, ThinFilmParameters
 from .config import PlatformConfig, SimulationConfig, WorkloadConfig
 from .faults import FAULT_PROFILES, FaultConfig
+from .harvest import HARVEST_PROFILES, HarvestConfig
 from .mesh.geometry import node_id
 from .orchestration import (
     SweepCache,
@@ -59,6 +60,21 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
         help="re-sew every cut line F frames after its cut (0 = never)",
     )
     parser.add_argument(
+        "--repair-crew", type=int, default=0, metavar="N",
+        help="repair-crew size: N menders fix cut lines oldest-first, "
+        "each repair taking --repair-latency frames (0 = no crew; "
+        "mutually exclusive with --fault-repair-frames)",
+    )
+    parser.add_argument(
+        "--repair-latency", type=int, default=8, metavar="F",
+        help="frames one crew member needs to re-sew one line (default 8)",
+    )
+    parser.add_argument(
+        "--fault-corrode-frames", type=int, default=0, metavar="F",
+        help="moisture only: cumulative degraded frames after which a "
+        "wet link corrodes through into a permanent cut (0 = never)",
+    )
+    parser.add_argument(
         "--wear-weight", action="store_true",
         help="enable the wear-prediction routing weight (EAR routes "
         "around high-wear lines before they sever)",
@@ -75,6 +91,41 @@ def _fault_config(args: argparse.Namespace) -> FaultConfig:
         seed=args.fault_seed,
         intensity=args.fault_intensity,
         repair_after_frames=args.fault_repair_frames,
+        repair_crew_size=args.repair_crew,
+        repair_latency_frames=args.repair_latency,
+        corrode_after_frames=args.fault_corrode_frames,
+    )
+
+
+def _add_harvest_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--harvest-profile", choices=HARVEST_PROFILES, default="none",
+        help="energy-harvesting profile (default none)",
+    )
+    parser.add_argument(
+        "--harvest-seed", type=int, default=0, metavar="S",
+        help="seed of the harvest activity-trace generator",
+    )
+    parser.add_argument(
+        "--harvest-amplitude", type=float, default=40.0, metavar="PJ",
+        help="peak per-node income per frame in pJ (default 40)",
+    )
+    parser.add_argument(
+        "--harvest-weight", action="store_true",
+        help="enable the harvest-bonus routing weight (the controller "
+        "learns per-node income rates and EAR steers traffic toward "
+        "energy-rich regions while their cells are still full)",
+    )
+
+
+def _harvest_config(args: argparse.Namespace) -> HarvestConfig:
+    if args.harvest_profile == "none":
+        # Normalise inert knobs so the cache hash matches a flag-free run.
+        return HarvestConfig()
+    return HarvestConfig(
+        profile=args.harvest_profile,
+        seed=args.harvest_seed,
+        amplitude_pj=args.harvest_amplitude,
     )
 
 
@@ -104,8 +155,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ),
         workload=WorkloadConfig(seed=args.seed),
         faults=_fault_config(args),
+        harvest=_harvest_config(args),
         routing=args.routing,
         wear_aware=args.wear_weight,
+        harvest_aware=args.harvest_weight,
     )
     stats = run_simulation(config)
     if args.json:
@@ -155,7 +208,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.sweep import sweep_mesh_sizes
 
     base = SimulationConfig(
-        faults=_fault_config(args), wear_aware=args.wear_weight
+        faults=_fault_config(args),
+        harvest=_harvest_config(args),
+        wear_aware=args.wear_weight,
+        harvest_aware=args.harvest_weight,
     )
     widths = tuple(range(args.min_mesh, args.max_mesh + 1))
     results = sweep_mesh_sizes(
@@ -197,11 +253,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
     names = args.scenario or list(scenarios())
     scale = "smoke" if args.smoke else args.scale
-    # The fault flags shape the *base* configuration handed to every
-    # scenario; fault scenarios (fig7-faulty, ...) override the profile
-    # with their own schedules.
+    # The fault/harvest flags shape the *base* configuration handed to
+    # every scenario; fault and harvest scenarios (fig7-faulty,
+    # harvest-motion, ...) override the profile with their own
+    # schedules.
     base = SimulationConfig(
-        faults=_fault_config(args), wear_aware=args.wear_weight
+        faults=_fault_config(args),
+        harvest=_harvest_config(args),
+        wear_aware=args.wear_weight,
+        harvest_aware=args.harvest_weight,
     )
     runner = _make_runner(args)
     cache = runner.cache
@@ -321,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the summary as JSON"
     )
     _add_fault_arguments(simulate)
+    _add_harvest_arguments(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     sweep = sub.add_parser("sweep", help="EAR vs SDR across mesh sizes")
@@ -328,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-mesh", type=int, default=8)
     _add_runner_arguments(sweep)
     _add_fault_arguments(sweep)
+    _add_harvest_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     bench = sub.add_parser(
@@ -354,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runner_arguments(bench)
     _add_fault_arguments(bench)
+    _add_harvest_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
 
     curve = sub.add_parser(

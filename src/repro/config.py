@@ -26,14 +26,18 @@ from .control.tdma import (
     TdmaSchedule,
 )
 from .core.weights import (
+    DEFAULT_HARVEST_Q,
+    DEFAULT_HARVEST_QUANTUM,
     DEFAULT_Q,
     DEFAULT_WEAR_Q,
     DEFAULT_WEAR_QUANTUM,
     BatteryWeightFunction,
+    HarvestWeightFunction,
     WearWeightFunction,
 )
 from .errors import ConfigurationError
 from .faults.config import FaultConfig
+from .harvest.config import HarvestConfig
 from .link.energy import LinkEnergyModel
 from .link.packet import PacketFormat
 from .mesh.mapping import (
@@ -346,6 +350,7 @@ class SimulationConfig:
         control: Control mechanism description.
         workload: Job generation description.
         faults: Fault-injection schedule description (default: none).
+        harvest: Energy-harvesting income description (default: none).
         routing: ``"ear"`` or ``"sdr"``.
         weight_q: EAR's strengthening constant ``Q``.
         wear_aware: Enable the wear-prediction weight: EAR additionally
@@ -355,17 +360,29 @@ class SimulationConfig:
         wear_q: Penalty base of the wear weight (>= 1; 1 degenerates to
             reactive EAR).
         wear_quantum: Traversals per quantised wear level.
+        harvest_aware: Enable the harvest-bonus weight: the controller
+            learns per-node income rates from status uploads and EAR
+            steers traffic toward energy-rich regions.  Only meaningful
+            with ``routing == "ear"`` and an active harvest profile.
+        harvest_q: Bonus base of the harvest weight (>= 1; 1
+            degenerates to reactive EAR).
+        harvest_quantum: Smoothed income (pJ/frame) per quantised
+            income level.
     """
 
     platform: PlatformConfig = field(default_factory=PlatformConfig)
     control: ControlConfig = field(default_factory=ControlConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    harvest: HarvestConfig = field(default_factory=HarvestConfig)
     routing: str = "ear"
     weight_q: float = DEFAULT_Q
     wear_aware: bool = False
     wear_q: float = DEFAULT_WEAR_Q
     wear_quantum: int = DEFAULT_WEAR_QUANTUM
+    harvest_aware: bool = False
+    harvest_q: float = DEFAULT_HARVEST_Q
+    harvest_quantum: float = DEFAULT_HARVEST_QUANTUM
 
     def __post_init__(self) -> None:
         if self.routing not in ROUTING_ALGORITHMS:
@@ -379,6 +396,10 @@ class SimulationConfig:
             raise ConfigurationError("wear Q must be >= 1")
         if self.wear_quantum < 1:
             raise ConfigurationError("wear quantum must be >= 1")
+        if self.harvest_q < 1.0:
+            raise ConfigurationError("harvest Q must be >= 1")
+        if self.harvest_quantum <= 0:
+            raise ConfigurationError("harvest quantum must be positive")
 
     def weight_function(self) -> BatteryWeightFunction:
         return BatteryWeightFunction(
@@ -390,6 +411,14 @@ class SimulationConfig:
         if not self.wear_aware:
             return None
         return WearWeightFunction(q=self.wear_q, quantum=self.wear_quantum)
+
+    def harvest_function(self) -> HarvestWeightFunction | None:
+        """The harvest-bonus weight, or None when disabled."""
+        if not self.harvest_aware:
+            return None
+        return HarvestWeightFunction(
+            q=self.harvest_q, quantum=self.harvest_quantum
+        )
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -423,6 +452,7 @@ class SimulationConfig:
         control_raw = dict(data.get("control", {}))
         workload_raw = dict(data.get("workload", {}))
         faults_raw = data.get("faults", {})
+        harvest_raw = data.get("harvest", {})
 
         def thin_film_params(tf_raw: dict) -> ThinFilmParameters:
             tf_raw = dict(tf_raw)
@@ -471,9 +501,17 @@ class SimulationConfig:
             faults=FaultConfig(**faults_raw)
             if isinstance(faults_raw, dict)
             else FaultConfig(),
+            harvest=HarvestConfig(**harvest_raw)
+            if isinstance(harvest_raw, dict)
+            else HarvestConfig(),
             routing=data.get("routing", "ear"),
             weight_q=data.get("weight_q", DEFAULT_Q),
             wear_aware=data.get("wear_aware", False),
             wear_q=data.get("wear_q", DEFAULT_WEAR_Q),
             wear_quantum=data.get("wear_quantum", DEFAULT_WEAR_QUANTUM),
+            harvest_aware=data.get("harvest_aware", False),
+            harvest_q=data.get("harvest_q", DEFAULT_HARVEST_Q),
+            harvest_quantum=data.get(
+                "harvest_quantum", DEFAULT_HARVEST_QUANTUM
+            ),
         )

@@ -150,6 +150,10 @@ class ControlPlane:
         #: Quantised per-link wear levels pushed by the engine (None
         #: while wear-aware routing is off or nothing wore out yet).
         self._wear: np.ndarray | None = None
+        #: Quantised per-node harvest income levels learned from status
+        #: uploads (None while harvest-aware routing is off or no node
+        #: reported income yet).
+        self._income: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -203,6 +207,18 @@ class ControlPlane:
         self._wear = np.array(wear, dtype=int)
         self._links_changed = True
 
+    def update_income(self, income: np.ndarray) -> None:
+        """Hook: the learned per-node harvest-income picture changed.
+
+        The engine pushes a fresh income-level vector only when some
+        node's smoothed income crossed a level boundary (the harvest
+        runtime's quantisation), so this triggers a recomputation
+        exactly as a changed battery report would — not on every
+        harvested picojoule.
+        """
+        self._income = np.array(income, dtype=int)
+        self._links_changed = True
+
     def view(self) -> NetworkView:
         """Current reported-state snapshot."""
         return NetworkView(
@@ -213,6 +229,7 @@ class ControlPlane:
             mapping=self._mapping,
             blocked_ports=self._registry.blocked_ports(),
             wear=self._wear,
+            income=self._income,
         )
 
     # ------------------------------------------------------------------

@@ -18,7 +18,9 @@ from .phase3 import RoutingPlan, select_destinations
 from .view import NetworkView
 from .weights import (
     BatteryWeightFunction,
+    HarvestWeightFunction,
     WearWeightFunction,
+    apply_harvest_bonus,
     apply_wear_penalty,
     ear_weight_matrix,
     sdr_weight_matrix,
@@ -67,7 +69,11 @@ class EnergyAwareRouting(RoutingEngine):
     weight matrix is additionally scaled by the per-link wear penalty
     whenever the view carries wear information — routing drifts away
     from worn lines before they sever, instead of only reacting to
-    discovered cuts.
+    discovered cuts.  With a
+    :class:`~repro.core.weights.HarvestWeightFunction` attached, the
+    matrix is further scaled by the receiver's harvest bonus whenever
+    the view carries income information — traffic is steered toward
+    regions the fabric is actively recharging.
     """
 
     name = "ear"
@@ -76,6 +82,7 @@ class EnergyAwareRouting(RoutingEngine):
         self,
         weight_function: BatteryWeightFunction | None = None,
         wear_function: WearWeightFunction | None = None,
+        harvest_function: HarvestWeightFunction | None = None,
     ):
         self._weight_function = (
             weight_function
@@ -83,6 +90,7 @@ class EnergyAwareRouting(RoutingEngine):
             else BatteryWeightFunction()
         )
         self._wear_function = wear_function
+        self._harvest_function = harvest_function
 
     @property
     def weight_function(self) -> BatteryWeightFunction:
@@ -94,33 +102,45 @@ class EnergyAwareRouting(RoutingEngine):
         """The wear-prediction penalty in use (None = reactive EAR)."""
         return self._wear_function
 
+    @property
+    def harvest_function(self) -> HarvestWeightFunction | None:
+        """The harvest bonus in use (None = harvest-blind EAR)."""
+        return self._harvest_function
+
     def weight_matrix(self, view: NetworkView) -> np.ndarray:
         weights = ear_weight_matrix(view, self._weight_function)
         if self._wear_function is not None and view.wear is not None:
             weights = apply_wear_penalty(
                 weights, view.wear, self._wear_function
             )
+        if self._harvest_function is not None and view.income is not None:
+            weights = apply_harvest_bonus(
+                weights, view, self._harvest_function
+            )
         return weights
 
     def __repr__(self) -> str:
         wf = self._weight_function
-        if self._wear_function is None:
-            return f"EnergyAwareRouting(q={wf.q}, levels={wf.levels})"
-        return (
-            f"EnergyAwareRouting(q={wf.q}, levels={wf.levels}, "
-            f"wear_q={self._wear_function.q})"
-        )
+        parts = [f"q={wf.q}", f"levels={wf.levels}"]
+        if self._wear_function is not None:
+            parts.append(f"wear_q={self._wear_function.q}")
+        if self._harvest_function is not None:
+            parts.append(f"harvest_q={self._harvest_function.q}")
+        return f"EnergyAwareRouting({', '.join(parts)})"
 
 
 def routing_engine(
     name: str,
     weight_function: BatteryWeightFunction | None = None,
     wear_function: WearWeightFunction | None = None,
+    harvest_function: HarvestWeightFunction | None = None,
 ) -> RoutingEngine:
     """Factory by short name (``"ear"`` or ``"sdr"``)."""
     normalized = name.strip().lower()
     if normalized == "ear":
-        return EnergyAwareRouting(weight_function, wear_function)
+        return EnergyAwareRouting(
+            weight_function, wear_function, harvest_function
+        )
     if normalized == "sdr":
         return ShortestDistanceRouting()
     raise ConfigurationError(

@@ -35,6 +35,10 @@ class NetworkView:
         wear: Optional ``(K, K)`` matrix of quantised per-link wear
             levels (traversal counts plus degradation history, reported
             by the fault runtime); None when wear-aware routing is off.
+        income: Optional length-``K`` vector of quantised per-node
+            harvest income levels (smoothed accepted income, learned
+            from status uploads); None when harvest-aware routing is
+            off.
     """
 
     lengths: np.ndarray
@@ -46,6 +50,7 @@ class NetworkView:
         default_factory=frozenset
     )
     wear: np.ndarray | None = None
+    income: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         lengths = np.asarray(self.lengths, dtype=float)
@@ -85,6 +90,16 @@ class NetworkView:
             if wear.min(initial=0) < 0:
                 raise ConfigurationError("wear levels must be >= 0")
             object.__setattr__(self, "wear", wear)
+        if self.income is not None:
+            income = np.asarray(self.income, dtype=int)
+            if income.shape != (size,):
+                raise ConfigurationError(
+                    f"income vector must have length {size}, got "
+                    f"{income.shape}"
+                )
+            if income.min(initial=0) < 0:
+                raise ConfigurationError("income levels must be >= 0")
+            object.__setattr__(self, "income", income)
 
     @property
     def num_nodes(self) -> int:
@@ -107,4 +122,5 @@ class NetworkView:
             mapping=self.mapping,
             blocked_ports=blocked,
             wear=self.wear,
+            income=self.income,
         )

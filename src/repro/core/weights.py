@@ -48,6 +48,29 @@ DEFAULT_WEAR_QUANTUM = 96
 #: penalty table — one source of truth for where wear saturates.
 DEFAULT_WEAR_LEVELS = 8
 
+#: Default harvest-bonus base: a node one income level up looks ~23 %
+#: closer *while its battery is still nearly full* (see
+#: :data:`HARVEST_RICH_BAND`).  Calibrated (with the quantum below) on
+#: the harvest-aware scenario grid so the harvest weight gains jobs
+#: there.
+DEFAULT_HARVEST_Q = 1.3
+
+#: Default smoothed income (pJ per frame) per quantised income level.
+DEFAULT_HARVEST_QUANTUM = 5.0
+
+#: Income-level cap shared by the harvest runtime's quantiser and the
+#: bonus table.
+DEFAULT_HARVEST_LEVELS = 8
+
+#: The harvest bonus only applies to receivers reporting a battery
+#: level within this many levels of full (the top quarter of the
+#: default 8-level scale).  Surplus draining: attracting load to a
+#: harvesting node is profitable exactly while its cell is so full
+#: that income would otherwise be rejected for lack of headroom; once
+#: the level drops out of the band the node needs the regular battery
+#: weight's protection, not extra traffic.
+HARVEST_RICH_BAND = 2
+
 
 @dataclass(frozen=True)
 class BatteryWeightFunction:
@@ -129,6 +152,84 @@ class WearWeightFunction:
     def table(self) -> np.ndarray:
         """Vector of multipliers indexed by level."""
         return np.array([self(level) for level in range(self.levels)])
+
+
+@dataclass(frozen=True)
+class HarvestWeightFunction:
+    """Harvest-bonus weighting: ``h(r) = Q_h ** -min(r, levels - 1)``.
+
+    ``r`` is a node's quantised income level — its smoothed per-frame
+    harvested energy in units of an income quantum, learned by the
+    controller from status uploads.  Energy-rich nodes look *closer*
+    (while their cells are still nearly full, see
+    :func:`apply_harvest_bonus`), so EAR steers traffic toward the
+    regions the fabric is actively recharging instead of merely away
+    from depleted ones.  A node with no income (level 0) is
+    unweighted, and ``q == 1`` degenerates to reactive EAR.
+
+    Args:
+        q: Bonus base ``Q_h`` (>= 1).
+        quantum: Smoothed income (pJ/frame) per level (> 0).
+        levels: Level cap (the bonus saturates, like battery levels).
+    """
+
+    q: float = DEFAULT_HARVEST_Q
+    quantum: float = DEFAULT_HARVEST_QUANTUM
+    levels: int = DEFAULT_HARVEST_LEVELS
+
+    def __post_init__(self) -> None:
+        if self.q < 1.0:
+            raise ConfigurationError(
+                f"harvest bonus base must be >= 1, got {self.q}"
+            )
+        if self.quantum <= 0:
+            raise ConfigurationError(
+                f"harvest quantum must be positive, got {self.quantum}"
+            )
+        if self.levels < 1:
+            raise ConfigurationError(
+                f"harvest levels must be >= 1, got {self.levels}"
+            )
+
+    def __call__(self, level: int) -> float:
+        """Weight multiplier of a node at income ``level`` (<= 1)."""
+        if level < 0:
+            raise ConfigurationError(
+                f"income level must be >= 0, got {level}"
+            )
+        return self.q ** -min(level, self.levels - 1)
+
+    def table(self) -> np.ndarray:
+        """Vector of multipliers indexed by level."""
+        return np.array([self(level) for level in range(self.levels)])
+
+
+def apply_harvest_bonus(
+    weights: np.ndarray,
+    view: NetworkView,
+    harvest_function: HarvestWeightFunction,
+) -> np.ndarray:
+    """Scale a weight matrix by the receiver's harvest bonus.
+
+    Column ``j`` shrinks by ``h(income_level_j)`` — but only while node
+    ``j`` still reports a battery level within :data:`HARVEST_RICH_BAND`
+    of full.  A nearly-full harvesting cell rejects income for lack of
+    headroom, so pulling extra traffic onto it converts otherwise-wasted
+    income into delivered work; a node below the band needs the battery
+    weight's protection instead (income of tens of pJ per frame cannot
+    carry relay duty, and an unconditional bonus measurably shortens
+    lifetime by overloading flexing nodes at end of life).  ``inf``
+    entries stay ``inf`` and the diagonal stays 0, so the
+    Floyd–Warshall conventions survive.
+    """
+    multipliers = harvest_function.table()[
+        np.minimum(view.income, harvest_function.levels - 1)
+    ]
+    rich = view.battery_levels >= view.levels - HARVEST_RICH_BAND
+    multipliers = np.where(rich, multipliers, 1.0)
+    weights = weights * multipliers[np.newaxis, :]
+    np.fill_diagonal(weights, 0.0)
+    return weights
 
 
 def apply_wear_penalty(

@@ -45,8 +45,10 @@ FAULT_PROFILES = (
 #: restores a previously cut line (a re-sewn interconnect).
 FAULT_KINDS = ("link-cut", "node-kill", "link-degrade", "link-repair")
 
-#: Profiles that emit permanent ``link-cut`` events (and therefore can
-#: schedule follow-up repairs via ``repair_after_frames``).
+#: Profiles that *always* emit permanent ``link-cut`` events (and
+#: therefore respond to the repair machinery).  ``moisture`` joins them
+#: conditionally: with ``corrode_after_frames`` set, sustained
+#: degradation corrodes wet links through into cuts.
 CUTTING_PROFILES = ("link-attrition", "wash-cycle", "tear")
 
 
@@ -77,6 +79,19 @@ class FaultConfig:
             cutting profile (:data:`CUTTING_PROFILES`) is followed by a
             ``link-repair`` event this many frames later — the line is
             re-sewn and routing capacity restored.  0 disables repair.
+        repair_crew_size: When > 0, repairs are performed by a crew of
+            this many menders instead of per-cut timers: each free
+            mender picks the *oldest* still-severed cut and re-sews it
+            ``repair_latency_frames`` later, so under a damage burst
+            repairs queue behind the crew's capacity.  Mutually
+            exclusive with ``repair_after_frames``.
+        repair_latency_frames: Frames one crew member needs to re-sew
+            one line (travel, stitching, curing).
+        corrode_after_frames: Moisture only: once a link has been
+            degraded for this many cumulative frames, the wet contact
+            corrodes through — the degradation becomes a permanent
+            ``link-cut`` (which the repair machinery can then re-sew
+            like any other cut).  0 disables corrosion.
     """
 
     profile: str = "none"
@@ -91,6 +106,9 @@ class FaultConfig:
     tear_radius: float = 1.5
     moisture_radius: float = 2.0
     repair_after_frames: int = 0
+    repair_crew_size: int = 0
+    repair_latency_frames: int = 8
+    corrode_after_frames: int = 0
 
     def __post_init__(self) -> None:
         if self.profile not in FAULT_PROFILES:
@@ -134,6 +152,26 @@ class FaultConfig:
             raise ConfigurationError(
                 "repair_after_frames must be >= 0 (0 disables repair), "
                 f"got {self.repair_after_frames}"
+            )
+        if self.repair_crew_size < 0:
+            raise ConfigurationError(
+                "repair_crew_size must be >= 0 (0 disables the crew), "
+                f"got {self.repair_crew_size}"
+            )
+        if self.repair_crew_size > 0 and self.repair_after_frames > 0:
+            raise ConfigurationError(
+                "repair_after_frames and repair_crew_size are mutually "
+                "exclusive repair models; set only one"
+            )
+        if self.repair_latency_frames < 1:
+            raise ConfigurationError(
+                "repair_latency_frames must be >= 1, got "
+                f"{self.repair_latency_frames}"
+            )
+        if self.corrode_after_frames < 0:
+            raise ConfigurationError(
+                "corrode_after_frames must be >= 0 (0 disables "
+                f"corrosion), got {self.corrode_after_frames}"
             )
 
     @property

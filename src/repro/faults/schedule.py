@@ -18,6 +18,7 @@ implementation.
 
 from __future__ import annotations
 
+import heapq
 import math
 import random
 from dataclasses import dataclass
@@ -277,6 +278,16 @@ def _moisture(
     the current patch centre (refreshing any still-active degradation),
     then the centre takes one random unit step, clamped to the fabric's
     bounding box.  Without geometry the patch is a single random link.
+
+    With ``corrode_after_frames`` set, sustained wetness corrodes
+    through: exposure counts a link's cumulative *non-overlapping* wet
+    frames (a burst that refreshes an already-wet link only extends
+    the wet period, it does not double-count the overlap), and the
+    burst whose wet period carries a link past the threshold emits a
+    permanent ``link-cut`` at the exact frame the threshold is
+    reached.  A corroded link leaves the patch pool — it is severed,
+    there is nothing left to wet — and, like any other cut, responds
+    to the repair machinery.
     """
     if not links:
         return []
@@ -285,6 +296,11 @@ def _moisture(
         1, int(math.ceil(config.period_frames / config.intensity))
     )
     events: list[FaultEvent] = []
+    #: Cumulative non-overlapping wet frames per link (corrosion).
+    exposure: dict[tuple[int, int], int] = {}
+    #: Frame each link's scheduled wetness currently runs to.
+    wet_until: dict[tuple[int, int], int] = {}
+    corroded: set[tuple[int, int]] = set()
     if midpoints:
         xs = [p[0] for p in midpoints.values()]
         ys = [p[1] for p in midpoints.values()]
@@ -307,6 +323,37 @@ def _moisture(
                 <= config.moisture_radius
             ]
         for u, v in patch:
+            pair = (u, v)
+            if pair in corroded:
+                continue
+            if config.corrode_after_frames > 0:
+                # This burst's wetness runs to frame + degrade_frames;
+                # only the part past the already-scheduled wet period
+                # is new exposure (a refresh extends, never overlaps).
+                start = max(frame, wet_until.get(pair, frame))
+                end = frame + config.degrade_frames
+                before = exposure.get(pair, 0)
+                if before + (end - start) >= config.corrode_after_frames:
+                    # Stored exposure is always below the threshold, so
+                    # the crossing lands strictly inside this burst's
+                    # wet period: the link degrades now and corrodes
+                    # through at the crossing frame.
+                    cut_frame = start + (
+                        config.corrode_after_frames - before
+                    )
+                    corroded.add(pair)
+                    if cut_frame < horizon:
+                        events.append(
+                            FaultEvent(
+                                frame=cut_frame,
+                                kind="link-cut",
+                                node_a=u,
+                                node_b=v,
+                            )
+                        )
+                else:
+                    exposure[pair] = before + (end - start)
+                    wet_until[pair] = end
             events.append(
                 FaultEvent(
                     frame=frame,
@@ -353,6 +400,45 @@ def _with_repairs(
     return events + repairs
 
 
+def _with_repair_crew(
+    config: FaultConfig, events: list[FaultEvent], horizon: int
+) -> list[FaultEvent]:
+    """Schedule repairs performed by a bounded crew, oldest cut first.
+
+    Unlike the per-cut timer of :func:`_with_repairs`, a crew of
+    ``repair_crew_size`` menders works through the severed lines in cut
+    order: each free mender takes the oldest still-severed cut and
+    finishes ``repair_latency_frames`` later.  Under a damage burst the
+    queue grows and lines stay severed far longer than the latency —
+    the budgeted-maintenance model the ROADMAP asks for.  Repairs that
+    would finish past the horizon are dropped.
+    """
+    if config.repair_crew_size <= 0:
+        return events
+    cuts = sorted(
+        (event for event in events if event.kind == "link-cut"),
+        key=lambda event: event.frame,
+    )
+    #: Min-heap of frames at which each mender becomes free.
+    free = [config.start_frame] * config.repair_crew_size
+    heapq.heapify(free)
+    repairs = []
+    for cut in cuts:
+        start = max(cut.frame, heapq.heappop(free))
+        done = start + config.repair_latency_frames
+        heapq.heappush(free, done)
+        if done < horizon:
+            repairs.append(
+                FaultEvent(
+                    frame=done,
+                    kind="link-repair",
+                    node_a=cut.node_a,
+                    node_b=cut.node_b,
+                )
+            )
+    return events + repairs
+
+
 def build_fault_schedule(
     config: FaultConfig,
     topology: Topology,
@@ -379,10 +465,13 @@ def build_fault_schedule(
         events = _moisture(config, links, topology, rng, horizon_frames)
     else:  # wash-cycle
         events = _wash_cycle(config, links, rng, horizon_frames)
-    # _with_repairs keys on the emitted link-cut events themselves, so
-    # any profile that cuts (today: CUTTING_PROFILES) gets its repairs
-    # without needing a second registration.
+    # Both repair models key on the emitted link-cut events themselves,
+    # so any profile that cuts (CUTTING_PROFILES, or moisture once
+    # corrosion is enabled) gets its repairs without a second
+    # registration.  The config validator guarantees at most one model
+    # is configured.
     events = _with_repairs(config, events, horizon_frames)
+    events = _with_repair_crew(config, events, horizon_frames)
     return FaultSchedule(events)
 
 

@@ -1,0 +1,30 @@
+"""Energy harvesting for the e-textile platform.
+
+The paper's batteries only drain; this package adds the income side a
+modern e-textile actually has — triboelectric motion harvesting
+(texTENG), photovoltaic yarn, and I²We-style power sharing over the
+conductive fabric.  Income schedules are deterministic functions of a
+:class:`HarvestConfig` plus the topology, so harvest-bearing runs stay
+replayable, cacheable and bit-identical across the sequential and
+concurrent engines.
+"""
+
+from .config import HARVEST_PROFILES, MOTION_PROFILES, HarvestConfig
+from .schedule import (
+    DEFAULT_INCOME_LEVELS,
+    HarvestRuntime,
+    HarvestSchedule,
+    build_harvest_schedule,
+    flex_weights,
+)
+
+__all__ = [
+    "DEFAULT_INCOME_LEVELS",
+    "HARVEST_PROFILES",
+    "MOTION_PROFILES",
+    "HarvestConfig",
+    "HarvestRuntime",
+    "HarvestSchedule",
+    "build_harvest_schedule",
+    "flex_weights",
+]

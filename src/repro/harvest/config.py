@@ -1,0 +1,128 @@
+"""Energy-harvesting configuration.
+
+Modern e-textiles do not only *spend* energy: textile triboelectric
+nanogenerators (texTENG) scavenge power from the wearer's motion,
+photovoltaic yarns collect ambient light, and conductive-textile power
+buses (I²We) can move charge between garment regions.  A
+:class:`HarvestConfig` selects a named *harvest profile* — a
+deterministic, seedable generator of per-node energy income over the
+fabric — and its parameters.  Like every other knob in
+:mod:`repro.config` it is a frozen dataclass, so a harvest-bearing run
+is fully described (and content-hashed for the sweep cache) by its
+plain-dict form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: Recognised harvest profiles.
+#:
+#: * ``none``   — no income (bit-identical to a harvest-free run);
+#: * ``motion`` — activity-trace-driven triboelectric pulses: a
+#:   deterministic activity trace gates bursts of income, concentrated
+#:   on high-flex nodes (far from the fabric centroid — elbows,
+#:   shoulders) via ``Topology.node_position``;
+#: * ``solar``  — a slow diurnal ramp, uniform across the fabric;
+#: * ``bus``    — motion income plus I²We-style power sharing: each
+#:   frame a node whose state of charge exceeds a geometric neighbour's
+#:   by ``share_threshold`` trickles up to ``share_rate_pj`` over the
+#:   conductive textile, arriving scaled by ``share_efficiency``.
+HARVEST_PROFILES = ("none", "motion", "solar", "bus")
+
+#: Profiles whose income is gated by the motion activity trace.
+MOTION_PROFILES = ("motion", "bus")
+
+
+@dataclass(frozen=True)
+class HarvestConfig:
+    """Parameters of the harvest income generator.
+
+    Attributes:
+        profile: One of :data:`HARVEST_PROFILES`.
+        seed: Seed of the activity-trace generator (same seed, same
+            topology and same parameters => identical income schedule).
+        amplitude_pj: Peak per-node income per frame.  For calibration:
+            a default 4x4 run drains ~100 pJ per node per frame, so the
+            default amplitude extends lifetime noticeably without making
+            the fabric self-sufficient.
+        period_frames: Length of one activity window of the motion
+            trace; each window is independently active or idle.
+        duty: Fraction of motion windows that are active.
+        day_frames: Period of the solar diurnal cycle (income follows
+            the positive half of a sine over this many frames).
+        start_frame: First frame at which income may arrive.
+        share_threshold: State-of-charge gap (fraction of nominal) that
+            triggers a bus transfer toward a poorer neighbour.
+        share_efficiency: Fraction of a shared quantum that survives
+            the textile bus conversion (the rest is conversion loss).
+        share_rate_pj: Maximum energy one donor moves per frame.
+    """
+
+    profile: str = "none"
+    seed: int = 0
+    amplitude_pj: float = 40.0
+    period_frames: int = 16
+    duty: float = 0.5
+    day_frames: int = 256
+    start_frame: int = 0
+    share_threshold: float = 0.2
+    share_efficiency: float = 0.7
+    share_rate_pj: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.profile not in HARVEST_PROFILES:
+            raise ConfigurationError(
+                f"unknown harvest profile {self.profile!r}; "
+                f"expected one of {HARVEST_PROFILES}"
+            )
+        if self.amplitude_pj < 0:
+            raise ConfigurationError(
+                f"harvest amplitude must be >= 0, got {self.amplitude_pj}"
+            )
+        if self.period_frames < 1:
+            raise ConfigurationError(
+                "harvest activity window must be >= 1 frame"
+            )
+        if not 0.0 <= self.duty <= 1.0:
+            raise ConfigurationError(
+                f"harvest duty must lie in [0, 1], got {self.duty}"
+            )
+        if self.day_frames < 2:
+            raise ConfigurationError(
+                f"solar day must span >= 2 frames, got {self.day_frames}"
+            )
+        if self.start_frame < 0:
+            raise ConfigurationError("harvest start frame must be >= 0")
+        if not 0.0 < self.share_threshold <= 1.0:
+            raise ConfigurationError(
+                "share threshold must lie in (0, 1], got "
+                f"{self.share_threshold}"
+            )
+        if not 0.0 < self.share_efficiency <= 1.0:
+            raise ConfigurationError(
+                "share efficiency must lie in (0, 1], got "
+                f"{self.share_efficiency}"
+            )
+        if self.share_rate_pj < 0:
+            raise ConfigurationError(
+                f"share rate must be >= 0, got {self.share_rate_pj}"
+            )
+
+    @property
+    def is_active(self) -> bool:
+        """True when this configuration can produce harvest income.
+
+        A zero-amplitude schedule is inert regardless of profile — the
+        generators are absent, so nothing is harvested *and* the bus
+        has nothing to redistribute; such a run must be bit-identical
+        to a harvest-free one.
+        """
+        return self.profile != "none" and self.amplitude_pj > 0
+
+    @property
+    def shares_power(self) -> bool:
+        """True when the profile redistributes charge over the bus."""
+        return self.profile == "bus" and self.amplitude_pj > 0

@@ -1,0 +1,208 @@
+"""Deterministic harvest income schedules and their runtime state.
+
+A *harvest schedule* maps a frame index to the per-node energy income
+the fabric scavenges during that frame.  It is a pure function of the
+:class:`~repro.harvest.config.HarvestConfig` and the fabric topology —
+the same inputs always produce the same income, which keeps
+harvest-bearing runs replayable, cacheable and bit-identical across the
+sequential and concurrent engines (both recharge batteries through
+``EngineBase._apply_harvest`` at frame boundaries).
+
+The engines own a :class:`HarvestRuntime` that wraps the schedule and,
+when harvest-aware routing is enabled, maintains the per-node income
+estimate the controller learns: an exponential moving average of the
+energy each node actually *accepted*, quantised into income levels with
+the same trigger discipline as battery-level and wear reports — a fresh
+picture is pushed only when some node crosses a level boundary.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+
+from ..mesh.topology import Topology
+from .config import MOTION_PROFILES, HarvestConfig
+
+#: Income levels the quantiser (and the routing bonus table) saturate
+#: at — one source of truth, mirroring the wear-level cap.
+DEFAULT_INCOME_LEVELS = 8
+
+#: Per-frame smoothing factor of the income-rate moving average.  One
+#: time constant spans ~50 frames — several motion windows — so the
+#: estimate converges on each node's steady income *rate* instead of
+#: chasing individual activity bursts (burst-chasing flips levels every
+#: window and churns the controller with recomputations).
+INCOME_EMA_ALPHA = 0.02
+
+#: Baseline share of the flex weight every node keeps: even low-flex
+#: (central) fabric regions crinkle a little with each movement.
+_FLEX_FLOOR = 0.25
+
+
+def flex_weights(topology: Topology, num_mesh_nodes: int) -> list[float]:
+    """Per-node triboelectric flex weight in ``[_FLEX_FLOOR, 1]``.
+
+    Motion harvest concentrates on high-flex regions — the fabric far
+    from the torso centroid (elbows, shoulders, hem).  With node
+    positions available the weight grows linearly with the distance
+    from the fabric centroid; fabrics without geometry degrade to a
+    uniform weight of 1.
+    """
+    positions = [topology.node_position(node) for node in range(num_mesh_nodes)]
+    if any(p is None for p in positions) or not positions:
+        return [1.0] * num_mesh_nodes
+    cx = sum(p[0] for p in positions) / len(positions)
+    cy = sum(p[1] for p in positions) / len(positions)
+    distances = [math.hypot(p[0] - cx, p[1] - cy) for p in positions]
+    furthest = max(distances)
+    if furthest <= 0:
+        return [1.0] * num_mesh_nodes
+    return [
+        _FLEX_FLOOR + (1.0 - _FLEX_FLOOR) * (d / furthest) for d in distances
+    ]
+
+
+class HarvestSchedule:
+    """Per-node income as a pure function of the frame index.
+
+    :meth:`income` returns the list of per-mesh-node energies (pJ) the
+    fabric harvests during one frame, or ``None`` for frames with no
+    income at all (idle activity windows, solar night) so the engines'
+    fast path skips the recharge loop entirely.
+    """
+
+    def __init__(
+        self,
+        config: HarvestConfig,
+        topology: Topology,
+        num_mesh_nodes: int,
+    ):
+        self.config = config
+        self._nodes = int(num_mesh_nodes)
+        self._flex = flex_weights(topology, num_mesh_nodes)
+        #: Memo of the current activity window: (window index, vector).
+        #: Frames are visited in order, so one slot is enough.
+        self._window: tuple[int, list[float] | None] | None = None
+
+    @property
+    def is_active(self) -> bool:
+        return self.config.is_active
+
+    # ------------------------------------------------------------------
+    def _window_pulse(self, window: int) -> float:
+        """Peak income of one motion activity window (0 when idle).
+
+        Seeded per window from the configured seed, so the activity
+        trace is deterministic and independent of query order.
+        """
+        config = self.config
+        rng = random.Random(f"{config.seed}:{window}")
+        if rng.random() >= config.duty:
+            return 0.0
+        return config.amplitude_pj * rng.uniform(0.5, 1.0)
+
+    def _motion_income(self, frame: int) -> list[float] | None:
+        window = (frame - self.config.start_frame) // self.config.period_frames
+        if self._window is None or self._window[0] != window:
+            pulse = self._window_pulse(window)
+            vector = (
+                [pulse * weight for weight in self._flex] if pulse else None
+            )
+            self._window = (window, vector)
+        return self._window[1]
+
+    def _solar_income(self, frame: int) -> list[float] | None:
+        config = self.config
+        phase = ((frame - config.start_frame) % config.day_frames) / (
+            config.day_frames
+        )
+        scale = config.amplitude_pj * math.sin(2.0 * math.pi * phase)
+        if scale <= 0.0:
+            return None  # night
+        return [scale] * self._nodes
+
+    def income(self, frame: int) -> list[float] | None:
+        """Per-mesh-node income (pJ) of ``frame``; None when all zero."""
+        config = self.config
+        if not self.is_active or frame < config.start_frame:
+            return None
+        if config.profile in MOTION_PROFILES:
+            return self._motion_income(frame)
+        return self._solar_income(frame)  # solar
+
+
+def build_harvest_schedule(
+    config: HarvestConfig,
+    topology: Topology,
+    num_mesh_nodes: int,
+) -> HarvestSchedule:
+    """Construct the income schedule of one run (deterministic)."""
+    return HarvestSchedule(config, topology, num_mesh_nodes)
+
+
+class HarvestRuntime:
+    """Per-run harvest state: the schedule plus the income estimator.
+
+    Income tracking (:meth:`observe_frame`) is opt-in via
+    ``income_quantum``: each node's income level is its smoothed
+    per-frame accepted income in units of ``income_quantum``, capped at
+    ``levels - 1``.  :attr:`income_dirty` flips whenever some node
+    crosses a level boundary, so the engine pushes a fresh income
+    picture to the controller only when the quantised state actually
+    changed — the same trigger discipline as battery-level and wear
+    reports.
+    """
+
+    def __init__(
+        self,
+        schedule: HarvestSchedule,
+        income_quantum: float = 0.0,
+        levels: int = DEFAULT_INCOME_LEVELS,
+    ):
+        self.schedule = schedule
+        self.income_quantum = float(income_quantum)
+        self.levels = int(levels)
+        nodes = schedule._nodes
+        #: Smoothed per-frame accepted income, pJ/frame, per mesh node.
+        self.income_ema: list[float] = [0.0] * nodes
+        self._levels_vec: list[int] = [0] * nodes
+        self.income_dirty = False
+
+    @property
+    def is_active(self) -> bool:
+        return self.schedule.is_active
+
+    @property
+    def shares_power(self) -> bool:
+        return self.schedule.config.shares_power
+
+    @property
+    def tracks_income(self) -> bool:
+        """True when the income estimator feeds the routing weight."""
+        return self.income_quantum > 0
+
+    def observe_frame(self, accepted: list[float]) -> None:
+        """Fold one frame's accepted income into the moving average."""
+        if not self.tracks_income:
+            return
+        alpha = INCOME_EMA_ALPHA
+        quantum = self.income_quantum
+        cap = self.levels - 1
+        ema = self.income_ema
+        levels = self._levels_vec
+        for node, value in enumerate(accepted):
+            rate = ema[node] + alpha * (value - ema[node])
+            ema[node] = rate
+            level = min(cap, int(rate / quantum))
+            if level != levels[node]:
+                levels[node] = level
+                self.income_dirty = True
+
+    def income_level_vector(self, num_nodes: int) -> np.ndarray:
+        """Dense per-node income-level vector (0 beyond the mesh)."""
+        vector = np.zeros(num_nodes, dtype=np.int64)
+        vector[: len(self._levels_vec)] = self._levels_vec
+        return vector

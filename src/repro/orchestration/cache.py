@@ -34,7 +34,11 @@ from ..config import SimulationConfig
 #: parameters, summaries gained ``links_repaired``, and the controller
 #: energy-accounting fixes (dead-node table diffs, delivered idle leak)
 #: changed existing records.
-CACHE_SCHEMA_VERSION = 3
+#: v4: energy-harvesting subsystem — configs gained a ``harvest``
+#: section, ``harvest_*`` knobs and the fault repair-crew/corrosion
+#: parameters; summaries gained ``harvested_pj`` / ``shared_pj`` /
+#: ``harvest_events``.
+CACHE_SCHEMA_VERSION = 4
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "ETSIM_CACHE_DIR"

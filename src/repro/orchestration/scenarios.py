@@ -24,6 +24,7 @@ from typing import Callable
 from ..config import SimulationConfig
 from ..errors import ConfigurationError
 from ..faults import FaultConfig
+from ..harvest import HarvestConfig
 from .runner import SweepPoint
 
 #: Recognised grid scales.
@@ -454,6 +455,113 @@ def _wear_aware(scale: str, base: SimulationConfig) -> list[SweepPoint]:
                         "fault_intensity": intensity,
                         "strategy": strategy,
                         "fault_profile": "link-attrition",
+                    },
+                )
+            )
+    return points
+
+
+@scenario("harvest-motion", "motion-harvest income on EAR (both engines)")
+def _harvest_motion(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    """The harvesting scenario axis: triboelectric motion income
+    concentrated on high-flex nodes recharges batteries while the
+    system runs.  The smoke grid pins one point per engine (sequential
+    and concurrent) so the golden traces cover the recharge path of
+    both code paths.
+    """
+    widths = {"smoke": (4,), "quick": (4, 5), "full": (4, 5, 6)}[scale]
+    kinds = {
+        "smoke": ("sequential", "concurrent"),
+        "quick": ("sequential",),
+        "full": ("sequential",),
+    }[scale]
+    routings = {"smoke": ("ear",), "quick": ("ear", "sdr"),
+                "full": ("ear", "sdr")}[scale]
+    # The smoke cap is a little higher than elsewhere: the run must
+    # span enough activity windows that both golden points actually
+    # recharge (a short run can land entirely in idle windows).
+    caps = {"smoke": 20, "quick": 30, "full": None}
+    points = []
+    for width in widths:
+        for kind in kinds:
+            for routing in routings:
+                suffix = "/conc" if kind == "concurrent" else ""
+                label = f"{width}x{width}/{routing}{suffix}"
+                harvest = HarvestConfig(
+                    profile="motion",
+                    seed=derive_seed(
+                        base.workload.seed, f"harvest-motion/{label}"
+                    ),
+                )
+                workload = replace(
+                    base.workload,
+                    kind=kind,
+                    concurrency=4 if kind == "concurrent" else 1,
+                    max_jobs=caps[scale],
+                )
+                config = replace(
+                    base,
+                    platform=replace(base.platform, mesh_width=width),
+                    workload=workload,
+                    routing=routing,
+                    harvest=harvest,
+                )
+                points.append(
+                    SweepPoint(
+                        label=label,
+                        config=config,
+                        params={
+                            "mesh": f"{width}x{width}",
+                            "routing": routing,
+                            "workload": kind,
+                            "harvest_profile": "motion",
+                        },
+                    )
+                )
+    return points
+
+
+@scenario("harvest-aware", "harvest-aware EAR vs reactive EAR on one income schedule")
+def _harvest_aware(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    """The harvest-routing question, measured: the same motion-harvest
+    income schedule routed reactively (plain EAR, income only visible
+    once it raises battery reports) and with the harvest-bonus weight
+    that steers traffic toward energy-rich regions while their cells
+    are still full.  Amplitudes (and the harvest-weight defaults) are
+    calibrated so harvest-aware completes at least as many jobs as
+    reactive EAR on every pair of this grid.
+    """
+    amplitudes = {
+        "smoke": (60.0,),
+        "quick": (60.0, 100.0),
+        "full": (60.0, 80.0, 100.0, 120.0),
+    }[scale]
+    if scale == "smoke":
+        base = _cap_jobs(base, 8)
+    points = []
+    for amplitude in amplitudes:
+        harvest = HarvestConfig(
+            profile="motion",
+            amplitude_pj=amplitude,
+            seed=derive_seed(
+                base.workload.seed, f"harvest-aware/a{amplitude:g}"
+            ),
+        )
+        for strategy, harvest_aware in (("reactive", False), ("aware", True)):
+            config = replace(
+                base,
+                routing="ear",
+                harvest=harvest,
+                harvest_aware=harvest_aware,
+            )
+            points.append(
+                SweepPoint(
+                    label=f"a{amplitude:g}/{strategy}",
+                    config=config,
+                    params={
+                        "amplitude_pj": amplitude,
+                        "strategy": strategy,
+                        "harvest_profile": "motion",
                     },
                 )
             )

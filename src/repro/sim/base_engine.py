@@ -15,6 +15,7 @@ from ..core.engines import EnergyAwareRouting, ShortestDistanceRouting
 from ..core.parameters import ApplicationProfile
 from ..errors import SimulationError
 from ..faults.schedule import FaultRuntime, build_fault_schedule
+from ..harvest.schedule import HarvestRuntime, build_harvest_schedule
 from ..mesh.connectivity import reachable_set, system_is_alive
 from ..mesh.geometry import node_id as mesh_node_id
 from ..mesh.topology import attach_external_node
@@ -98,8 +99,16 @@ class EngineBase:
             config.wear_function() if config.routing == "ear" else None
         )
         self._track_wear = wear_function is not None
+        # Same gating as wear: SDR ignores income, and tracking it there
+        # would charge the controller spurious recomputes, biasing
+        # EAR-vs-SDR comparisons under --harvest-weight.
+        harvest_function = (
+            config.harvest_function() if config.routing == "ear" else None
+        )
         routing_engine = (
-            EnergyAwareRouting(config.weight_function(), wear_function)
+            EnergyAwareRouting(
+                config.weight_function(), wear_function, harvest_function
+            )
             if config.routing == "ear"
             else ShortestDistanceRouting()
         )
@@ -167,6 +176,30 @@ class EngineBase:
         self._undiscovered: set[tuple[int, int]] = set()
         self._link_report_pending = False
 
+        # --- energy harvesting --------------------------------------------
+        self.harvest = HarvestRuntime(
+            build_harvest_schedule(
+                config.harvest, self.topology, self.num_mesh_nodes
+            ),
+            # Income is estimated with the same quantum the bonus table
+            # quantises at — one source of truth via the harvest
+            # function.
+            income_quantum=(
+                harvest_function.quantum if harvest_function else 0.0
+            ),
+            levels=harvest_function.levels if harvest_function else 1,
+        )
+        self._track_income = (
+            harvest_function is not None and self.harvest.is_active
+        )
+        #: True when the frame hook has any work at all: income to
+        #: apply, or a bus profile redistributing existing charge.
+        self.harvest_active = (
+            self.harvest.is_active or self.harvest.shares_power
+        )
+        #: Reusable per-frame accepted-income buffer for the estimator.
+        self._accepted_income = [0.0] * self.num_mesh_nodes
+
     # ------------------------------------------------------------------
     # Time and control frames
     # ------------------------------------------------------------------
@@ -187,8 +220,14 @@ class EngineBase:
         self._advance_time(next_boundary - self.cycle)
 
     def _run_frame(self, frame: int) -> None:
-        """One TDMA frame: faults, heartbeats, reports, plan refresh."""
+        """One TDMA frame: faults, harvest, heartbeats, reports, plan
+        refresh."""
         self._apply_faults(frame)
+        # Harvest recharges *after* faults (a frame's tear cannot be
+        # undone by its income) and *before* the heartbeats, so a level
+        # raised by fresh charge is reported this very frame.
+        if self.harvest_active:
+            self._apply_harvest(frame)
         reports: list[StatusReport] = []
         heartbeats = 0
         for node in range(self.num_mesh_nodes):
@@ -244,6 +283,14 @@ class EngineBase:
                 self.faults.wear_level_matrix(self.topology.num_nodes)
             )
             self.faults.wear_dirty = False
+        if self._track_income and self.harvest.income_dirty:
+            # Some node's smoothed income crossed a quantised level:
+            # the status uploads carry the new rate and the controller
+            # steers traffic toward the energy-rich region.
+            self.control.update_income(
+                self.harvest.income_level_vector(self.topology.num_nodes)
+            )
+            self.harvest.income_dirty = False
         outcome = self.control.process_frame(frame, reports, heartbeats)
         self.ledger.add_controller(outcome.controller_energy_pj)
         if not self.control.alive:
@@ -334,6 +381,103 @@ class EngineBase:
                 lengths_changed = True
         if lengths_changed:
             self.control.update_lengths(self._known_lengths)
+
+    # ------------------------------------------------------------------
+    # Energy harvesting
+    # ------------------------------------------------------------------
+    def _apply_harvest(self, frame: int) -> None:
+        """Recharge batteries from this frame's harvest income.
+
+        Income lands at frame boundaries: each mesh node's cell accepts
+        as much of its scheduled income as its headroom allows (a full
+        cell accepts nothing, a dead cell rejects everything).  Bus
+        profiles then run one power-sharing pass.  When harvest-aware
+        routing is on, the accepted income feeds the per-node estimator
+        whose quantised levels the controller learns.
+        """
+        runtime = self.harvest
+        income = runtime.schedule.income(frame)
+        tracking = self._track_income
+        accepted_income = self._accepted_income
+        if tracking:
+            for node in range(self.num_mesh_nodes):
+                accepted_income[node] = 0.0
+        if income is not None:
+            for node, offered in enumerate(income):
+                if offered <= 0.0:
+                    continue
+                unit = self.nodes[node]
+                # A fault-killed node's generator is as torn as its
+                # module: only living nodes with a cell can harvest.
+                if unit.battery is None or not unit.alive:
+                    continue
+                accepted = unit.battery.recharge(offered)
+                if accepted > 0.0:
+                    self.ledger.add_harvest(node, accepted)
+                    if tracking:
+                        accepted_income[node] = accepted
+        if runtime.shares_power:
+            self._apply_power_sharing()
+        if tracking:
+            runtime.observe_frame(accepted_income)
+
+    def _apply_power_sharing(self) -> None:
+        """One I²We bus pass: surplus trickles to poorer neighbours.
+
+        Every living donor compares its state of charge with its
+        geometric neighbours' (over the surviving textile lines — a cut
+        line carries no power either) and, when the gap exceeds the
+        configured threshold, pushes one quantum toward its poorest
+        neighbour.  The transfer draws from the donor's cell, arrives
+        scaled by the bus efficiency, and the difference is conversion
+        loss.  Donor order is node order: deterministic, and identical
+        in both engines.
+        """
+        config = self.config.harvest
+        rate = config.share_rate_pj
+        if rate <= 0.0:
+            return
+        threshold = config.share_threshold
+        for donor in range(self.num_mesh_nodes):
+            unit = self.nodes[donor]
+            if not unit.alive or unit.battery is None:
+                continue
+            soc = unit.battery.state_of_charge
+            poorest = None
+            poorest_soc = soc - threshold
+            for neighbor in self.topology.neighbors(donor):
+                if neighbor >= self.num_mesh_nodes:
+                    continue
+                other = self.nodes[neighbor]
+                if not other.alive or other.battery is None:
+                    continue
+                other_soc = other.battery.state_of_charge
+                if other_soc < poorest_soc:
+                    poorest = other
+                    poorest_soc = other_soc
+            if poorest is None:
+                continue
+            # Never push more than half the gap: the bus equalises, it
+            # must not overshoot and slosh charge back next frame.
+            gap_pj = (
+                (soc - poorest_soc)
+                * unit.battery.nominal_capacity_pj
+                / 2.0
+            )
+            transfer = min(rate, gap_pj)
+            if transfer <= 0.0:
+                continue
+            result = unit.battery.draw(
+                transfer, self.schedule.frame_cycles
+            )
+            accepted = poorest.battery.recharge(
+                result.delivered_pj * config.share_efficiency
+            )
+            self.ledger.add_share(
+                donor, result.delivered_pj, poorest.node_id, accepted
+            )
+            if result.died:
+                self.on_node_death(donor)
 
     def _link_alive(self, u: int, v: int) -> bool:
         """True while the ``u -> v`` line has not been cut by a fault."""
@@ -428,6 +572,9 @@ class EngineBase:
             else:
                 wasted += battery.wasted_pj
             loss += getattr(battery, "loss_pj", 0.0)
+        # The textile power bus loses energy in conversion too: drawn
+        # from donors minus accepted by receivers.
+        loss += self.ledger.share_loss_pj
         return SimulationStats(
             jobs_completed=jobs_completed,
             partial_progress=partial,
@@ -452,4 +599,7 @@ class EngineBase:
             links_repaired=self.links_repaired,
             nodes_fault_killed=self.nodes_fault_killed,
             packets_rerouted=self.packets_rerouted,
+            harvested_pj=self.ledger.harvested_pj,
+            shared_pj=self.ledger.shared_pj,
+            harvest_events=self.ledger.harvest_events,
         )

@@ -7,8 +7,14 @@ information", Sec 7.1) and the battery state at death.  The ledger
 accumulates every picojoule by bucket and by node, so energy
 conservation can be asserted by the test suite:
 
-    delivered_by_batteries == compute + data_tx + control_upload
-    nominal_capacity == delivered + conversion_loss + wasted + stranded
+    delivered_by_batteries == compute + data_tx + control_upload + share_tx
+    nominal + harvested == delivered_to_loads + conversion_loss
+                           + wasted + stranded
+
+where ``harvested`` is the external income accepted into cells and
+``conversion_loss`` covers both the batteries' rate-capacity losses and
+the textile power bus's transfer losses (energy drawn from a donor for
+sharing minus what the receiver's cell accepted).
 """
 
 from __future__ import annotations
@@ -27,6 +33,11 @@ class NodeStats:
         compute_pj: Energy drawn for computation.
         data_tx_pj: Energy drawn for data transmission.
         upload_pj: Energy drawn for control status uploads.
+        share_tx_pj: Energy drawn to push charge onto the power bus.
+        harvested_pj: External harvest income accepted by this node's
+            cell.
+        shared_pj: Bus transfers accepted by this node's cell
+            (post-conversion).
         died_at_frame: Frame of death (None while alive).
     """
 
@@ -36,11 +47,19 @@ class NodeStats:
     compute_pj: float = 0.0
     data_tx_pj: float = 0.0
     upload_pj: float = 0.0
+    share_tx_pj: float = 0.0
+    harvested_pj: float = 0.0
+    shared_pj: float = 0.0
     died_at_frame: int | None = None
 
     @property
     def total_pj(self) -> float:
-        return self.compute_pj + self.data_tx_pj + self.upload_pj
+        return (
+            self.compute_pj
+            + self.data_tx_pj
+            + self.upload_pj
+            + self.share_tx_pj
+        )
 
 
 class EnergyLedger:
@@ -63,6 +82,16 @@ class EnergyLedger:
         self.data_tx_pj = 0.0
         self.upload_pj = 0.0
         self.source_tx_pj = 0.0
+        #: External harvest income accepted into mesh-node cells.
+        self.harvested_pj = 0.0
+        #: Bus transfers accepted by receiving cells (post-conversion).
+        self.shared_pj = 0.0
+        #: Energy drawn from donor cells to feed the power bus.
+        self.share_tx_pj = 0.0
+        #: Bus energy lost in conversion (drawn minus accepted).
+        self.share_loss_pj = 0.0
+        #: Harvest pulses that actually recharged a cell.
+        self.harvest_events = 0
         self.controller_pj: dict[str, float] = {
             bucket: 0.0 for bucket in self.CONTROLLER_BUCKETS
         }
@@ -92,6 +121,24 @@ class EnergyLedger:
         self.upload_pj += energy_pj
         self.nodes[node].upload_pj += energy_pj
 
+    def add_harvest(self, node: int, energy_pj: float) -> None:
+        """External income accepted into ``node``'s cell."""
+        self.harvested_pj += energy_pj
+        self.nodes[node].harvested_pj += energy_pj
+        self.harvest_events += 1
+
+    def add_share(
+        self, donor: int, drawn_pj: float, receiver: int, accepted_pj: float
+    ) -> None:
+        """One bus transfer: ``drawn_pj`` left the donor's cell and
+        ``accepted_pj`` arrived in the receiver's; the difference is
+        conversion loss in the textile bus."""
+        self.share_tx_pj += drawn_pj
+        self.nodes[donor].share_tx_pj += drawn_pj
+        self.shared_pj += accepted_pj
+        self.nodes[receiver].shared_pj += accepted_pj
+        self.share_loss_pj += drawn_pj - accepted_pj
+
     def add_controller(self, breakdown: dict[str, float]) -> None:
         for bucket, energy in breakdown.items():
             self.controller_pj[bucket] = (
@@ -106,7 +153,12 @@ class EnergyLedger:
     @property
     def node_total_pj(self) -> float:
         """Everything drawn from mesh-node batteries."""
-        return self.compute_pj + self.data_tx_pj + self.upload_pj
+        return (
+            self.compute_pj
+            + self.data_tx_pj
+            + self.upload_pj
+            + self.share_tx_pj
+        )
 
     @property
     def controller_total_pj(self) -> float:
@@ -177,6 +229,9 @@ class SimulationStats:
         nodes_fault_killed: Nodes killed by faults (not battery death).
         packets_rerouted: Dispatches/packets blocked by fault state that
             subsequently progressed along another path or a fresh plan.
+        harvested_pj: External harvest income accepted into cells.
+        shared_pj: Power-bus transfers accepted by receiving cells.
+        harvest_events: Harvest pulses that actually recharged a cell.
     """
 
     jobs_completed: int = 0
@@ -202,6 +257,9 @@ class SimulationStats:
     links_repaired: int = 0
     nodes_fault_killed: int = 0
     packets_rerouted: int = 0
+    harvested_pj: float = 0.0
+    shared_pj: float = 0.0
+    harvest_events: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -248,4 +306,7 @@ class SimulationStats:
             "links_repaired": self.links_repaired,
             "nodes_fault_killed": self.nodes_fault_killed,
             "packets_rerouted": self.packets_rerouted,
+            "harvested_pj": round(self.harvested_pj, 1),
+            "shared_pj": round(self.shared_pj, 1),
+            "harvest_events": self.harvest_events,
         }

@@ -19,6 +19,7 @@ from repro.config import (
 )
 from repro.core.view import NetworkView
 from repro.faults import FaultConfig
+from repro.harvest import HarvestConfig
 
 
 def make_view(
@@ -63,6 +64,8 @@ def make_config(
     control: ControlConfig | None = None,
     faults: FaultConfig | None = None,
     wear_aware: bool = False,
+    harvest: HarvestConfig | None = None,
+    harvest_aware: bool = False,
     **workload_kwargs,
 ) -> SimulationConfig:
     """One configuration builder for every engine-driving test.
@@ -98,8 +101,10 @@ def make_config(
             **workload_kwargs,
         ),
         faults=faults,
+        harvest=harvest if harvest is not None else HarvestConfig(),
         routing=routing,
         wear_aware=wear_aware,
+        harvest_aware=harvest_aware,
     )
 
 

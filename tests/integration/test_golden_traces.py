@@ -20,6 +20,9 @@ Regenerating (only after an *intentional* behaviour change — bump
         ('tear-repair', '4x4/ear', 'tear_repair_smoke_4x4_ear.json'),
         ('tear-repair', '4x4/ear/conc',
          'tear_repair_smoke_4x4_ear_conc.json'),
+        ('harvest-motion', '4x4/ear', 'harvest_motion_smoke_4x4_ear.json'),
+        ('harvest-motion', '4x4/ear/conc',
+         'harvest_motion_smoke_4x4_ear_conc.json'),
     ]:
         point = next(p for p in build_scenario(scenario, scale='smoke')
                      if p.label == label)
@@ -51,6 +54,14 @@ CASES = [
     # the concurrent (buffered) point both cut and re-sew three links.
     ("tear-repair", "4x4/ear", "tear_repair_smoke_4x4_ear.json"),
     ("tear-repair", "4x4/ear/conc", "tear_repair_smoke_4x4_ear_conc.json"),
+    # One harvest-motion smoke point per engine: both recharge cells
+    # from the motion income schedule (harvested_pj > 0 in both).
+    ("harvest-motion", "4x4/ear", "harvest_motion_smoke_4x4_ear.json"),
+    (
+        "harvest-motion",
+        "4x4/ear/conc",
+        "harvest_motion_smoke_4x4_ear_conc.json",
+    ),
 ]
 
 

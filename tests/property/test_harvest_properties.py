@@ -1,0 +1,187 @@
+"""Property-based invariants of the harvesting subsystem.
+
+Recharge must never mint energy: a cell never holds more than its
+nominal capacity, dead cells stay dead, and a run whose harvest
+schedule delivers nothing is bit-identical to a harvest-free run.  The
+whole-simulation energy-conservation identity gains the harvested term:
+
+    nominal + harvested == delivered_to_loads + conversion_loss
+                           + wasted + stranded
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import make_config
+from repro.battery.ideal import IdealBattery
+from repro.battery.thin_film import ThinFilmBattery, ThinFilmParameters
+from repro.errors import ConfigurationError
+from repro.harvest import HarvestConfig
+from repro.sim.et_sim import EtSim
+
+
+def batteries():
+    return st.sampled_from(["ideal", "thin-film"])
+
+
+def fresh_battery(kind: str, capacity: float = 10_000.0):
+    if kind == "ideal":
+        return IdealBattery(capacity_pj=capacity)
+    return ThinFilmBattery(ThinFilmParameters(capacity_pj=capacity))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    kind=batteries(),
+    draws=st.lists(
+        st.floats(min_value=0.0, max_value=800.0), min_size=1, max_size=30
+    ),
+    recharges=st.lists(
+        st.floats(min_value=0.0, max_value=800.0), min_size=1, max_size=30
+    ),
+)
+def test_recharge_never_exceeds_nominal_capacity(kind, draws, recharges):
+    battery = fresh_battery(kind)
+    for draw, refill in zip(draws, recharges):
+        if not battery.alive:
+            break
+        battery.draw(draw, 100.0)
+        if not battery.alive:
+            break
+        accepted = battery.recharge(refill)
+        assert 0.0 <= accepted <= refill + 1e-9
+        # The store never holds more than nominal: remaining capacity
+        # (wasted_pj of a living cell) stays within [0, nominal].
+        assert battery.wasted_pj <= battery.nominal_capacity_pj + 1e-6
+        assert battery.state_of_charge <= 1.0 + 1e-9
+        assert battery.recharged_pj >= 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(kind=batteries(), refill=st.floats(min_value=0.0, max_value=1e6))
+def test_dead_batteries_stay_dead(kind, refill):
+    battery = fresh_battery(kind, capacity=500.0)
+    while battery.alive:
+        battery.draw(120.0, 100.0)
+    assert battery.recharge(refill) == 0.0
+    assert not battery.alive
+    assert battery.voltage == 0.0
+
+
+@pytest.mark.parametrize("kind", ["ideal", "thin-film"])
+def test_full_cell_accepts_nothing(kind):
+    battery = fresh_battery(kind)
+    assert battery.recharge(1_000.0) == 0.0
+    assert battery.state_of_charge == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("kind", ["ideal", "thin-film"])
+def test_recharge_rejects_negative_energy(kind):
+    with pytest.raises(ConfigurationError):
+        fresh_battery(kind).recharge(-1.0)
+
+
+def test_thin_film_recharge_rolls_depth_of_discharge_back():
+    battery = fresh_battery("thin-film")
+    battery.draw(2_000.0, 10_000.0)
+    dod_before = battery.depth_of_discharge
+    ocv_before = battery.open_circuit_voltage
+    accepted = battery.recharge(500.0)
+    assert accepted == pytest.approx(500.0)
+    assert battery.depth_of_discharge < dod_before
+    assert battery.open_circuit_voltage >= ocv_before
+    # The rate-capacity loss is a gross quantity: rolling DoD back must
+    # not erase recorded losses.
+    assert battery.loss_pj >= 0.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    kind=st.sampled_from(["sequential", "concurrent"]),
+    battery=batteries(),
+    profile=st.sampled_from(["motion", "solar", "bus"]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_zero_amplitude_harvest_is_bit_identical_to_none(
+    kind, battery, profile, seed
+):
+    base = make_config(
+        kind=kind,
+        battery=battery,
+        concurrency=2 if kind == "concurrent" else 1,
+        max_jobs=6,
+        seed=seed,
+    )
+    plain = EtSim(base).run().summary()
+    zero = EtSim(
+        replace(
+            base,
+            harvest=HarvestConfig(
+                profile=profile, seed=seed, amplitude_pj=0.0
+            ),
+        )
+    ).run().summary()
+    assert zero == plain
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    kind=st.sampled_from(["sequential", "concurrent"]),
+    battery=batteries(),
+    profile=st.sampled_from(["motion", "solar", "bus"]),
+    seed=st.integers(min_value=0, max_value=10_000),
+    amplitude=st.floats(min_value=5.0, max_value=120.0),
+)
+def test_energy_conservation_includes_the_harvested_term(
+    kind, battery, profile, seed, amplitude
+):
+    config = make_config(
+        kind=kind,
+        battery=battery,
+        concurrency=2 if kind == "concurrent" else 1,
+        max_jobs=8,
+        seed=seed,
+        harvest=HarvestConfig(
+            profile=profile, seed=seed, amplitude_pj=amplitude
+        ),
+    )
+    engine = EtSim(config).build_engine()
+    stats = engine.run()
+    ledger = stats.energy
+    nominal = (
+        config.platform.battery_capacity_pj * config.platform.num_mesh_nodes
+    )
+    delivered = sum(
+        engine.nodes[n].battery.delivered_pj
+        for n in range(config.platform.num_mesh_nodes)
+    )
+    recharged = sum(
+        engine.nodes[n].battery.recharged_pj
+        for n in range(config.platform.num_mesh_nodes)
+    )
+    residual = stats.wasted_at_death_pj + stats.stranded_alive_pj
+    # Per-battery draws all land in ledger buckets (incl. bus draws).
+    assert delivered == pytest.approx(ledger.node_total_pj, rel=1e-9)
+    # Everything accepted into cells is external income plus bus
+    # arrivals.
+    assert recharged == pytest.approx(
+        ledger.harvested_pj + ledger.shared_pj, rel=1e-9
+    )
+    # The extended identity: what the cells started with plus what the
+    # fabric scavenged equals loads + losses + residual charge.  Bus
+    # draws cancel out (they are delivered by donors and re-enter as
+    # shared_pj minus the conversion loss, which conversion_loss_pj
+    # carries).
+    loads = ledger.node_total_pj - ledger.share_tx_pj
+    assert nominal + stats.harvested_pj == pytest.approx(
+        loads + stats.conversion_loss_pj + residual, rel=1e-9
+    )
+    # And the summary mirrors the ledger.
+    summary = stats.summary()
+    assert summary["harvested_pj"] == round(ledger.harvested_pj, 1)
+    assert summary["shared_pj"] == round(ledger.shared_pj, 1)

@@ -217,3 +217,96 @@ class TestFaultFlags:
         assert {r["routing"] for r in records} == {"ear", "sdr"}
         assert all(r["fault_profile"] == "link-attrition" for r in records)
         assert any(r["links_cut"] > 0 for r in records)
+
+
+class TestHarvestCli:
+    def test_harvest_flags_parse_on_all_run_commands(self):
+        parser = build_parser()
+        for command in (["simulate"], ["sweep"], ["bench", "--smoke"]):
+            args = parser.parse_args(
+                command
+                + [
+                    "--harvest-profile", "motion",
+                    "--harvest-seed", "7",
+                    "--harvest-amplitude", "80.0",
+                    "--harvest-weight",
+                ]
+            )
+            assert args.harvest_profile == "motion"
+            assert args.harvest_seed == 7
+            assert args.harvest_amplitude == 80.0
+            assert args.harvest_weight is True
+
+    def test_harvest_profile_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--harvest-profile", "nuclear"]
+            )
+
+    def test_crew_and_corrosion_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "simulate",
+                "--fault-profile", "moisture",
+                "--fault-corrode-frames", "48",
+                "--repair-crew", "2",
+                "--repair-latency", "12",
+            ]
+        )
+        assert args.fault_corrode_frames == 48
+        assert args.repair_crew == 2
+        assert args.repair_latency == 12
+
+    def test_simulate_with_harvest_reports_income(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--harvest-profile", "motion",
+                "--harvest-seed", "7",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["harvested_pj"] > 0
+        assert payload["harvest_events"] > 0
+
+    def test_inert_harvest_flags_do_not_change_the_config(self):
+        # Seed/amplitude without a profile must hash like a flag-free
+        # run, or the sweep cache would fork on inert flags.
+        from repro.cli import _harvest_config
+        from repro.harvest import HarvestConfig
+
+        parser = build_parser()
+        flagged = parser.parse_args(
+            ["simulate", "--harvest-seed", "7", "--harvest-amplitude", "9.0"]
+        )
+        assert _harvest_config(flagged) == HarvestConfig()
+
+    def test_default_is_harvest_free(self, capsys):
+        assert main(["simulate", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["harvested_pj"] == 0.0
+        assert payload["harvest_events"] == 0
+
+    def test_bench_smoke_runs_the_harvest_scenarios(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("ETSIM_CACHE_DIR", str(tmp_path))
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--scenario", "harvest-motion",
+                "--scenario", "harvest-aware",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        motion = payload["harvest-motion"]
+        assert {r["workload"] for r in motion} == {
+            "sequential", "concurrent"
+        }
+        assert all(r["harvested_pj"] > 0 for r in motion)
+        aware = payload["harvest-aware"]
+        assert {r["strategy"] for r in aware} == {"reactive", "aware"}

@@ -477,22 +477,245 @@ class TestSweepCacheInvalidation:
         )
         assert config_hash(one) != config_hash(two)
 
-    def test_schema_v3_invalidates_v2_entries(self, tmp_path):
+    def test_schema_v4_invalidates_v3_entries(self, tmp_path):
         from repro.orchestration.cache import (
             CACHE_SCHEMA_VERSION,
             SweepCache,
         )
 
-        assert CACHE_SCHEMA_VERSION == 3
+        assert CACHE_SCHEMA_VERSION == 4
         cache = SweepCache(tmp_path)
         key = config_hash(make_config())
         cache.store(key, {"summary": {"jobs_fractional": 1.0}})
         record = dict(cache.lookup(key))
-        # Rewrite the entry as a v2 record: it must no longer be served.
-        record["schema"] = 2
+        # Rewrite the entry as a v3 record: it must no longer be served.
+        record["schema"] = 3
         import json
 
         (tmp_path / f"{key}.json").write_text(json.dumps(record))
         cache.reset_counters()
         assert cache.lookup(key) is None
         assert cache.misses == 1
+
+
+class TestMoistureCorrosion:
+    def corroding(self, **kwargs) -> FaultConfig:
+        return FaultConfig(
+            profile="moisture",
+            seed=5,
+            corrode_after_frames=48,
+            degrade_frames=16,
+            **kwargs,
+        )
+
+    def test_sustained_degradation_corrodes_into_a_cut(self):
+        schedule = build_fault_schedule(
+            self.corroding(), mesh2d(4), num_mesh_nodes=16,
+            horizon_frames=2_000,
+        )
+        cuts = [e for e in schedule if e.kind == "link-cut"]
+        assert cuts, "a long-wet link must corrode through"
+        # Corrosion takes cumulative exposure: the threshold of 48 wet
+        # frames at 16 frames per burst needs three bursts, so no cut
+        # can appear before the third burst of the patch.
+        degrades_before = {}
+        for event in schedule:
+            pair = (event.node_a, event.node_b)
+            if event.kind == "link-degrade":
+                degrades_before[pair] = degrades_before.get(pair, 0) + 1
+            elif event.kind == "link-cut":
+                assert degrades_before.get(pair, 0) >= 2
+
+    def test_corroded_links_stop_degrading(self):
+        schedule = build_fault_schedule(
+            self.corroding(), mesh2d(4), num_mesh_nodes=16,
+            horizon_frames=2_000,
+        )
+        cut_at = {
+            (e.node_a, e.node_b): e.frame
+            for e in schedule
+            if e.kind == "link-cut"
+        }
+        for event in schedule:
+            if event.kind == "link-degrade":
+                pair = (event.node_a, event.node_b)
+                if pair in cut_at:
+                    assert event.frame < cut_at[pair]
+
+    def test_zero_threshold_never_corrodes(self):
+        config = FaultConfig(profile="moisture", seed=5)
+        schedule = build_fault_schedule(
+            config, mesh2d(4), num_mesh_nodes=16, horizon_frames=2_000
+        )
+        assert not [e for e in schedule if e.kind == "link-cut"]
+
+    def test_corrosion_reuses_the_repair_machinery(self):
+        schedule = build_fault_schedule(
+            self.corroding(repair_after_frames=20),
+            mesh2d(4), num_mesh_nodes=16, horizon_frames=2_000,
+        )
+        cuts = {
+            (e.node_a, e.node_b): e.frame
+            for e in schedule
+            if e.kind == "link-cut"
+        }
+        repairs = {
+            (e.node_a, e.node_b): e.frame
+            for e in schedule
+            if e.kind == "link-repair"
+        }
+        assert cuts
+        for pair, frame in repairs.items():
+            assert frame == cuts[pair] + 20
+
+    def test_corroding_moisture_run_severs_and_recovers(self):
+        from repro.sim.et_sim import run_simulation
+
+        config = make_config(
+            faults=FaultConfig(
+                profile="moisture",
+                seed=5,
+                corrode_after_frames=16,
+                degrade_frames=16,
+                repair_after_frames=24,
+            ),
+            max_jobs=12,
+        )
+        stats = run_simulation(config)
+        assert stats.links_cut > 0
+        assert stats.links_degraded > 0
+        assert stats.verification_failures == 0
+
+    def test_exposure_never_outruns_wall_clock_wetness(self):
+        # Refresh bursts extend a wet period, they must not
+        # double-count the overlap: no link can corrode earlier than
+        # corrode_after_frames after it first got wet, regardless of
+        # burst cadence or intensity.
+        for intensity in (1.0, 4.0):
+            config = FaultConfig(
+                profile="moisture",
+                seed=5,
+                intensity=intensity,
+                corrode_after_frames=48,
+                degrade_frames=16,
+            )
+            schedule = build_fault_schedule(
+                config, mesh2d(4), num_mesh_nodes=16,
+                horizon_frames=2_000,
+            )
+            first_wet: dict[tuple[int, int], int] = {}
+            cuts = {}
+            for event in schedule:
+                pair = (event.node_a, event.node_b)
+                if event.kind == "link-degrade":
+                    first_wet.setdefault(pair, event.frame)
+                elif event.kind == "link-cut":
+                    cuts[pair] = event.frame
+            assert cuts
+            for pair, cut_frame in cuts.items():
+                assert cut_frame >= first_wet[pair] + 48
+
+    def test_rejects_negative_corrode_threshold(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(profile="moisture", corrode_after_frames=-1)
+
+
+class TestRepairCrew:
+    def crew_config(self, size: int, latency: int = 8) -> FaultConfig:
+        return FaultConfig(
+            profile="link-attrition",
+            seed=1,
+            repair_crew_size=size,
+            repair_latency_frames=latency,
+        )
+
+    def schedule_for(self, config: FaultConfig, horizon=100_000):
+        return build_fault_schedule(
+            config, mesh2d(4), num_mesh_nodes=16, horizon_frames=horizon
+        )
+
+    def test_crew_repairs_every_cut_oldest_first(self):
+        schedule = self.schedule_for(self.crew_config(size=1, latency=8))
+        cuts = [e for e in schedule if e.kind == "link-cut"]
+        repairs = [e for e in schedule if e.kind == "link-repair"]
+        assert len(repairs) == len(cuts)
+        # One mender: repairs are strictly serial, in cut order, each
+        # taking at least the latency.
+        by_pair = {(e.node_a, e.node_b): e.frame for e in repairs}
+        previous_done = None
+        for cut in sorted(cuts, key=lambda e: e.frame):
+            done = by_pair[(cut.node_a, cut.node_b)]
+            assert done >= cut.frame + 8
+            if previous_done is not None:
+                assert done >= previous_done + 8
+            previous_done = done
+
+    def test_bigger_crew_repairs_sooner(self):
+        solo = self.schedule_for(self.crew_config(size=1, latency=30))
+        team = self.schedule_for(self.crew_config(size=4, latency=30))
+
+        def total_severed_frames(schedule):
+            cut_at = {}
+            severed = 0
+            for event in schedule:
+                pair = (event.node_a, event.node_b)
+                if event.kind == "link-cut":
+                    cut_at[pair] = event.frame
+                elif event.kind == "link-repair":
+                    severed += event.frame - cut_at.pop(pair)
+            return severed
+
+        assert total_severed_frames(team) < total_severed_frames(solo)
+
+    def test_crew_is_mutually_exclusive_with_timers(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(
+                profile="tear",
+                repair_after_frames=10,
+                repair_crew_size=2,
+            )
+
+    def test_crew_repairs_queue_behind_capacity(self):
+        # A tear burst severs several links at once; a single slow
+        # mender works through the backlog, so the k-th repair lands at
+        # least k latencies after the burst.
+        config = FaultConfig(
+            profile="tear",
+            seed=3,
+            max_link_fraction=0.2,
+            repair_crew_size=1,
+            repair_latency_frames=12,
+        )
+        schedule = build_fault_schedule(
+            config, mesh2d(4), num_mesh_nodes=16, horizon_frames=100_000
+        )
+        repairs = sorted(
+            e.frame for e in schedule if e.kind == "link-repair"
+        )
+        assert repairs
+        for index in range(1, len(repairs)):
+            assert repairs[index] >= repairs[index - 1] + 12
+
+    def test_crew_run_repairs_links_live(self):
+        from repro.sim.et_sim import run_simulation
+
+        config = make_config(
+            faults=FaultConfig(
+                profile="tear",
+                seed=3,
+                max_link_fraction=0.15,
+                repair_crew_size=1,
+                repair_latency_frames=12,
+            ),
+            max_jobs=10,
+        )
+        stats = run_simulation(config)
+        assert stats.links_cut > 0
+        assert stats.links_repaired > 0
+        assert stats.verification_failures == 0
+
+    def test_rejects_bad_crew_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(profile="tear", repair_crew_size=-1)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(profile="tear", repair_latency_frames=0)
