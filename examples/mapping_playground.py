@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Exploring heterogeneous harvest hardware and income-aware mapping.
+
+Three short experiments on the paper's 4x4 platform:
+
+1. hardware heterogeneity — where the generators sit under each
+   placement policy, and how the income picture changes when only a
+   quarter of the nodes carry one;
+2. income-aware mapping — the `harvest-proportional` strategy next to
+   the plain Theorem-1 rule on the same heterogeneous income (and its
+   exact degeneration when the income is uniform);
+3. the multi-hop power bus — how far surplus travels as
+   `share_max_hops` grows, and what the per-hop conversion loss costs.
+
+Run:  python examples/mapping_playground.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis import mapping_comparison_for
+from repro.analysis.tables import format_table
+from repro.config import PlatformConfig, SimulationConfig
+from repro.harvest import (
+    HarvestConfig,
+    HarvestHardware,
+    build_harvest_schedule,
+)
+from repro.mesh.mapping import (
+    harvest_proportional_mapping,
+    proportional_mapping,
+)
+from repro.mesh.topology import mesh2d
+from repro.sim.et_sim import run_simulation
+
+ENERGIES = {1: 2367.9, 2: 1710.3, 3: 3225.7}  # AES H_i (paper Table 1)
+
+
+def hardware_placements() -> None:
+    print("1. generator placement policies (4 of 16 nodes equipped)\n")
+    topology = mesh2d(4)
+    rows = []
+    for placement in ("flex", "random", "spread"):
+        config = HarvestConfig(
+            profile="motion",
+            seed=7,
+            hardware=HarvestHardware(
+                equipped_fraction=0.25, placement=placement, seed=7
+            ),
+        )
+        schedule = build_harvest_schedule(config, topology, 16)
+        equipped = [n for n in range(16) if schedule.hardware[n] > 0]
+        expected = schedule.expected_income_weights()
+        rows.append(
+            (
+                placement,
+                ", ".join(str(n) for n in equipped),
+                round(sum(expected), 1),
+            )
+        )
+    print(
+        format_table(
+            ["placement", "equipped nodes", "E[income] pJ/frame"], rows
+        )
+    )
+
+
+def income_aware_mapping() -> None:
+    print("\n2. income-aware vs Theorem-1 placement\n")
+    topology = mesh2d(4)
+    config = HarvestConfig(
+        profile="motion",
+        seed=7,
+        amplitude_pj=300.0,
+        hardware=HarvestHardware(equipped_fraction=0.25, placement="flex"),
+    )
+    income = build_harvest_schedule(
+        config, topology, 16
+    ).expected_income_weights()
+    plain = proportional_mapping(topology, ENERGIES, range(16))
+    aware = harvest_proportional_mapping(
+        topology, ENERGIES, income, range(16)
+    )
+    print("proportional grid / harvest-proportional grid:")
+    for y in range(4, 0, -1):
+        left = "  ".join(
+            str(plain.module_of((y - 1) * 4 + x)) for x in range(4)
+        )
+        right = "  ".join(
+            str(aware.module_of((y - 1) * 4 + x)) for x in range(4)
+        )
+        print(f"   {left}     {right}")
+    uniform = harvest_proportional_mapping(
+        topology, ENERGIES, [1.0] * 16, range(16)
+    )
+    print(f"\nuniform income degenerates exactly: {uniform == plain}")
+
+    simulation = SimulationConfig(
+        platform=PlatformConfig(mapping_strategy="harvest-proportional"),
+        harvest=config,
+    )
+    record = mapping_comparison_for(simulation)
+    print(format_table(["metric", "value"], list(record.items())))
+
+
+def multi_hop_bus() -> None:
+    print("\n3. the multi-hop power bus\n")
+    rows = []
+    for hops in (1, 2, 3):
+        config = SimulationConfig(
+            harvest=HarvestConfig(
+                profile="bus",
+                seed=7,
+                amplitude_pj=80.0,
+                share_threshold=0.05,
+                share_max_hops=hops,
+            ),
+            workload=replace(SimulationConfig().workload, max_jobs=40),
+        )
+        summary = run_simulation(config).summary()
+        rows.append(
+            (
+                hops,
+                summary["share_hops"],
+                summary["shared_pj"],
+                summary["harvested_pj"],
+                summary["jobs_fractional"],
+            )
+        )
+    print(
+        format_table(
+            ["max hops", "bus hops", "shared pJ", "harvested pJ", "jobs"],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    hardware_placements()
+    income_aware_mapping()
+    multi_hop_bus()
+
+
+if __name__ == "__main__":
+    main()

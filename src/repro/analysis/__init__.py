@@ -27,6 +27,12 @@ from .harvest import (
     harvest_impact,
     harvest_impact_for,
 )
+from .mapping import (
+    income_mapping_twin,
+    mapping_comparison,
+    mapping_comparison_for,
+    reactive_mapping_twin,
+)
 from .sweep import SweepResult, run_sweep, sweep_controllers, sweep_mesh_sizes
 from .tables import format_table
 from .theory import bound_comparison, gap_report
@@ -48,6 +54,10 @@ __all__ = [
     "harvest_impact",
     "harvest_impact_for",
     "implied_communication_energy_pj",
+    "income_mapping_twin",
+    "mapping_comparison",
+    "mapping_comparison_for",
+    "reactive_mapping_twin",
     "run_sweep",
     "series_chart",
     "sweep_controllers",

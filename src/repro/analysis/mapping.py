@@ -1,0 +1,75 @@
+"""Mapping-strategy analysis: income-aware placement against its twin.
+
+The ``harvest-proportional`` strategy moves a run's module duplicates
+onto the nodes the fabric actually recharges; whether that placement
+*bought* anything is a paired question.  The same configuration with
+the plain Theorem-1 proportional mapping is the reactive twin — income
+still arrives, but placement ignores it — and the delta between the two
+runs is attributable to the build-time decision alone (workload, seeds,
+income schedule and routing are bit-identical by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import SimulationConfig
+
+
+def income_mapping_twin(config: SimulationConfig) -> SimulationConfig:
+    """The same run with the income-aware mapping strategy."""
+    return replace(
+        config,
+        platform=replace(
+            config.platform, mapping_strategy="harvest-proportional"
+        ),
+    )
+
+
+def reactive_mapping_twin(config: SimulationConfig) -> SimulationConfig:
+    """The same run with the plain Theorem-1 proportional mapping."""
+    return replace(
+        config,
+        platform=replace(config.platform, mapping_strategy="proportional"),
+    )
+
+
+def mapping_comparison(reactive: dict, income_aware: dict) -> dict:
+    """Income-aware placement against reactive proportional mapping.
+
+    Args:
+        reactive: ``SimulationStats.summary()`` of the
+            proportional-mapping run.
+        income_aware: Summary of the harvest-proportional run of the
+            same configuration.
+
+    Returns:
+        JSON-safe dict with the delivery and lifetime deltas the
+        placement bought (positive = income-aware is ahead), plus both
+        runs' harvest accounting.
+    """
+    reactive_jobs = float(reactive["jobs_fractional"])
+    aware_jobs = float(income_aware["jobs_fractional"])
+    return {
+        "jobs_reactive": reactive_jobs,
+        "jobs_income_aware": aware_jobs,
+        "jobs_gain": round(aware_jobs - reactive_jobs, 3),
+        "lifetime_reactive_frames": reactive["lifetime_frames"],
+        "lifetime_income_aware_frames": income_aware["lifetime_frames"],
+        "lifetime_gain_frames": (
+            income_aware["lifetime_frames"] - reactive["lifetime_frames"]
+        ),
+        "harvested_reactive_pj": reactive.get("harvested_pj", 0.0),
+        "harvested_income_aware_pj": income_aware.get("harvested_pj", 0.0),
+        "share_hops_reactive": reactive.get("share_hops", 0),
+        "share_hops_income_aware": income_aware.get("share_hops", 0),
+    }
+
+
+def mapping_comparison_for(config: SimulationConfig) -> dict:
+    """Run ``config`` with both mapping strategies; return the comparison."""
+    from ..sim.et_sim import run_simulation
+
+    reactive = run_simulation(reactive_mapping_twin(config)).summary()
+    aware = run_simulation(income_mapping_twin(config)).summary()
+    return mapping_comparison(reactive, aware)

@@ -9,6 +9,9 @@ Subcommands:
   orchestration layer (``--smoke`` is the CI entry point).
 * ``battery-curve`` — print the thin-film discharge curve (Fig 2).
 * ``mapping``       — print the module mapping of a mesh (Fig 3b).
+* ``regen-golden``  — re-run the golden smoke points and rewrite the
+  fixtures under ``tests/golden`` (after intentional behaviour
+  changes).
 """
 
 from __future__ import annotations
@@ -21,11 +24,23 @@ import time
 from .analysis.tables import format_table
 from .analysis.theory import bound_for
 from .battery.thin_film import ThinFilmBattery, ThinFilmParameters
-from .config import PlatformConfig, SimulationConfig, WorkloadConfig
+from .config import (
+    MAPPING_STRATEGIES,
+    PlatformConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
 from .faults import FAULT_PROFILES, FaultConfig
-from .harvest import HARVEST_PROFILES, HarvestConfig
+from .harvest import (
+    HARDWARE_PLACEMENTS,
+    HARVEST_PROFILES,
+    HarvestConfig,
+    HarvestHardware,
+    build_harvest_schedule,
+)
 from .mesh.geometry import node_id
 from .orchestration import (
+    GOLDEN_SMOKE_POINTS,
     SweepCache,
     build_scenario,
     make_runner,
@@ -97,7 +112,12 @@ def _fault_config(args: argparse.Namespace) -> FaultConfig:
     )
 
 
-def _add_harvest_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_income_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags describing the income picture (profile + hardware) alone.
+
+    The ``mapping`` subcommand takes only these: the runtime knobs
+    (routing weight, bus reach) cannot change a printed mapping.
+    """
     parser.add_argument(
         "--harvest-profile", choices=HARVEST_PROFILES, default="none",
         help="energy-harvesting profile (default none)",
@@ -111,10 +131,31 @@ def _add_harvest_arguments(parser: argparse.ArgumentParser) -> None:
         help="peak per-node income per frame in pJ (default 40)",
     )
     parser.add_argument(
+        "--harvest-hardware", type=float, default=1.0, metavar="FRAC",
+        help="fraction of mesh nodes that carry a generator (default "
+        "1.0 = the homogeneous platform; smaller values mount "
+        "harvesters selectively per --harvest-placement)",
+    )
+    parser.add_argument(
+        "--harvest-placement", choices=HARDWARE_PLACEMENTS,
+        default="flex",
+        help="where the equipped nodes sit when --harvest-hardware < 1 "
+        "(default flex = highest-flex sites first)",
+    )
+
+
+def _add_harvest_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_income_arguments(parser)
+    parser.add_argument(
         "--harvest-weight", action="store_true",
         help="enable the harvest-bonus routing weight (the controller "
         "learns per-node income rates and EAR steers traffic toward "
         "energy-rich regions while their cells are still full)",
+    )
+    parser.add_argument(
+        "--share-max-hops", type=int, default=1, metavar="H",
+        help="textile-bus reach: line segments one power transfer may "
+        "traverse, compounding the per-hop conversion loss (default 1)",
     )
 
 
@@ -122,10 +163,39 @@ def _harvest_config(args: argparse.Namespace) -> HarvestConfig:
     if args.harvest_profile == "none":
         # Normalise inert knobs so the cache hash matches a flag-free run.
         return HarvestConfig()
+    # All-equipped hardware is inert whatever its seed/placement:
+    # normalise to the default spec so the cache hash cannot fork on
+    # flags that change nothing.
+    hardware = (
+        HarvestHardware()
+        if args.harvest_hardware == 1.0
+        else HarvestHardware(
+            equipped_fraction=args.harvest_hardware,
+            placement=args.harvest_placement,
+            seed=args.harvest_seed,
+        )
+    )
     return HarvestConfig(
         profile=args.harvest_profile,
         seed=args.harvest_seed,
         amplitude_pj=args.harvest_amplitude,
+        # Only the bus profile shares power: normalise the hop limit
+        # elsewhere so an inert flag cannot fork the cache hash.  The
+        # mapping subcommand has no bus flags at all, hence the getattr.
+        share_max_hops=(
+            getattr(args, "share_max_hops", 1)
+            if args.harvest_profile == "bus"
+            else 1
+        ),
+        hardware=hardware,
+    )
+
+
+def _add_mapping_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mapping", choices=MAPPING_STRATEGIES, default="checkerboard",
+        help="module-to-node mapping strategy (harvest-proportional "
+        "places duplicates by expected per-node harvest income)",
     )
 
 
@@ -152,6 +222,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         platform=PlatformConfig(
             mesh_width=args.mesh,
             battery_model=args.battery,
+            mapping_strategy=args.mapping,
         ),
         workload=WorkloadConfig(seed=args.seed),
         faults=_fault_config(args),
@@ -208,6 +279,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.sweep import sweep_mesh_sizes
 
     base = SimulationConfig(
+        platform=PlatformConfig(mapping_strategy=args.mapping),
         faults=_fault_config(args),
         harvest=_harvest_config(args),
         wear_aware=args.wear_weight,
@@ -256,8 +328,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # The fault/harvest flags shape the *base* configuration handed to
     # every scenario; fault and harvest scenarios (fig7-faulty,
     # harvest-motion, ...) override the profile with their own
-    # schedules.
+    # schedules, and the mapping scenario overrides the strategy.
     base = SimulationConfig(
+        platform=PlatformConfig(mapping_strategy=args.mapping),
         faults=_fault_config(args),
         harvest=_harvest_config(args),
         wear_aware=args.wear_weight,
@@ -327,14 +400,55 @@ def _cmd_battery_curve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_regen_golden(args: argparse.Namespace) -> int:
+    """Re-run every golden smoke point and rewrite its fixture.
+
+    Run after an *intentional* behaviour change (new summary key,
+    engine-semantics fix) — and bump ``CACHE_SCHEMA_VERSION``
+    alongside — instead of hand-editing the stored JSON documents.
+    """
+    import pathlib
+
+    directory = pathlib.Path(args.dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    for scenario_name, label, filename in GOLDEN_SMOKE_POINTS:
+        matches = [
+            point
+            for point in build_scenario(scenario_name, scale="smoke")
+            if point.label == label
+        ]
+        if len(matches) != 1:
+            raise SystemExit(
+                f"golden point {label!r} missing from scenario "
+                f"{scenario_name!r}"
+            )
+        payload = {
+            "scenario": scenario_name,
+            "scale": "smoke",
+            "label": label,
+            "summary": run_simulation(matches[0].config).summary(),
+        }
+        path = directory / filename
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_mapping(args: argparse.Namespace) -> int:
     platform = PlatformConfig(
         mesh_width=args.mesh, mapping_strategy=args.strategy
     )
     topology = platform.make_topology()
+    schedule = build_harvest_schedule(
+        _harvest_config(args), topology, platform.num_mesh_nodes
+    )
     mapping = platform.make_mapping(
         topology,
         normalized_energies={1: 2367.9, 2: 1710.3, 3: 3225.7},
+        income_weights=schedule.expected_income_weights(),
     )
     print(
         f"{args.strategy} mapping of AES onto a "
@@ -376,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--battery", choices=("thin-film", "ideal"), default="thin-film"
     )
+    _add_mapping_argument(simulate)
     simulate.add_argument("--seed", type=int, default=2005)
     simulate.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
@@ -387,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="EAR vs SDR across mesh sizes")
     sweep.add_argument("--min-mesh", type=int, default=4)
     sweep.add_argument("--max-mesh", type=int, default=8)
+    _add_mapping_argument(sweep)
     _add_runner_arguments(sweep)
     _add_fault_arguments(sweep)
     _add_harvest_arguments(sweep)
@@ -414,6 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--json", action="store_true", help="emit records as JSON"
     )
+    _add_mapping_argument(bench)
     _add_runner_arguments(bench)
     _add_fault_arguments(bench)
     _add_harvest_arguments(bench)
@@ -430,10 +547,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_mesh_argument(mapping)
     mapping.add_argument(
         "--strategy",
-        choices=("checkerboard", "proportional", "uniform"),
+        choices=MAPPING_STRATEGIES,
         default="checkerboard",
     )
+    # Income-picture flags let harvest-proportional see the expected
+    # per-node income (profile, amplitude, hardware heterogeneity).
+    _add_income_arguments(mapping)
     mapping.set_defaults(func=_cmd_mapping)
+
+    regen = sub.add_parser(
+        "regen-golden",
+        help="re-run the golden smoke points and rewrite their fixtures",
+    )
+    regen.add_argument(
+        "--dir", default="tests/golden", metavar="DIR",
+        help="fixture directory (default tests/golden)",
+    )
+    regen.set_defaults(func=_cmd_regen_golden)
     return parser
 
 

@@ -11,6 +11,7 @@ EAR routing algorithm.
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import asdict, dataclass, field, replace
 
 from .battery.ideal import IdealBattery
@@ -37,12 +38,13 @@ from .core.weights import (
 )
 from .errors import ConfigurationError
 from .faults.config import FaultConfig
-from .harvest.config import HarvestConfig
+from .harvest.config import HarvestConfig, HarvestHardware
 from .link.energy import LinkEnergyModel
 from .link.packet import PacketFormat
 from .mesh.mapping import (
     ModuleMapping,
     checkerboard_mapping,
+    harvest_proportional_mapping,
     proportional_mapping,
     uniform_mapping,
 )
@@ -52,7 +54,12 @@ from .mesh.topology import DEFAULT_LINK_PITCH_CM, Topology, mesh2d
 BATTERY_MODELS = ("thin-film", "ideal")
 
 #: Mapping strategy identifiers.
-MAPPING_STRATEGIES = ("checkerboard", "proportional", "uniform")
+MAPPING_STRATEGIES = (
+    "checkerboard",
+    "proportional",
+    "uniform",
+    "harvest-proportional",
+)
 
 #: Routing algorithm identifiers.
 ROUTING_ALGORITHMS = ("ear", "sdr")
@@ -189,14 +196,27 @@ class PlatformConfig:
         self,
         topology: Topology,
         normalized_energies: dict[int, float] | None = None,
+        income_weights: Sequence[float] | Mapping[int, float] | None = None,
     ) -> ModuleMapping:
         mesh_nodes = range(self.num_mesh_nodes)
         if self.mapping_strategy == "checkerboard":
             return checkerboard_mapping(topology, mesh_nodes)
-        if self.mapping_strategy == "proportional":
+        if self.mapping_strategy in ("proportional", "harvest-proportional"):
             if normalized_energies is None:
                 raise ConfigurationError(
-                    "proportional mapping needs the normalised energies"
+                    f"{self.mapping_strategy} mapping needs the "
+                    "normalised energies"
+                )
+            if self.mapping_strategy == "harvest-proportional":
+                # No income picture (harvest-free run) degenerates to
+                # the plain Theorem-1 rule inside the mapper.
+                weights = (
+                    income_weights
+                    if income_weights is not None
+                    else [0.0] * self.num_mesh_nodes
+                )
+                return harvest_proportional_mapping(
+                    topology, normalized_energies, weights, mesh_nodes
                 )
             return proportional_mapping(
                 topology, normalized_energies, mesh_nodes
@@ -485,6 +505,13 @@ class SimulationConfig:
                 int(k): int(v)
                 for k, v in platform_raw["compute_cycles"].items()
             }
+        if isinstance(harvest_raw, dict) and isinstance(
+            harvest_raw.get("hardware"), dict
+        ):
+            harvest_raw = dict(harvest_raw)
+            harvest_raw["hardware"] = HarvestHardware(
+                **harvest_raw["hardware"]
+            )
         if "energy" in control_raw and isinstance(control_raw["energy"], dict):
             control_raw["energy"] = ControllerEnergyModel(
                 **control_raw["energy"]

@@ -9,22 +9,32 @@ replayable, cacheable and bit-identical across the sequential and
 concurrent engines.
 """
 
-from .config import HARVEST_PROFILES, MOTION_PROFILES, HarvestConfig
+from .config import (
+    HARDWARE_PLACEMENTS,
+    HARVEST_PROFILES,
+    MOTION_PROFILES,
+    HarvestConfig,
+    HarvestHardware,
+)
 from .schedule import (
     DEFAULT_INCOME_LEVELS,
     HarvestRuntime,
     HarvestSchedule,
     build_harvest_schedule,
     flex_weights,
+    hardware_scale,
 )
 
 __all__ = [
     "DEFAULT_INCOME_LEVELS",
+    "HARDWARE_PLACEMENTS",
     "HARVEST_PROFILES",
     "MOTION_PROFILES",
     "HarvestConfig",
+    "HarvestHardware",
     "HarvestRuntime",
     "HarvestSchedule",
     "build_harvest_schedule",
     "flex_weights",
+    "hardware_scale",
 ]

@@ -14,7 +14,7 @@ plain-dict form.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError
 
@@ -34,6 +34,71 @@ HARVEST_PROFILES = ("none", "motion", "solar", "bus")
 
 #: Profiles whose income is gated by the motion activity trace.
 MOTION_PROFILES = ("motion", "bus")
+
+#: Recognised generator-placement policies for heterogeneous hardware.
+#:
+#: * ``flex``   — generators mounted at the highest-flex sites first
+#:   (texTENG patches are fabricated where the fabric moves most:
+#:   elbows, shoulders, hem);
+#: * ``random`` — a seeded uniform draw over the mesh nodes;
+#: * ``spread`` — evenly spaced across the node-id order (a regular
+#:   manufacturing grid).
+HARDWARE_PLACEMENTS = ("flex", "random", "spread")
+
+
+@dataclass(frozen=True)
+class HarvestHardware:
+    """Which nodes physically carry a generator, and how strong it is.
+
+    PR 4 gave every node an identical harvester; real garments mount
+    them selectively (triboelectric patches are fabricated at specific
+    high-flex sites, not woven uniformly) and no two patches are cut
+    exactly alike.  The defaults — every node equipped, no gain spread
+    — are inert: a run with default hardware is bit-identical to the
+    homogeneous PR 4 behaviour.
+
+    Attributes:
+        equipped_fraction: Fraction of mesh nodes that carry a
+            generator (in ``(0, 1]``; at least one node is always
+            equipped).  Non-equipped nodes earn zero income under every
+            profile.
+        placement: One of :data:`HARDWARE_PLACEMENTS` — where the
+            equipped nodes sit.
+        seed: Seed of the random placement and of the per-node gain
+            draw (same seed, same fraction => identical hardware).
+        gain_spread: Half-width of the per-node amplitude scaling band:
+            each equipped generator's gain is drawn uniformly from
+            ``[1 - spread, 1 + spread]`` (manufacturing variation of
+            the patch).  0 means every generator is nominal.
+    """
+
+    equipped_fraction: float = 1.0
+    placement: str = "flex"
+    seed: int = 0
+    gain_spread: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.equipped_fraction <= 1.0:
+            raise ConfigurationError(
+                "equipped fraction must lie in (0, 1], got "
+                f"{self.equipped_fraction}"
+            )
+        if self.placement not in HARDWARE_PLACEMENTS:
+            raise ConfigurationError(
+                f"unknown hardware placement {self.placement!r}; "
+                f"expected one of {HARDWARE_PLACEMENTS}"
+            )
+        if not 0.0 <= self.gain_spread < 1.0:
+            raise ConfigurationError(
+                "gain spread must lie in [0, 1) so every mounted "
+                f"generator keeps a positive gain, got {self.gain_spread}"
+            )
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when the hardware spec is inert (every node carries a
+        nominal generator — the homogeneous PR 4 platform)."""
+        return self.equipped_fraction == 1.0 and self.gain_spread == 0.0
 
 
 @dataclass(frozen=True)
@@ -55,10 +120,20 @@ class HarvestConfig:
             the positive half of a sine over this many frames).
         start_frame: First frame at which income may arrive.
         share_threshold: State-of-charge gap (fraction of nominal) that
-            triggers a bus transfer toward a poorer neighbour.
+            triggers a bus transfer toward a poorer receiver.
         share_efficiency: Fraction of a shared quantum that survives
-            the textile bus conversion (the rest is conversion loss).
+            *each line segment* of the textile bus (the rest is per-hop
+            conversion loss; a transfer over ``k`` hops arrives scaled
+            by ``share_efficiency ** k``).
         share_rate_pj: Maximum energy one donor moves per frame.
+        share_max_hops: How many line segments a bus transfer may
+            traverse.  1 reproduces the PR 4 single-hop bus exactly;
+            larger values let surplus reach poor cells beyond the
+            donor's geometric neighbourhood, at compounding conversion
+            loss.
+        hardware: Which nodes carry a generator
+            (:class:`HarvestHardware`; the default equips every node
+            at nominal gain).
     """
 
     profile: str = "none"
@@ -71,6 +146,8 @@ class HarvestConfig:
     share_threshold: float = 0.2
     share_efficiency: float = 0.7
     share_rate_pj: float = 30.0
+    share_max_hops: int = 1
+    hardware: HarvestHardware = field(default_factory=HarvestHardware)
 
     def __post_init__(self) -> None:
         if self.profile not in HARVEST_PROFILES:
@@ -109,6 +186,10 @@ class HarvestConfig:
         if self.share_rate_pj < 0:
             raise ConfigurationError(
                 f"share rate must be >= 0, got {self.share_rate_pj}"
+            )
+        if self.share_max_hops < 1:
+            raise ConfigurationError(
+                f"bus transfers need >= 1 hop, got {self.share_max_hops}"
             )
 
     @property

@@ -24,7 +24,7 @@ import random
 import numpy as np
 
 from ..mesh.topology import Topology
-from .config import MOTION_PROFILES, HarvestConfig
+from .config import MOTION_PROFILES, HarvestConfig, HarvestHardware
 
 #: Income levels the quantiser (and the routing bonus table) saturate
 #: at — one source of truth, mirroring the wear-level cap.
@@ -65,6 +65,42 @@ def flex_weights(topology: Topology, num_mesh_nodes: int) -> list[float]:
     ]
 
 
+def hardware_scale(
+    hardware: HarvestHardware,
+    topology: Topology,
+    num_mesh_nodes: int,
+) -> list[float]:
+    """Per-node generator gain: 0 for non-equipped nodes.
+
+    Which nodes are equipped follows the placement policy
+    (high-flex-first, seeded random, or evenly spread over the node-id
+    order); each equipped node's gain is its seeded manufacturing draw
+    from ``[1 - gain_spread, 1 + gain_spread]``.  The default hardware
+    returns all-ones, keeping homogeneous runs bit-identical to the
+    hardware-free schedule.
+    """
+    nodes = int(num_mesh_nodes)
+    if hardware.is_uniform:
+        return [1.0] * nodes
+    equipped_count = max(1, round(hardware.equipped_fraction * nodes))
+    if hardware.placement == "flex":
+        flex = flex_weights(topology, nodes)
+        ranked = sorted(range(nodes), key=lambda n: (-flex[n], n))
+        equipped = set(ranked[:equipped_count])
+    elif hardware.placement == "random":
+        rng = random.Random(f"{hardware.seed}:hardware")
+        equipped = set(rng.sample(range(nodes), equipped_count))
+    else:  # spread
+        equipped = {i * nodes // equipped_count for i in range(equipped_count)}
+    scale = [0.0] * nodes
+    for node in equipped:
+        gain = random.Random(f"{hardware.seed}:gain:{node}").uniform(
+            1.0 - hardware.gain_spread, 1.0 + hardware.gain_spread
+        )
+        scale[node] = gain
+    return scale
+
+
 class HarvestSchedule:
     """Per-node income as a pure function of the frame index.
 
@@ -83,6 +119,16 @@ class HarvestSchedule:
         self.config = config
         self._nodes = int(num_mesh_nodes)
         self._flex = flex_weights(topology, num_mesh_nodes)
+        #: Per-node generator gain (0 for nodes without a harvester).
+        self.hardware = hardware_scale(
+            config.hardware, topology, num_mesh_nodes
+        )
+        #: Motion-profile node scale: flex weight times generator gain.
+        #: Multiplying by the all-ones default hardware is bit-exact,
+        #: so homogeneous runs reproduce the PR 4 income vectors.
+        self._node_scale = [
+            flex * gain for flex, gain in zip(self._flex, self.hardware)
+        ]
         #: Memo of the current activity window: (window index, vector).
         #: Frames are visited in order, so one slot is enough.
         self._window: tuple[int, list[float] | None] | None = None
@@ -90,6 +136,25 @@ class HarvestSchedule:
     @property
     def is_active(self) -> bool:
         return self.config.is_active
+
+    def expected_income_weights(self) -> list[float]:
+        """Expected per-node income (pJ/frame), queried before the run.
+
+        A pure function of the configuration — the mean of the income
+        process, not a sample of it — so build-time consumers (the
+        income-aware mapping) see the same per-node expectations on
+        every engine and every run.  Inactive schedules yield zeros.
+        """
+        config = self.config
+        if not self.is_active:
+            return [0.0] * self._nodes
+        if config.profile in MOTION_PROFILES:
+            # Mean window pulse: duty * amplitude * E[U(0.5, 1)].
+            mean_pulse = config.amplitude_pj * config.duty * 0.75
+            return [mean_pulse * scale for scale in self._node_scale]
+        # Solar: the positive half of a sine averages A / pi over a day.
+        mean_level = config.amplitude_pj / math.pi
+        return [mean_level * gain for gain in self.hardware]
 
     # ------------------------------------------------------------------
     def _window_pulse(self, window: int) -> float:
@@ -109,7 +174,9 @@ class HarvestSchedule:
         if self._window is None or self._window[0] != window:
             pulse = self._window_pulse(window)
             vector = (
-                [pulse * weight for weight in self._flex] if pulse else None
+                [pulse * weight for weight in self._node_scale]
+                if pulse
+                else None
             )
             self._window = (window, vector)
         return self._window[1]
@@ -122,7 +189,7 @@ class HarvestSchedule:
         scale = config.amplitude_pj * math.sin(2.0 * math.pi * phase)
         if scale <= 0.0:
             return None  # night
-        return [scale] * self._nodes
+        return [scale * gain for gain in self.hardware]
 
     def income(self, frame: int) -> list[float] | None:
         """Per-mesh-node income (pJ) of ``frame``; None when all zero."""

@@ -16,7 +16,7 @@ module.  Three strategies are provided:
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 
 from ..errors import MappingError
 from .geometry import parity
@@ -49,7 +49,9 @@ class ModuleMapping:
         missing = [m for m in range(1, num_modules + 1) if counts[m] == 0]
         if missing:
             raise MappingError(
-                f"modules {missing} have no duplicates; jobs cannot complete"
+                f"modules {missing} are not instantiated on any node; "
+                "every module needs at least one duplicate or no job "
+                "can ever complete"
             )
         self._counts = {m: counts[m] for m in range(1, num_modules + 1)}
         self._duplicates = {
@@ -185,6 +187,57 @@ def _largest_remainder_allocation(
     return counts
 
 
+#: Smallest supply mass a node may carry in the income-aware mapping:
+#: even a node with no generator still brings its battery to the table.
+_MASS_FLOOR = 0.05
+
+#: Default income bias of :func:`harvest_proportional_mapping`.
+#: Calibrated on the ``harvest-mapping`` scenario's quick grid — small
+#: enough that the placement keeps the proportional rule's spatial
+#: interleaving (which the transport energy depends on), large enough
+#: that the energy-hungry duplicates actually migrate onto the
+#: generator-equipped nodes.
+DEFAULT_INCOME_BIAS = 0.3
+
+
+def _mass_error_diffusion(
+    selected: list[int],
+    masses: list[float],
+    counts: dict[int, int],
+    modules: list[int],
+) -> tuple[dict[int, int], dict[int, float]]:
+    """Error-diffusion placement in supply-mass space.
+
+    Nodes are visited in ``selected`` order — the spatial interleaving
+    the classic diffusion relies on — but the deficits are tracked in
+    supply mass: at each node the module whose captured mass lags most
+    behind its target share (subject to its duplicate count) is
+    assigned.  A high-mass node bumps the cumulative mass hardest, so
+    the largest-share (energy-hungriest) module surges to the top of
+    the deficit ranking exactly when an income-rich node comes up.
+    With unit masses this is the classic count-space diffusion.
+    Returns the assignment and the mass each module captured.
+    """
+    total = len(selected)
+    target = {m: counts[m] / total for m in modules}
+    assigned = {m: 0 for m in modules}
+    captured = {m: 0.0 for m in modules}
+    assignment: dict[int, int] = {}
+    cum_mass = 0.0
+    for position in range(total):
+        cum_mass += masses[position]
+        deficits = {
+            m: target[m] * cum_mass - captured[m]
+            for m in modules
+            if assigned[m] < counts[m]
+        }
+        module = max(sorted(deficits), key=lambda m: deficits[m])
+        assignment[selected[position]] = module
+        assigned[module] += 1
+        captured[module] += masses[position]
+    return assignment, captured
+
+
 def proportional_mapping(
     topology: Topology,
     normalized_energies: dict[int, float],
@@ -200,22 +253,87 @@ def proportional_mapping(
     selected = list(range(topology.num_nodes) if nodes is None else nodes)
     counts = _largest_remainder_allocation(normalized_energies, len(selected))
     modules = sorted(normalized_energies)
-    # Error diffusion: at each node pick the module whose assigned share
-    # lags most behind its target share.
-    target = {
-        m: counts[m] / len(selected) for m in modules
-    }
-    assigned = {m: 0 for m in modules}
-    assignment: dict[int, int] = {}
-    for index, node in enumerate(selected, start=1):
-        deficits = {
-            m: target[m] * index - assigned[m]
-            for m in modules
-            if assigned[m] < counts[m]
+    assignment, _ = _mass_error_diffusion(
+        selected, [1.0] * len(selected), counts, modules
+    )
+    mapping = ModuleMapping(assignment, num_modules=max(modules))
+    mapping.validate_against(topology)
+    return mapping
+
+
+def harvest_proportional_mapping(
+    topology: Topology,
+    normalized_energies: dict[int, float],
+    income: Sequence[float] | Mapping[int, float],
+    nodes: Iterable[int] | None = None,
+    income_bias: float = DEFAULT_INCOME_BIAS,
+) -> ModuleMapping:
+    """Income-aware Theorem-1 mapping.
+
+    Extends :func:`proportional_mapping` from node-count space to
+    *supply-mass* space: each node's mass blends its (uniform) battery
+    with its expected harvest income, so generator-equipped regions
+    weigh more.  Two effects follow:
+
+    * **Placement** — error diffusion runs over mass in the spatial
+      node order, so a generator-equipped node bumps the cumulative
+      mass hardest and the energy-hungriest module surges to the top
+      of the deficit ranking exactly when such a node comes up.
+    * **Duplicate counts** — after a first placement pass, each
+      module's count is re-derived from ``H_i`` divided by the mean
+      supply mass its duplicates captured: a module sitting on
+      income-rich nodes needs fewer duplicates to sustain its share of
+      the work, freeing fabric for the others.
+
+    With uniform income (including the all-zero income of a
+    harvest-free run) every mass is 1 and both passes reproduce
+    :func:`proportional_mapping` exactly.
+
+    Args:
+        income: Expected per-node income, indexable by node id (e.g.
+            ``HarvestSchedule.expected_income_weights()``).  Only the
+            relative magnitudes matter.
+        income_bias: Fraction of a node's supply mass carried by its
+            income deviation (0 = ignore income entirely, 1 = income
+            dominates).
+    """
+    selected = list(range(topology.num_nodes) if nodes is None else nodes)
+    if not 0.0 <= income_bias <= 1.0:
+        raise MappingError(
+            f"income bias must lie in [0, 1], got {income_bias}"
+        )
+    raw = [max(0.0, float(income[node])) for node in selected]
+    mean = sum(raw) / len(raw) if raw else 0.0
+    if mean <= 0.0 or max(raw) == min(raw):
+        masses = [1.0] * len(selected)
+    else:
+        masses = [
+            max(_MASS_FLOOR, 1.0 + income_bias * (value / mean - 1.0))
+            for value in raw
+        ]
+    modules = sorted(normalized_energies)
+    counts = _largest_remainder_allocation(normalized_energies, len(selected))
+    assignment, captured = _mass_error_diffusion(
+        selected, masses, counts, modules
+    )
+    if any(mass != 1.0 for mass in masses):
+        # Re-express Theorem 1 in supply-mass space: duplicates needed
+        # scale with H_i over the mean mass one duplicate commands.
+        # The correction is clamped to a 2x band — income supplements
+        # batteries, it does not replace them, and an unbounded
+        # correction would collapse a module onto a single very rich
+        # node (transport and congestion, which the mapping cannot
+        # see, punish that hard).
+        mean_captured = {
+            m: min(2.0, max(0.5, captured[m] / counts[m])) for m in modules
         }
-        module = max(sorted(deficits), key=lambda m: deficits[m])
-        assignment[node] = module
-        assigned[module] += 1
+        adjusted = {
+            m: normalized_energies[m] / mean_captured[m] for m in modules
+        }
+        counts = _largest_remainder_allocation(adjusted, len(selected))
+        assignment, _ = _mass_error_diffusion(
+            selected, masses, counts, modules
+        )
     mapping = ModuleMapping(assignment, num_modules=max(modules))
     mapping.validate_against(topology)
     return mapping

@@ -28,6 +28,7 @@ from .runner import (
     make_runner,
 )
 from .scenarios import (
+    GOLDEN_SMOKE_POINTS,
     build_scenario,
     controller_grid,
     derive_seed,
@@ -38,6 +39,7 @@ from .scenarios import (
 )
 
 __all__ = [
+    "GOLDEN_SMOKE_POINTS",
     "ParallelSweepRunner",
     "SequentialSweepRunner",
     "SweepCache",

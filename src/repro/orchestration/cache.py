@@ -38,7 +38,11 @@ from ..config import SimulationConfig
 #: section, ``harvest_*`` knobs and the fault repair-crew/corrosion
 #: parameters; summaries gained ``harvested_pj`` / ``shared_pj`` /
 #: ``harvest_events``.
-CACHE_SCHEMA_VERSION = 4
+#: v5: heterogeneous harvest hardware and the multi-hop power bus —
+#: the ``harvest`` section gained a nested ``hardware`` spec and
+#: ``share_max_hops``, the platform gained the ``harvest-proportional``
+#: mapping strategy, and summaries gained ``share_hops``.
+CACHE_SCHEMA_VERSION = 5
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "ETSIM_CACHE_DIR"

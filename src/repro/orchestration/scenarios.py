@@ -24,11 +24,37 @@ from typing import Callable
 from ..config import SimulationConfig
 from ..errors import ConfigurationError
 from ..faults import FaultConfig
-from ..harvest import HarvestConfig
+from ..harvest import HarvestConfig, HarvestHardware
 from .runner import SweepPoint
 
 #: Recognised grid scales.
 SCALES = ("smoke", "quick", "full")
+
+#: The golden-traced smoke points: one ``(scenario, label, filename)``
+#: triple per stored fixture under ``tests/golden/``.  The regression
+#: tests and the ``python -m repro regen-golden`` helper both read this
+#: list, so adding a fixture (or a summary key) is a one-place change.
+GOLDEN_SMOKE_POINTS = (
+    ("fig7", "4x4/ear", "fig7_smoke_4x4_ear.json"),
+    ("fig8", "4x4/1ctl", "fig8_smoke_4x4_1ctl.json"),
+    ("table2", "4x4/ear", "table2_smoke_4x4_ear.json"),
+    # One point per engine (sequential and concurrent) for the
+    # scenario families whose machinery differs between code paths.
+    ("tear-repair", "4x4/ear", "tear_repair_smoke_4x4_ear.json"),
+    ("tear-repair", "4x4/ear/conc", "tear_repair_smoke_4x4_ear_conc.json"),
+    ("harvest-motion", "4x4/ear", "harvest_motion_smoke_4x4_ear.json"),
+    (
+        "harvest-motion",
+        "4x4/ear/conc",
+        "harvest_motion_smoke_4x4_ear_conc.json",
+    ),
+    ("harvest-mapping", "4x4/income", "harvest_mapping_smoke_4x4.json"),
+    (
+        "harvest-mapping",
+        "4x4/income/conc",
+        "harvest_mapping_smoke_4x4_conc.json",
+    ),
+)
 
 #: Builder signature: (scale, base config) -> sweep points.
 ScenarioBuilder = Callable[[str, SimulationConfig], list[SweepPoint]]
@@ -565,6 +591,92 @@ def _harvest_aware(scale: str, base: SimulationConfig) -> list[SweepPoint]:
                     },
                 )
             )
+    return points
+
+
+@scenario(
+    "harvest-mapping",
+    "income-aware duplicate placement vs reactive proportional mapping",
+)
+def _harvest_mapping(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    """The build-time counterpart of harvest-aware routing: on a fabric
+    where only some nodes carry generators (heterogeneous hardware),
+    the same income schedule is run with the plain Theorem-1
+    proportional mapping (reactive — placement ignores income) and with
+    the income-aware ``harvest-proportional`` strategy that puts the
+    energy-hungry duplicates where the income is.  The smoke grid pins
+    one income-aware point per engine for the golden traces; quick and
+    full pair the strategies on every width for the jobs comparison.
+    """
+    widths = {"smoke": (4,), "quick": (4, 5), "full": (4, 5, 6)}[scale]
+    kinds = {
+        "smoke": ("sequential", "concurrent"),
+        "quick": ("sequential",),
+        "full": ("sequential",),
+    }[scale]
+    strategies = {
+        "smoke": (("income", "harvest-proportional"),),
+        "quick": (
+            ("reactive", "proportional"),
+            ("income", "harvest-proportional"),
+        ),
+        "full": (
+            ("reactive", "proportional"),
+            ("income", "harvest-proportional"),
+        ),
+    }[scale]
+    caps = {"smoke": 20, "quick": None, "full": None}
+    points = []
+    for width in widths:
+        # A strongly heterogeneous platform: a quarter of the nodes
+        # carry powerful generators at the high-flex sites.  Calibrated
+        # (with the mapper's default income bias) so the income-aware
+        # placement completes at least as many jobs as the reactive
+        # proportional mapping on every pair of the quick grid.
+        harvest = HarvestConfig(
+            profile="motion",
+            amplitude_pj=300.0,
+            hardware=HarvestHardware(
+                equipped_fraction=0.25, placement="flex"
+            ),
+            seed=derive_seed(
+                base.workload.seed, f"harvest-mapping/{width}x{width}"
+            ),
+        )
+        for kind in kinds:
+            for strategy, mapping_strategy in strategies:
+                suffix = "/conc" if kind == "concurrent" else ""
+                label = f"{width}x{width}/{strategy}{suffix}"
+                workload = replace(
+                    base.workload,
+                    kind=kind,
+                    concurrency=4 if kind == "concurrent" else 1,
+                    max_jobs=caps[scale],
+                )
+                config = replace(
+                    base,
+                    platform=replace(
+                        base.platform,
+                        mesh_width=width,
+                        mapping_strategy=mapping_strategy,
+                    ),
+                    workload=workload,
+                    routing="ear",
+                    harvest=harvest,
+                )
+                points.append(
+                    SweepPoint(
+                        label=label,
+                        config=config,
+                        params={
+                            "mesh": f"{width}x{width}",
+                            "strategy": strategy,
+                            "mapping": mapping_strategy,
+                            "workload": kind,
+                            "harvest_profile": "motion",
+                        },
+                    )
+                )
     return points
 
 

@@ -59,8 +59,17 @@ class EngineBase:
             self.topology, attach, platform.source_link_cm
         )
         profile = ApplicationProfile.aes128(platform.hop_energy_pj())
+        # The harvest schedule is built before the mapping: the
+        # income-aware mapping strategy queries expected per-node
+        # income at build time (the same schedule object later feeds
+        # the runtime, so mapping and recharge see one income picture).
+        self.harvest_schedule = build_harvest_schedule(
+            config.harvest, self.topology, platform.num_mesh_nodes
+        )
         self.mapping = platform.make_mapping(
-            self.topology, profile.normalized_energies()
+            self.topology,
+            profile.normalized_energies(),
+            income_weights=self.harvest_schedule.expected_income_weights(),
         )
         self.num_mesh_nodes = platform.num_mesh_nodes
 
@@ -178,9 +187,7 @@ class EngineBase:
 
         # --- energy harvesting --------------------------------------------
         self.harvest = HarvestRuntime(
-            build_harvest_schedule(
-                config.harvest, self.topology, self.num_mesh_nodes
-            ),
+            self.harvest_schedule,
             # Income is estimated with the same quantum the bonus table
             # quantises at — one source of truth via the harvest
             # function.
@@ -421,23 +428,70 @@ class EngineBase:
         if tracking:
             runtime.observe_frame(accepted_income)
 
-    def _apply_power_sharing(self) -> None:
-        """One I²We bus pass: surplus trickles to poorer neighbours.
+    def _bus_reachable(
+        self, donor: int, max_hops: int
+    ) -> tuple[list[int], dict[int, tuple[int, ...]]]:
+        """Living mesh nodes a bus transfer from ``donor`` can reach.
 
-        Every living donor compares its state of charge with its
-        geometric neighbours' (over the surviving textile lines — a cut
-        line carries no power either) and, when the gap exceeds the
-        configured threshold, pushes one quantum toward its poorest
-        neighbour.  The transfer draws from the donor's cell, arrives
-        scaled by the bus efficiency, and the difference is conversion
-        loss.  Donor order is node order: deterministic, and identical
-        in both engines.
+        Breadth-first over the surviving textile lines (cut lines are
+        gone from the topology), through living nodes only, up to
+        ``max_hops`` segments.  Returns the nodes in discovery order —
+        nearer layers first, adjacency order within a layer, exactly
+        the single-hop neighbour scan when ``max_hops == 1`` — plus the
+        cheapest-loss path to each: fewest hops, ties broken by total
+        line length from the working length matrix.
+        """
+        paths: dict[int, tuple[int, ...]] = {donor: ()}
+        lengths_to: dict[int, float] = {donor: 0.0}
+        order: list[int] = []
+        frontier = [donor]
+        for _ in range(max_hops):
+            layer: list[int] = []
+            for u in frontier:
+                for v in self.topology.neighbors(u):
+                    if v >= self.num_mesh_nodes:
+                        continue
+                    candidate_len = lengths_to[u] + float(self.lengths[u, v])
+                    if v in paths:
+                        # Same-layer rediscovery: keep the physically
+                        # shorter line run (hop count is equal).
+                        if v in layer and candidate_len < lengths_to[v]:
+                            paths[v] = paths[u] + (v,)
+                            lengths_to[v] = candidate_len
+                        continue
+                    unit = self.nodes[v]
+                    if not unit.alive or unit.battery is None:
+                        continue
+                    paths[v] = paths[u] + (v,)
+                    lengths_to[v] = candidate_len
+                    order.append(v)
+                    layer.append(v)
+            if not layer:
+                break
+            frontier = layer
+        return order, paths
+
+    def _apply_power_sharing(self) -> None:
+        """One I²We bus pass: surplus flows to poorer cells.
+
+        Every living donor compares its state of charge with the mesh
+        nodes reachable over at most ``share_max_hops`` surviving
+        textile lines and, when the gap exceeds the configured
+        threshold, pushes one quantum toward the poorest of them along
+        the cheapest-loss path.  Each line segment passes
+        ``share_efficiency`` of what enters it, so a ``k``-hop transfer
+        arrives scaled by ``efficiency ** k`` — the per-hop losses are
+        booked segment by segment and the intermediate nodes' relayed
+        energy is recorded, so the conservation identity closes with
+        any hop count.  Donor order is node order: deterministic, and
+        identical in both engines.
         """
         config = self.config.harvest
         rate = config.share_rate_pj
         if rate <= 0.0:
             return
         threshold = config.share_threshold
+        efficiency = config.share_efficiency
         for donor in range(self.num_mesh_nodes):
             unit = self.nodes[donor]
             if not unit.alive or unit.battery is None:
@@ -445,15 +499,18 @@ class EngineBase:
             soc = unit.battery.state_of_charge
             poorest = None
             poorest_soc = soc - threshold
-            for neighbor in self.topology.neighbors(donor):
-                if neighbor >= self.num_mesh_nodes:
-                    continue
-                other = self.nodes[neighbor]
-                if not other.alive or other.battery is None:
-                    continue
-                other_soc = other.battery.state_of_charge
+            if poorest_soc <= 0.0:
+                # No cell's state of charge is negative, so a donor
+                # this drained can never find a receiver: skip the
+                # reachability search entirely.
+                continue
+            candidates, paths = self._bus_reachable(
+                donor, config.share_max_hops
+            )
+            for node in candidates:
+                other_soc = self.nodes[node].battery.state_of_charge
                 if other_soc < poorest_soc:
-                    poorest = other
+                    poorest = node
                     poorest_soc = other_soc
             if poorest is None:
                 continue
@@ -470,11 +527,20 @@ class EngineBase:
             result = unit.battery.draw(
                 transfer, self.schedule.frame_cycles
             )
-            accepted = poorest.battery.recharge(
-                result.delivered_pj * config.share_efficiency
-            )
+            energy = result.delivered_pj
+            for hop in paths[poorest]:
+                arrived = energy * efficiency
+                self.ledger.add_share_hop(energy - arrived)
+                if hop != poorest:
+                    self.ledger.note_share_relay(hop, arrived)
+                energy = arrived
+            accepted = self.nodes[poorest].battery.recharge(energy)
             self.ledger.add_share(
-                donor, result.delivered_pj, poorest.node_id, accepted
+                donor,
+                result.delivered_pj,
+                poorest,
+                accepted,
+                arrived_pj=energy,
             )
             if result.died:
                 self.on_node_death(donor)
@@ -601,5 +667,6 @@ class EngineBase:
             packets_rerouted=self.packets_rerouted,
             harvested_pj=self.ledger.harvested_pj,
             shared_pj=self.ledger.shared_pj,
+            share_hops=self.ledger.share_hops,
             harvest_events=self.ledger.harvest_events,
         )

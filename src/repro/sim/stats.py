@@ -38,6 +38,9 @@ class NodeStats:
             cell.
         shared_pj: Bus transfers accepted by this node's cell
             (post-conversion).
+        share_relay_pj: Bus energy that passed *through* this node on a
+            multi-hop transfer (post-conversion at the inbound hop; it
+            never touches the node's own cell).
         died_at_frame: Frame of death (None while alive).
     """
 
@@ -50,6 +53,7 @@ class NodeStats:
     share_tx_pj: float = 0.0
     harvested_pj: float = 0.0
     shared_pj: float = 0.0
+    share_relay_pj: float = 0.0
     died_at_frame: int | None = None
 
     @property
@@ -90,6 +94,15 @@ class EnergyLedger:
         self.share_tx_pj = 0.0
         #: Bus energy lost in conversion (drawn minus accepted).
         self.share_loss_pj = 0.0
+        #: Subset of ``share_loss_pj`` dissipated hop by hop in the
+        #: textile lines (each line segment passes ``share_efficiency``
+        #: of what enters it).
+        self.share_hop_loss_pj = 0.0
+        #: Subset of ``share_loss_pj`` rejected at the receiving cell
+        #: (arrivals beyond its headroom).
+        self.share_rejected_pj = 0.0
+        #: Bus line segments traversed by transfers.
+        self.share_hops = 0
         #: Harvest pulses that actually recharged a cell.
         self.harvest_events = 0
         self.controller_pj: dict[str, float] = {
@@ -127,17 +140,38 @@ class EnergyLedger:
         self.nodes[node].harvested_pj += energy_pj
         self.harvest_events += 1
 
+    def add_share_hop(self, loss_pj: float) -> None:
+        """One line segment of a bus transfer: ``loss_pj`` of what
+        entered the segment was lost to conversion.  (Per-node
+        attribution of relayed energy is :meth:`note_share_relay`.)"""
+        self.share_hops += 1
+        self.share_hop_loss_pj += loss_pj
+
+    def note_share_relay(self, node: int, energy_pj: float) -> None:
+        """``energy_pj`` passed through ``node`` on a multi-hop
+        transfer without touching its cell."""
+        self.nodes[node].share_relay_pj += energy_pj
+
     def add_share(
-        self, donor: int, drawn_pj: float, receiver: int, accepted_pj: float
+        self,
+        donor: int,
+        drawn_pj: float,
+        receiver: int,
+        accepted_pj: float,
+        arrived_pj: float | None = None,
     ) -> None:
         """One bus transfer: ``drawn_pj`` left the donor's cell and
         ``accepted_pj`` arrived in the receiver's; the difference is
-        conversion loss in the textile bus."""
+        conversion loss in the textile bus.  ``arrived_pj`` — what
+        reached the receiving cell after the per-hop losses — splits
+        that difference into hop loss and headroom rejection."""
         self.share_tx_pj += drawn_pj
         self.nodes[donor].share_tx_pj += drawn_pj
         self.shared_pj += accepted_pj
         self.nodes[receiver].shared_pj += accepted_pj
         self.share_loss_pj += drawn_pj - accepted_pj
+        if arrived_pj is not None:
+            self.share_rejected_pj += arrived_pj - accepted_pj
 
     def add_controller(self, breakdown: dict[str, float]) -> None:
         for bucket, energy in breakdown.items():
@@ -231,6 +265,7 @@ class SimulationStats:
             subsequently progressed along another path or a fresh plan.
         harvested_pj: External harvest income accepted into cells.
         shared_pj: Power-bus transfers accepted by receiving cells.
+        share_hops: Bus line segments traversed by power transfers.
         harvest_events: Harvest pulses that actually recharged a cell.
     """
 
@@ -259,6 +294,7 @@ class SimulationStats:
     packets_rerouted: int = 0
     harvested_pj: float = 0.0
     shared_pj: float = 0.0
+    share_hops: int = 0
     harvest_events: int = 0
     extra: dict = field(default_factory=dict)
 
@@ -308,5 +344,6 @@ class SimulationStats:
             "packets_rerouted": self.packets_rerouted,
             "harvested_pj": round(self.harvested_pj, 1),
             "shared_pj": round(self.shared_pj, 1),
+            "share_hops": self.share_hops,
             "harvest_events": self.harvest_events,
         }

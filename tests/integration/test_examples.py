@@ -35,3 +35,8 @@ class TestExamples:
         out = run_example("battery_playground", capsys)
         assert "hammered" in out
         assert "delivered" in out
+
+    def test_mapping_playground(self, capsys):
+        out = run_example("mapping_playground", capsys)
+        assert "uniform income degenerates exactly: True" in out
+        assert "multi-hop power bus" in out

@@ -1,36 +1,19 @@
 """Golden-trace regression tests.
 
-One smoke point of each paper grid (fig7, fig8, table2) has its full
-``SimulationStats.summary()`` checked in under ``tests/golden/``.  These
-tests assert bit-identical replay through both sweep runners, so any
-future "behaviour-identical" hot-path optimisation is verified against
-stored truth rather than against itself.
+One smoke point of each paper grid (fig7, fig8, table2) — plus one per
+engine for the tear-repair, harvest-motion and harvest-mapping families
+— has its full ``SimulationStats.summary()`` checked in under
+``tests/golden/``.  These tests assert bit-identical replay through
+both sweep runners, so any future "behaviour-identical" hot-path
+optimisation is verified against stored truth rather than against
+itself.
 
-Regenerating (only after an *intentional* behaviour change — bump
-``CACHE_SCHEMA_VERSION`` alongside):
+The case list is :data:`repro.orchestration.GOLDEN_SMOKE_POINTS` — one
+source of truth shared with the regeneration helper.  Regenerate (only
+after an *intentional* behaviour change — bump
+``CACHE_SCHEMA_VERSION`` alongside) with:
 
-    PYTHONPATH=src python -c "
-    import json, pathlib
-    from repro.orchestration import build_scenario
-    from repro.sim.et_sim import run_simulation
-    for scenario, label, filename in [
-        ('fig7', '4x4/ear', 'fig7_smoke_4x4_ear.json'),
-        ('fig8', '4x4/1ctl', 'fig8_smoke_4x4_1ctl.json'),
-        ('table2', '4x4/ear', 'table2_smoke_4x4_ear.json'),
-        ('tear-repair', '4x4/ear', 'tear_repair_smoke_4x4_ear.json'),
-        ('tear-repair', '4x4/ear/conc',
-         'tear_repair_smoke_4x4_ear_conc.json'),
-        ('harvest-motion', '4x4/ear', 'harvest_motion_smoke_4x4_ear.json'),
-        ('harvest-motion', '4x4/ear/conc',
-         'harvest_motion_smoke_4x4_ear_conc.json'),
-    ]:
-        point = next(p for p in build_scenario(scenario, scale='smoke')
-                     if p.label == label)
-        payload = {'scenario': scenario, 'scale': 'smoke', 'label': label,
-                   'summary': run_simulation(point.config).summary()}
-        pathlib.Path('tests/golden', filename).write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + '\n')
-    "
+    PYTHONPATH=src python -m repro regen-golden
 """
 
 import json
@@ -39,6 +22,7 @@ from pathlib import Path
 import pytest
 
 from repro.orchestration import (
+    GOLDEN_SMOKE_POINTS,
     ParallelSweepRunner,
     SequentialSweepRunner,
     build_scenario,
@@ -46,23 +30,7 @@ from repro.orchestration import (
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
 
-CASES = [
-    ("fig7", "4x4/ear", "fig7_smoke_4x4_ear.json"),
-    ("fig8", "4x4/1ctl", "fig8_smoke_4x4_1ctl.json"),
-    ("table2", "4x4/ear", "table2_smoke_4x4_ear.json"),
-    # One tear-repair smoke point per engine: the sequential point and
-    # the concurrent (buffered) point both cut and re-sew three links.
-    ("tear-repair", "4x4/ear", "tear_repair_smoke_4x4_ear.json"),
-    ("tear-repair", "4x4/ear/conc", "tear_repair_smoke_4x4_ear_conc.json"),
-    # One harvest-motion smoke point per engine: both recharge cells
-    # from the motion income schedule (harvested_pj > 0 in both).
-    ("harvest-motion", "4x4/ear", "harvest_motion_smoke_4x4_ear.json"),
-    (
-        "harvest-motion",
-        "4x4/ear/conc",
-        "harvest_motion_smoke_4x4_ear_conc.json",
-    ),
-]
+CASES = list(GOLDEN_SMOKE_POINTS)
 
 
 def golden(filename: str) -> dict:

@@ -10,7 +10,11 @@ from repro.core.upper_bound import (
     optimize_duplicates,
     theorem1,
 )
-from repro.mesh.mapping import proportional_mapping, uniform_mapping
+from repro.mesh.mapping import (
+    harvest_proportional_mapping,
+    proportional_mapping,
+    uniform_mapping,
+)
 from repro.mesh.topology import mesh2d
 
 
@@ -141,3 +145,103 @@ class TestMappingProperties:
         mapping = uniform_mapping(topo, num_modules=modules)
         counts = mapping.duplicate_counts()
         assert max(counts.values()) - min(counts.values()) <= 1
+
+
+class TestHarvestProportionalMappingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0),
+            min_size=2,
+            max_size=4,
+        ),
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_uniform_income_degenerates_to_proportional(
+        self, width, weights, level, bias
+    ):
+        """The income-aware mapping with a flat income picture — any
+        constant, including the all-zero income of a harvest-free run —
+        must reproduce the plain Theorem-1 mapping *exactly*, whatever
+        the bias."""
+        topo = mesh2d(width)
+        if topo.num_nodes < len(weights):
+            return
+        energies = {m + 1: w for m, w in enumerate(weights)}
+        income = [level] * topo.num_nodes
+        aware = harvest_proportional_mapping(
+            topo, energies, income, income_bias=bias
+        )
+        assert aware == proportional_mapping(topo, energies)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0),
+            min_size=2,
+            max_size=4,
+        ),
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_mapping_stays_valid_under_any_income(
+        self, width, weights, seed, bias
+    ):
+        import numpy as np
+
+        topo = mesh2d(width)
+        if topo.num_nodes < len(weights):
+            return
+        energies = {m + 1: w for m, w in enumerate(weights)}
+        rng = np.random.default_rng(seed)
+        income = rng.uniform(0.0, 50.0, size=topo.num_nodes).tolist()
+        mapping = harvest_proportional_mapping(
+            topo, energies, income, income_bias=bias
+        )
+        counts = mapping.duplicate_counts()
+        # Every node mapped, every module instantiated.
+        assert sum(counts.values()) == topo.num_nodes
+        assert all(count >= 1 for count in counts.values())
+        assert set(mapping.mapped_nodes) == set(range(topo.num_nodes))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=7),
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_income_aware_mapping_is_deterministic(self, width, seed, bias):
+        import numpy as np
+
+        topo = mesh2d(width)
+        energies = {1: 2367.9, 2: 1710.3, 3: 3225.7}
+        income = (
+            np.random.default_rng(seed)
+            .uniform(0.0, 50.0, size=topo.num_nodes)
+            .tolist()
+        )
+        one = harvest_proportional_mapping(
+            topo, energies, income, income_bias=bias
+        )
+        two = harvest_proportional_mapping(
+            mesh2d(width), energies, list(income), income_bias=bias
+        )
+        assert one == two
+
+    def test_concentrated_income_biases_duplicate_counts(self):
+        """The second (supply-mass) pass genuinely moves Theorem-1
+        duplicate counts: with the income concentrated on one corner
+        block, the hungriest module captures the rich nodes in pass 1
+        and needs fewer duplicates in pass 2."""
+        topo = mesh2d(4)
+        energies = {1: 2367.9, 2: 1710.3, 3: 3225.7}
+        income = [40.0 if node < 4 else 0.0 for node in range(16)]
+        plain = proportional_mapping(topo, energies).duplicate_counts()
+        aware = harvest_proportional_mapping(
+            topo, energies, income, income_bias=0.5
+        ).duplicate_counts()
+        assert plain == {1: 5, 2: 4, 3: 7}
+        assert aware == {1: 6, 2: 4, 3: 6}

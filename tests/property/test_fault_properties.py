@@ -153,9 +153,11 @@ class TestTearCorrelation:
     )
     def test_tear_bursts_cut_connected_neighbourhoods(self, seed, width):
         """Every tear burst (the link-cut events of one frame) severs a
-        *connected* patch: each cut link shares an endpoint with
-        another cut link of the same burst (single-link tears are
-        trivially connected)."""
+        *connected* patch of the torn area: each cut link shares an
+        endpoint with another cut link of the same burst, or with a
+        link severed by an earlier tear (the schedule never re-cuts a
+        severed line, so a burst extending an existing tear connects
+        through it; single-link tears are trivially connected)."""
         schedule = build_fault_schedule(
             FaultConfig(profile="tear", seed=seed),
             mesh2d(width),
@@ -169,9 +171,12 @@ class TestTearCorrelation:
                     (event.node_a, event.node_b)
                 )
         assert bursts
-        for batch in bursts.values():
-            # Union-find over links sharing endpoints.
-            components = [set(pair) for pair in batch]
+        torn: list[tuple[int, int]] = []
+        for frame in sorted(bursts):
+            batch = bursts[frame]
+            # Union-find over links sharing endpoints, across this
+            # burst plus everything torn before it.
+            components = [set(pair) for pair in batch + torn]
             merged = True
             while merged:
                 merged = False
@@ -183,9 +188,15 @@ class TestTearCorrelation:
                             break
                     if merged:
                         break
-            assert len(components) == 1, (
+            holding = [
+                component
+                for component in components
+                if any(set(pair) & component for pair in batch)
+            ]
+            assert len(holding) == 1, (
                 f"tear burst {batch} is not a connected patch"
             )
+            torn.extend(batch)
 
     @settings(max_examples=10, deadline=None)
     @given(seed=st.integers(0, 2**32 - 1))

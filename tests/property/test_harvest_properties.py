@@ -21,7 +21,7 @@ from helpers import make_config
 from repro.battery.ideal import IdealBattery
 from repro.battery.thin_film import ThinFilmBattery, ThinFilmParameters
 from repro.errors import ConfigurationError
-from repro.harvest import HarvestConfig
+from repro.harvest import HarvestConfig, HarvestHardware
 from repro.sim.et_sim import EtSim
 
 
@@ -185,3 +185,145 @@ def test_energy_conservation_includes_the_harvested_term(
     summary = stats.summary()
     assert summary["harvested_pj"] == round(ledger.harvested_pj, 1)
     assert summary["shared_pj"] == round(ledger.shared_pj, 1)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    kind=st.sampled_from(["sequential", "concurrent"]),
+    battery=batteries(),
+    seed=st.integers(min_value=0, max_value=10_000),
+    max_hops=st.integers(min_value=1, max_value=4),
+    efficiency=st.floats(min_value=0.4, max_value=0.95),
+)
+def test_multi_hop_bus_per_hop_losses_sum_exactly(
+    kind, battery, seed, max_hops, efficiency
+):
+    """Conservation of the multi-hop bus: the per-hop conversion losses
+    plus the receiver-side rejection account for every picojoule the
+    donors drew but the receivers did not bank, and the whole-run
+    identity still closes."""
+    config = make_config(
+        kind=kind,
+        battery=battery,
+        concurrency=2 if kind == "concurrent" else 1,
+        max_jobs=8,
+        seed=seed,
+        harvest=HarvestConfig(
+            profile="bus",
+            seed=seed,
+            amplitude_pj=80.0,
+            share_threshold=0.05,
+            share_rate_pj=40.0,
+            share_efficiency=efficiency,
+            share_max_hops=max_hops,
+        ),
+    )
+    engine = EtSim(config).build_engine()
+    stats = engine.run()
+    ledger = stats.energy
+    # Per-hop accounting: hop losses + rejected arrivals == total loss.
+    assert ledger.share_loss_pj == pytest.approx(
+        ledger.share_hop_loss_pj + ledger.share_rejected_pj, rel=1e-9
+    )
+    assert ledger.share_loss_pj == pytest.approx(
+        ledger.share_tx_pj - ledger.shared_pj, rel=1e-9
+    )
+    if ledger.share_tx_pj > 0:
+        assert ledger.share_hops > 0
+        # Arrivals can never beat the single-hop conversion bound.
+        assert ledger.shared_pj <= efficiency * ledger.share_tx_pj + 1e-6
+    # Relayed energy only ever appears on intermediate nodes, which a
+    # single-hop bus does not have.
+    relayed = sum(node.share_relay_pj for node in ledger.nodes.values())
+    if max_hops == 1:
+        assert relayed == 0.0
+    # The whole-run identity closes with any hop count.
+    mesh = config.platform.num_mesh_nodes
+    nominal = config.platform.battery_capacity_pj * mesh
+    residual = stats.wasted_at_death_pj + stats.stranded_alive_pj
+    loads = ledger.node_total_pj - ledger.share_tx_pj
+    assert nominal + stats.harvested_pj == pytest.approx(
+        loads + stats.conversion_loss_pj + residual, rel=1e-9
+    )
+    assert stats.summary()["share_hops"] == ledger.share_hops
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    kind=st.sampled_from(["sequential", "concurrent"]),
+    profile=st.sampled_from(["motion", "solar", "bus"]),
+    seed=st.integers(min_value=0, max_value=10_000),
+    fraction=st.floats(min_value=0.1, max_value=0.8),
+    placement=st.sampled_from(["flex", "random", "spread"]),
+)
+def test_non_equipped_nodes_never_harvest(
+    kind, profile, seed, fraction, placement
+):
+    """Hardware heterogeneity's zero-income invariant: a node without a
+    generator never accepts a pulse of external income, whatever the
+    profile (bus arrivals are power *sharing*, booked separately)."""
+    config = make_config(
+        kind=kind,
+        concurrency=2 if kind == "concurrent" else 1,
+        max_jobs=8,
+        seed=seed,
+        harvest=HarvestConfig(
+            profile=profile,
+            seed=seed,
+            amplitude_pj=80.0,
+            hardware=HarvestHardware(
+                equipped_fraction=fraction, placement=placement, seed=seed
+            ),
+        ),
+    )
+    engine = EtSim(config).build_engine()
+    stats = engine.run()
+    equipped = engine.harvest_schedule.hardware
+    mesh = config.platform.num_mesh_nodes
+    assert sum(1 for gain in equipped if gain > 0) == max(
+        1, round(fraction * mesh)
+    )
+    for node in range(mesh):
+        if equipped[node] == 0.0:
+            assert stats.energy.nodes[node].harvested_pj == 0.0
+    # When the schedule offered income past frame 0 and everyone lived
+    # to accept it, some equipped node must have harvested (a short
+    # run can land entirely in idle activity windows).
+    offered = any(
+        engine.harvest_schedule.income(frame) is not None
+        for frame in range(1, stats.lifetime_frames)
+    )
+    if offered and all(engine.nodes[n].alive for n in range(mesh)):
+        assert stats.harvested_pj > 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    kind=st.sampled_from(["sequential", "concurrent"]),
+    profile=st.sampled_from(["motion", "solar", "bus"]),
+    seed=st.integers(min_value=0, max_value=10_000),
+    placement=st.sampled_from(["flex", "random", "spread"]),
+)
+def test_all_equipped_hardware_is_bit_identical_to_default(
+    kind, profile, seed, placement
+):
+    """An explicit all-nodes-equipped spec (whatever its placement or
+    seed — both are inert at fraction 1 and zero spread) must reproduce
+    the homogeneous default run bit for bit."""
+    base = make_config(
+        kind=kind,
+        concurrency=2 if kind == "concurrent" else 1,
+        max_jobs=6,
+        seed=seed,
+        harvest=HarvestConfig(profile=profile, seed=seed),
+    )
+    explicit = replace(
+        base,
+        harvest=replace(
+            base.harvest,
+            hardware=HarvestHardware(
+                equipped_fraction=1.0, placement=placement, seed=seed
+            ),
+        ),
+    )
+    assert EtSim(base).run().summary() == EtSim(explicit).run().summary()

@@ -164,6 +164,24 @@ class TestQuantizer:
         with pytest.raises(ConfigurationError):
             BatteryLevelQuantizer(levels=1)
 
+    def test_negative_state_of_charge_clamps_to_zero(self):
+        assert BatteryLevelQuantizer(levels=8).level_of_fraction(-0.5) == 0
+
+    def test_overfull_fraction_clamps_to_top_level(self):
+        assert BatteryLevelQuantizer(levels=8).level_of_fraction(1.5) == 7
+
+    def test_levels_property_round_trips(self):
+        assert BatteryLevelQuantizer(levels=6).levels == 6
+
+    def test_two_levels_need_one_bit(self):
+        assert BatteryLevelQuantizer(levels=2).bits == 1
+
+    def test_alive_battery_reports_its_band(self):
+        quantizer = BatteryLevelQuantizer(levels=4)
+        battery = IdealBattery(capacity_pj=100.0)
+        battery.draw(30.0, 10)  # 70 % -> level 2
+        assert quantizer.level_of(battery) == 2
+
 
 class TestLevelTracker:
     def test_detects_level_changes(self):
@@ -189,3 +207,27 @@ class TestLevelTracker:
         tracker = LevelTracker(quantizer)
         tracker.observe(3, IdealBattery())
         assert tracker.snapshot() == {3: 3}
+
+    def test_unobserved_node_reports_level_zero(self):
+        tracker = LevelTracker(BatteryLevelQuantizer(levels=4))
+        assert tracker.level(42) == 0
+
+    def test_quantizer_accessor(self):
+        quantizer = BatteryLevelQuantizer(levels=4)
+        assert LevelTracker(quantizer).quantizer is quantizer
+
+    def test_observe_flags_revival_style_alive_flips(self):
+        # Liveness changes alone (same quantised level) must trigger a
+        # report: a fault-killed node with a charged cell still reports
+        # level 0 via level_of, so the alive flag is the discriminator.
+        quantizer = BatteryLevelQuantizer(levels=4)
+        tracker = LevelTracker(quantizer)
+
+        class Unit:
+            alive = True
+            state_of_charge = 0.05
+
+        unit = Unit()
+        assert tracker.observe(0, unit) is True
+        unit.alive = False
+        assert tracker.observe(0, unit) is True

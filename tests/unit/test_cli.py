@@ -37,6 +37,103 @@ class TestMapping:
         out = capsys.readouterr().out
         assert "uniform mapping" in out
 
+    def test_harvest_proportional_strategy(self, capsys):
+        assert main(
+            [
+                "mapping",
+                "--mesh", "4",
+                "--strategy", "harvest-proportional",
+                "--harvest-profile", "motion",
+                "--harvest-hardware", "0.25",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "harvest-proportional mapping" in out
+        assert "duplicates:" in out
+
+    def test_harvest_proportional_without_income_prints_proportional(
+        self, capsys
+    ):
+        # No harvest profile: the income picture is flat, so the grid
+        # must match the plain proportional strategy's.
+        assert main(
+            ["mapping", "--mesh", "4", "--strategy", "harvest-proportional"]
+        ) == 0
+        aware = capsys.readouterr().out.splitlines()[2:]
+        assert main(
+            ["mapping", "--mesh", "4", "--strategy", "proportional"]
+        ) == 0
+        plain = capsys.readouterr().out.splitlines()[2:]
+        assert aware == plain
+
+
+class TestRegenGolden:
+    def test_rewrites_a_fixture_that_matches_the_committed_one(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        # One representative point proves the command wiring and the
+        # byte format; staleness of *every* fixture is already caught
+        # by tests/integration/test_golden_traces.py, which re-runs
+        # each golden point through both sweep runners.
+        import repro.cli as cli_module
+
+        case = next(
+            entry
+            for entry in cli_module.GOLDEN_SMOKE_POINTS
+            if entry[0] == "fig7"
+        )
+        monkeypatch.setattr(cli_module, "GOLDEN_SMOKE_POINTS", (case,))
+        assert main(["regen-golden", "--dir", str(tmp_path)]) == 0
+        from pathlib import Path
+
+        committed = Path(__file__).resolve().parents[1] / "golden"
+        filename = case[2]
+        fresh = (tmp_path / filename).read_text(encoding="utf-8")
+        assert fresh == (committed / filename).read_text(
+            encoding="utf-8"
+        ), f"{filename} is stale — run `python -m repro regen-golden`"
+
+
+class TestBenchAndSweepPaths:
+    def test_bench_list_prints_the_registry(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "harvest-mapping" in out
+        assert "fig7" in out
+
+    def test_bench_rejects_unknown_scenarios(self, tmp_path, monkeypatch):
+        from repro.errors import ConfigurationError
+
+        monkeypatch.setenv("ETSIM_CACHE_DIR", str(tmp_path))
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            main(["bench", "--smoke", "--scenario", "fig99"])
+
+    def test_bench_smoke_runs_the_mapping_scenario(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("ETSIM_CACHE_DIR", str(tmp_path))
+        assert main(
+            ["bench", "--smoke", "--scenario", "harvest-mapping", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        records = payload["harvest-mapping"]
+        assert {r["workload"] for r in records} == {
+            "sequential",
+            "concurrent",
+        }
+        assert all(
+            r["mapping"] == "harvest-proportional" for r in records
+        )
+        assert all(r["harvested_pj"] > 0 for r in records)
+
+    def test_sweep_command_prints_the_gain_table(self, capsys):
+        assert main(
+            ["sweep", "--min-mesh", "4", "--max-mesh", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "EAR vs SDR" in out
+        assert "4x4" in out
+
 
 class TestBatteryCurve:
     def test_prints_discharge_rows(self, capsys):
@@ -287,6 +384,110 @@ class TestHarvestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["harvested_pj"] == 0.0
         assert payload["harvest_events"] == 0
+
+    def test_hardware_and_bus_flags_parse_on_all_run_commands(self):
+        parser = build_parser()
+        for command in (["simulate"], ["sweep"], ["bench", "--smoke"]):
+            args = parser.parse_args(
+                command
+                + [
+                    "--harvest-profile", "motion",
+                    "--harvest-hardware", "0.25",
+                    "--harvest-placement", "random",
+                    "--share-max-hops", "3",
+                    "--mapping", "harvest-proportional",
+                ]
+            )
+            assert args.harvest_hardware == 0.25
+            assert args.harvest_placement == "random"
+            assert args.share_max_hops == 3
+            assert args.mapping == "harvest-proportional"
+
+    def test_all_equipped_hardware_normalises_to_the_default(self):
+        # Placement/seed are inert at fraction 1: the config (and its
+        # cache hash) must match a hardware-free invocation.
+        from repro.cli import _harvest_config
+        from repro.harvest import HarvestHardware
+
+        parser = build_parser()
+        flagged = parser.parse_args(
+            [
+                "simulate",
+                "--harvest-profile", "motion",
+                "--harvest-hardware", "1.0",
+                "--harvest-placement", "spread",
+                "--harvest-seed", "9",
+            ]
+        )
+        assert _harvest_config(flagged).hardware == HarvestHardware()
+
+    def test_bad_hardware_fraction_is_rejected(self):
+        from repro.cli import _harvest_config
+        from repro.errors import ConfigurationError
+
+        args = build_parser().parse_args(
+            [
+                "simulate",
+                "--harvest-profile", "motion",
+                "--harvest-hardware", "1.5",
+            ]
+        )
+        with pytest.raises(ConfigurationError):
+            _harvest_config(args)
+
+    def test_bad_share_max_hops_is_rejected(self):
+        from repro.cli import _harvest_config
+        from repro.errors import ConfigurationError
+
+        args = build_parser().parse_args(
+            [
+                "simulate",
+                "--harvest-profile", "bus",
+                "--share-max-hops", "0",
+            ]
+        )
+        with pytest.raises(ConfigurationError):
+            _harvest_config(args)
+
+    def test_simulate_with_heterogeneous_hardware(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--harvest-profile", "motion",
+                "--harvest-seed", "7",
+                "--harvest-hardware", "0.25",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["harvested_pj"] > 0
+
+    def test_simulate_with_income_aware_mapping(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--mapping", "harvest-proportional",
+                "--harvest-profile", "motion",
+                "--harvest-hardware", "0.5",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs_completed"] >= 1
+        assert payload["verification_failures"] == 0
+
+    def test_multi_hop_bus_counts_hops(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--harvest-profile", "bus",
+                "--harvest-amplitude", "80",
+                "--share-max-hops", "3",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["share_hops"] >= 0
 
     def test_bench_smoke_runs_the_harvest_scenarios(
         self, capsys, tmp_path, monkeypatch

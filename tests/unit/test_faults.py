@@ -477,19 +477,19 @@ class TestSweepCacheInvalidation:
         )
         assert config_hash(one) != config_hash(two)
 
-    def test_schema_v4_invalidates_v3_entries(self, tmp_path):
+    def test_schema_v5_invalidates_v4_entries(self, tmp_path):
         from repro.orchestration.cache import (
             CACHE_SCHEMA_VERSION,
             SweepCache,
         )
 
-        assert CACHE_SCHEMA_VERSION == 4
+        assert CACHE_SCHEMA_VERSION == 5
         cache = SweepCache(tmp_path)
         key = config_hash(make_config())
         cache.store(key, {"summary": {"jobs_fractional": 1.0}})
         record = dict(cache.lookup(key))
-        # Rewrite the entry as a v3 record: it must no longer be served.
-        record["schema"] = 3
+        # Rewrite the entry as a v4 record: it must no longer be served.
+        record["schema"] = 4
         import json
 
         (tmp_path / f"{key}.json").write_text(json.dumps(record))

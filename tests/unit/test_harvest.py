@@ -20,9 +20,11 @@ from repro.errors import ConfigurationError
 from repro.harvest import (
     HARVEST_PROFILES,
     HarvestConfig,
+    HarvestHardware,
     HarvestRuntime,
     build_harvest_schedule,
     flex_weights,
+    hardware_scale,
 )
 from repro.mesh.mapping import checkerboard_mapping
 from repro.mesh.topology import Topology, mesh2d
@@ -93,6 +95,121 @@ class TestHarvestConfig:
         function = SimulationConfig(harvest_aware=True).harvest_function()
         assert function is not None
         assert function.q >= 1.0
+
+
+class TestHarvestHardware:
+    def test_default_is_uniform(self):
+        hardware = HarvestHardware()
+        assert hardware.is_uniform
+        assert hardware.equipped_fraction == 1.0
+
+    def test_fraction_or_spread_break_uniformity(self):
+        assert not HarvestHardware(equipped_fraction=0.5).is_uniform
+        assert not HarvestHardware(gain_spread=0.2).is_uniform
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"equipped_fraction": 0.0},
+            {"equipped_fraction": 1.5},
+            {"placement": "orbital"},
+            {"gain_spread": -0.1},
+            {"gain_spread": 1.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            HarvestHardware(**kwargs)
+
+    def test_share_max_hops_validated(self):
+        with pytest.raises(ConfigurationError):
+            HarvestConfig(profile="bus", share_max_hops=0)
+
+    def test_round_trips_through_simulation_config(self):
+        config = make_config(
+            harvest=HarvestConfig(
+                profile="motion",
+                share_max_hops=3,
+                hardware=HarvestHardware(
+                    equipped_fraction=0.4,
+                    placement="random",
+                    seed=9,
+                    gain_spread=0.25,
+                ),
+            )
+        )
+        rebuilt = type(config).from_dict(config.to_dict())
+        assert rebuilt.harvest == config.harvest
+        assert rebuilt.harvest.hardware == config.harvest.hardware
+
+
+class TestHardwareScale:
+    def scale(self, **kwargs):
+        return hardware_scale(HarvestHardware(**kwargs), mesh2d(4), 16)
+
+    def test_uniform_hardware_is_all_ones(self):
+        assert self.scale() == [1.0] * 16
+
+    @pytest.mark.parametrize("placement", ["flex", "random", "spread"])
+    @pytest.mark.parametrize("fraction", [0.1, 0.25, 0.5, 0.75])
+    def test_equipped_count_follows_the_fraction(self, placement, fraction):
+        scale = self.scale(
+            equipped_fraction=fraction, placement=placement, seed=5
+        )
+        equipped = sum(1 for gain in scale if gain > 0)
+        assert equipped == max(1, round(fraction * 16))
+
+    def test_flex_placement_prefers_corners(self):
+        scale = self.scale(equipped_fraction=0.25, placement="flex")
+        corners = [0, 3, 12, 15]
+        assert all(scale[node] > 0 for node in corners)
+        assert scale[5] == 0.0  # inner node flexes least
+
+    def test_random_placement_is_seed_deterministic(self):
+        one = self.scale(equipped_fraction=0.5, placement="random", seed=3)
+        two = self.scale(equipped_fraction=0.5, placement="random", seed=3)
+        other = self.scale(equipped_fraction=0.5, placement="random", seed=4)
+        assert one == two
+        assert one != other
+
+    def test_gain_spread_stays_in_band(self):
+        scale = self.scale(
+            equipped_fraction=1.0, gain_spread=0.3, seed=2
+        )
+        assert all(0.7 <= gain <= 1.3 for gain in scale)
+        assert len(set(scale)) > 1  # manufacturing variation is real
+
+    def test_non_equipped_nodes_get_zero_schedule_income(self):
+        config = HarvestConfig(
+            profile="motion",
+            seed=1,
+            hardware=HarvestHardware(
+                equipped_fraction=0.25, placement="spread", seed=1
+            ),
+        )
+        schedule = build_harvest_schedule(config, mesh2d(4), 16)
+        vector = next(
+            v for f in range(600) if (v := schedule.income(f)) is not None
+        )
+        for node in range(16):
+            if schedule.hardware[node] == 0.0:
+                assert vector[node] == 0.0
+
+    def test_expected_income_weights_follow_the_hardware(self):
+        config = HarvestConfig(
+            profile="solar",
+            hardware=HarvestHardware(
+                equipped_fraction=0.5, placement="spread"
+            ),
+        )
+        schedule = build_harvest_schedule(config, mesh2d(4), 16)
+        weights = schedule.expected_income_weights()
+        for node in range(16):
+            assert (weights[node] > 0) == (schedule.hardware[node] > 0)
+
+    def test_inactive_schedule_expects_zero_income(self):
+        schedule = build_harvest_schedule(HarvestConfig(), mesh2d(4), 16)
+        assert schedule.expected_income_weights() == [0.0] * 16
 
 
 class TestFlexWeights:
@@ -313,6 +430,34 @@ class TestCacheInvalidation:
         plain = make_config(harvest=HarvestConfig(profile="motion"))
         aware = replace(plain, harvest_aware=True)
         assert config_hash(plain) != config_hash(aware)
+
+    def test_hardware_spec_changes_the_hash(self):
+        base = make_config(harvest=HarvestConfig(profile="motion"))
+        hetero = replace(
+            base,
+            harvest=replace(
+                base.harvest,
+                hardware=HarvestHardware(equipped_fraction=0.5),
+            ),
+        )
+        assert config_hash(base) != config_hash(hetero)
+
+    def test_share_max_hops_changes_the_hash(self):
+        base = make_config(harvest=HarvestConfig(profile="bus"))
+        multi = replace(
+            base, harvest=replace(base.harvest, share_max_hops=3)
+        )
+        assert config_hash(base) != config_hash(multi)
+
+    def test_mapping_strategy_changes_the_hash(self):
+        base = make_config(harvest=HarvestConfig(profile="motion"))
+        aware = replace(
+            base,
+            platform=replace(
+                base.platform, mapping_strategy="harvest-proportional"
+            ),
+        )
+        assert config_hash(base) != config_hash(aware)
 
     def test_crew_and_corrosion_knobs_change_the_hash(self):
         base = make_config(fault_profile="moisture")

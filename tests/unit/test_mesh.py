@@ -19,6 +19,7 @@ from repro.mesh.geometry import (
 from repro.mesh.mapping import (
     ModuleMapping,
     checkerboard_mapping,
+    harvest_proportional_mapping,
     proportional_mapping,
     uniform_mapping,
 )
@@ -204,6 +205,77 @@ class TestUniformMapping:
     def test_balanced_counts(self):
         mapping = uniform_mapping(mesh2d(3), num_modules=3)
         assert mapping.duplicate_counts() == {1: 3, 2: 3, 3: 3}
+
+
+class TestHarvestProportionalMapping:
+    ENERGIES = {1: 2367.9, 2: 1710.3, 3: 3225.7}
+
+    def test_zero_income_equals_proportional(self):
+        topo = mesh2d(4)
+        aware = harvest_proportional_mapping(
+            topo, self.ENERGIES, [0.0] * 16
+        )
+        assert aware == proportional_mapping(topo, self.ENERGIES)
+
+    def test_income_moves_placement(self):
+        topo = mesh2d(4)
+        income = [30.0 if node % 4 == 0 else 0.0 for node in range(16)]
+        aware = harvest_proportional_mapping(topo, self.ENERGIES, income)
+        assert aware != proportional_mapping(topo, self.ENERGIES)
+        counts = aware.duplicate_counts()
+        assert sum(counts.values()) == 16
+        assert all(count >= 1 for count in counts.values())
+
+    def test_rejects_bad_bias(self):
+        with pytest.raises(MappingError):
+            harvest_proportional_mapping(
+                mesh2d(4), self.ENERGIES, [0.0] * 16, income_bias=1.5
+            )
+
+    def test_accepts_mapping_style_income(self):
+        topo = mesh2d(3)
+        income = {node: float(node) for node in range(9)}
+        mapping = harvest_proportional_mapping(topo, self.ENERGIES, income)
+        assert sum(mapping.duplicate_counts().values()) == 9
+
+
+class TestMappingErrorMessages:
+    """The missing-module message names the modules and says why it is
+    fatal; each strategy's failure mode surfaces an explicit message."""
+
+    def test_missing_module_message_names_the_modules(self):
+        with pytest.raises(
+            MappingError,
+            match=r"modules \[2\] are not instantiated on any node",
+        ):
+            ModuleMapping({0: 1, 1: 1}, num_modules=2)
+
+    def test_checkerboard_subset_missing_a_parity_class(self):
+        # Only odd/odd and even/even nodes selected: module 3 (mixed
+        # parity) is never instantiated.
+        topo = mesh2d(4)
+        nodes = [node_id(1, 1, 4), node_id(2, 2, 4)]
+        with pytest.raises(
+            MappingError,
+            match=r"modules \[3\] are not instantiated on any node; "
+            r"every module needs at least one duplicate",
+        ):
+            checkerboard_mapping(topo, nodes)
+
+    def test_proportional_too_few_nodes_message(self):
+        with pytest.raises(
+            MappingError,
+            match=r"cannot allocate 2 nodes to 3 modules",
+        ):
+            proportional_mapping(
+                Topology(2), {1: 1.0, 2: 1.0, 3: 1.0}
+            )
+
+    def test_uniform_too_few_nodes_message(self):
+        with pytest.raises(
+            MappingError, match=r"2 nodes cannot host 3 modules"
+        ):
+            uniform_mapping(Topology(2), num_modules=3)
 
 
 class TestModuleMapping:
