@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Fail CI when a benchmark point regresses against the committed baseline.
+
+Compares two ``python -m repro bench --smoke --json`` documents — the
+committed ``BENCH_smoke.json`` baseline and a freshly-measured run — and
+exits non-zero if any point's wall-clock time regressed by more than the
+threshold (default 25%).
+
+Two guards keep the check meaningful on shared CI runners:
+
+* **Machine normalisation** — the fresh run is rescaled by the median
+  fresh/baseline ratio over the trustworthy points, so a uniformly
+  slower runner does not fail every point.  The factor is clamped to
+  [0.5, 2.0]: a *code* change that slows everything by more than 2x
+  cannot hide behind the normalisation.
+* **Noise floor** — points faster than the floor (default 50 ms) on
+  both sides are timer noise at smoke scale and are skipped.
+
+Points present only on one side are reported but never fatal: scenario
+families grow PR by PR, and the next baseline refresh picks them up.
+
+Refresh the baseline after an intentional perf change with::
+
+    PYTHONPATH=src python -m repro bench --smoke --json > BENCH_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_points(path: str) -> dict[str, float]:
+    """Flatten a bench JSON document to ``{scenario/label: elapsed_s}``."""
+    with open(path) as handle:
+        document = json.load(handle)
+    points: dict[str, float] = {}
+    for scenario, records in document.items():
+        for record in records:
+            elapsed = record.get("elapsed_s")
+            if elapsed is None:  # cached points carry no timing
+                continue
+            points[f"{scenario}/{record['label']}"] = float(elapsed)
+    return points
+
+
+def machine_factor(
+    baseline: dict[str, float], fresh: dict[str, float], floor: float
+) -> float:
+    ratios = [
+        fresh[name] / baseline[name]
+        for name in baseline.keys() & fresh.keys()
+        if baseline[name] >= floor and fresh[name] > 0.0
+    ]
+    if not ratios:
+        return 1.0
+    return min(2.0, max(0.5, statistics.median(ratios)))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_smoke.json")
+    parser.add_argument("fresh", help="freshly measured bench JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=1.25,
+        help="fail when normalised fresh/baseline exceeds this (1.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=0.05, metavar="SECONDS",
+        help="skip points faster than this on both sides (timer noise)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_points(args.baseline)
+    fresh = load_points(args.fresh)
+    if not baseline:
+        print(f"error: no timed points in baseline {args.baseline}")
+        return 2
+    if not fresh:
+        print(
+            f"error: no timed points in {args.fresh} — was the fresh "
+            "bench run with a warm cache?"
+        )
+        return 2
+
+    scale = machine_factor(baseline, fresh, args.floor)
+    print(f"machine factor {scale:.3f} (fresh times divided by this)")
+
+    failures: list[str] = []
+    for name in sorted(baseline):
+        if name not in fresh:
+            print(f"  skip  {name}: missing from fresh run")
+            continue
+        base_s, fresh_s = baseline[name], fresh[name]
+        if base_s < args.floor and fresh_s < args.floor:
+            continue
+        ratio = (fresh_s / scale) / base_s
+        verdict = "FAIL" if ratio > args.threshold else "ok"
+        print(
+            f"  {verdict:>4}  {name}: {base_s:.3f}s -> {fresh_s:.3f}s "
+            f"(normalised x{ratio:.2f})"
+        )
+        if ratio > args.threshold:
+            failures.append(name)
+    for name in sorted(fresh.keys() - baseline.keys()):
+        print(f"  new   {name}: {fresh[name]:.3f}s (no baseline yet)")
+
+    if failures:
+        print(
+            f"\n{len(failures)} point(s) regressed beyond "
+            f"x{args.threshold:.2f}: {', '.join(failures)}"
+        )
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from .analysis.tables import format_table
 from .analysis.theory import bound_for
 from .battery.thin_film import ThinFilmBattery, ThinFilmParameters
 from .config import (
+    ENGINE_NAMES,
     MAPPING_STRATEGIES,
     PlatformConfig,
     SimulationConfig,
@@ -191,6 +192,15 @@ def _harvest_config(args: argparse.Namespace) -> HarvestConfig:
     )
 
 
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="auto",
+        help="simulation engine (default auto = the workload kind's "
+        "historical engine; vector = the frame-batched NumPy engine "
+        "for large fabrics)",
+    )
+
+
 def _add_mapping_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mapping", choices=MAPPING_STRATEGIES, default="checkerboard",
@@ -230,6 +240,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         routing=args.routing,
         wear_aware=args.wear_weight,
         harvest_aware=args.harvest_weight,
+        engine=args.engine,
     )
     stats = run_simulation(config)
     if args.json:
@@ -284,6 +295,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         harvest=_harvest_config(args),
         wear_aware=args.wear_weight,
         harvest_aware=args.harvest_weight,
+        engine=args.engine,
     )
     widths = tuple(range(args.min_mesh, args.max_mesh + 1))
     results = sweep_mesh_sizes(
@@ -329,12 +341,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # every scenario; fault and harvest scenarios (fig7-faulty,
     # harvest-motion, ...) override the profile with their own
     # schedules, and the mapping scenario overrides the strategy.
+    # Scenarios that exist to compare engines (engine-speed,
+    # vector-mesh) pin their own engine per point and win over this
+    # base value.
     base = SimulationConfig(
         platform=PlatformConfig(mapping_strategy=args.mapping),
         faults=_fault_config(args),
         harvest=_harvest_config(args),
         wear_aware=args.wear_weight,
         harvest_aware=args.harvest_weight,
+        engine=args.engine,
     )
     runner = _make_runner(args)
     cache = runner.cache
@@ -343,7 +359,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for name in names:
         points = build_scenario(name, scale=scale, base=base)
         records = runner.run(points)
-        emitted[name] = [record.record() for record in records]
+        emitted[name] = [record.record(timing=True) for record in records]
         if not args.json:
             rows = [
                 (
@@ -491,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--battery", choices=("thin-film", "ideal"), default="thin-film"
     )
     _add_mapping_argument(simulate)
+    _add_engine_argument(simulate)
     simulate.add_argument("--seed", type=int, default=2005)
     simulate.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
@@ -503,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--min-mesh", type=int, default=4)
     sweep.add_argument("--max-mesh", type=int, default=8)
     _add_mapping_argument(sweep)
+    _add_engine_argument(sweep)
     _add_runner_arguments(sweep)
     _add_fault_arguments(sweep)
     _add_harvest_arguments(sweep)
@@ -531,6 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit records as JSON"
     )
     _add_mapping_argument(bench)
+    _add_engine_argument(bench)
     _add_runner_arguments(bench)
     _add_fault_arguments(bench)
     _add_harvest_arguments(bench)

@@ -64,6 +64,11 @@ MAPPING_STRATEGIES = (
 #: Routing algorithm identifiers.
 ROUTING_ALGORITHMS = ("ear", "sdr")
 
+#: Engine identifiers accepted by :attr:`SimulationConfig.engine`.
+#: ``"auto"`` resolves from the workload kind (the pre-registry
+#: behaviour); the concrete names index ``repro.sim.ENGINE_REGISTRY``.
+ENGINE_NAMES = ("auto", "sequential", "concurrent", "vector")
+
 #: Default per-operation computation latencies in cycles, per module.
 #: Scaled against the measured module energies at a ~10 mW class power
 #: envelope; absolute values only affect time interleaving, not energy.
@@ -388,6 +393,12 @@ class SimulationConfig:
             degenerates to reactive EAR).
         harvest_quantum: Smoothed income (pJ/frame) per quantised
             income level.
+        engine: Simulation engine to run this configuration on — one of
+            :data:`ENGINE_NAMES`.  ``"auto"`` (the default) picks the
+            engine matching the workload kind, which is exactly what
+            every pre-registry configuration got; name an engine
+            explicitly to override (e.g. ``"vector"`` for the
+            NumPy frame-batch engine on large fabrics).
     """
 
     platform: PlatformConfig = field(default_factory=PlatformConfig)
@@ -403,12 +414,18 @@ class SimulationConfig:
     harvest_aware: bool = False
     harvest_q: float = DEFAULT_HARVEST_Q
     harvest_quantum: float = DEFAULT_HARVEST_QUANTUM
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.routing not in ROUTING_ALGORITHMS:
             raise ConfigurationError(
                 f"unknown routing algorithm {self.routing!r}; expected "
                 f"one of {ROUTING_ALGORITHMS}"
+            )
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{ENGINE_NAMES}"
             )
         if self.weight_q <= 0:
             raise ConfigurationError("weight Q must be positive")
@@ -420,6 +437,22 @@ class SimulationConfig:
             raise ConfigurationError("harvest Q must be >= 1")
         if self.harvest_quantum <= 0:
             raise ConfigurationError("harvest quantum must be positive")
+
+    def resolved_engine(self) -> str:
+        """The concrete engine name this configuration runs on.
+
+        ``"auto"`` resolves from the workload kind — sequential
+        workloads ran on the sequential engine and concurrent workloads
+        on the concurrent engine long before engines were selectable,
+        and ``"auto"`` preserves exactly that behaviour.
+        """
+        if self.engine != "auto":
+            return self.engine
+        return (
+            "concurrent"
+            if self.workload.kind == "concurrent"
+            else "sequential"
+        )
 
     def weight_function(self) -> BatteryWeightFunction:
         return BatteryWeightFunction(
@@ -541,4 +574,5 @@ class SimulationConfig:
             harvest_quantum=data.get(
                 "harvest_quantum", DEFAULT_HARVEST_QUANTUM
             ),
+            engine=data.get("engine", "auto"),
         )

@@ -64,16 +64,24 @@ def floyd_warshall_successors(
 
     distances = weights.copy()
     successors = _initial_successors(weights)
+    # Reusable buffers: the k-loop runs K times over K^2 entries, so the
+    # per-iteration allocations of the naive np.where formulation cost
+    # more than the arithmetic on large fabrics.  Semantics are
+    # unchanged: strict `<` replaces, ties keep the incumbent.
+    through_k = np.empty_like(distances)
+    better = np.empty(distances.shape, dtype=bool)
+    successor_col = np.empty(size, dtype=np.int64)
     for k in range(size):
-        through_k = distances[:, k : k + 1] + distances[k : k + 1, :]
-        better = through_k < distances
+        np.add.outer(distances[:, k], distances[k, :], out=through_k)
+        np.less(through_k, distances, out=better)
         if not better.any():
             continue
-        distances = np.where(better, through_k, distances)
-        successors = np.where(
-            better, np.broadcast_to(successors[:, k : k + 1], (size, size)),
-            successors,
-        )
+        np.copyto(distances, through_k, where=better)
+        # Snapshot column k before writing: better[:, k] is always False
+        # (through_k[:, k] == distances[:, k]), but copyto would other-
+        # wise read from the array it is writing.
+        successor_col[:] = successors[:, k]
+        np.copyto(successors, successor_col[:, None], where=better)
     return distances, successors
 
 

@@ -108,6 +108,58 @@ def select_destinations(
     Among the remainder the least distance wins, ties broken by the
     lowest node id so results are deterministic.  A node that itself
     implements module ``i`` selects itself (distance 0) unless dead.
+
+    Vectorised over the node axis: one masked ``argmin`` per module
+    replaces the per-(node, duplicate) Python loop, which dominated
+    routing recomputation on 16x16+ fabrics together with phase 2.
+    ``argmin`` returns the first minimum in candidate order, which is
+    exactly the scalar rule (strict ``<`` keeps the earliest candidate,
+    and duplicate sets are listed in ascending node id).
+    :func:`reference_select_destinations` keeps the literal transcription
+    as the semantic oracle the vectorised path is tested against.
+    """
+    mapping = view.mapping
+    size = view.num_nodes
+    destinations = np.full(
+        (size, mapping.num_modules + 1), NO_DESTINATION, dtype=np.int64
+    )
+    blocked = view.blocked_ports
+    node_ids = np.arange(size)
+    for module in range(1, mapping.num_modules + 1):
+        candidates = [
+            dup for dup in mapping.duplicates(module) if view.alive[dup]
+        ]
+        if not candidates:
+            continue  # whole module dead: leave NO_DESTINATION sentinels
+        cand = np.asarray(candidates, dtype=np.int64)
+        dist = distances[:, cand].copy()
+        first_hops = successors[:, cand]
+        # A candidate is skipped when its distance is not finite, or —
+        # for non-self choices — when the first hop is missing or the
+        # (node, first_hop) port is reported deadlocked.
+        invalid = ~np.isfinite(dist)
+        non_self = node_ids[:, None] != cand[None, :]
+        invalid |= non_self & (first_hops == NO_SUCCESSOR)
+        for b_node, b_hop in blocked:
+            invalid[b_node] |= non_self[b_node] & (first_hops[b_node] == b_hop)
+        dist[invalid] = np.inf
+        best_idx = np.argmin(dist, axis=1)
+        feasible = view.alive & np.isfinite(dist[node_ids, best_idx])
+        destinations[:, module] = np.where(
+            feasible, cand[best_idx], NO_DESTINATION
+        )
+    return destinations
+
+
+def reference_select_destinations(
+    view: NetworkView,
+    distances: np.ndarray,
+    successors: np.ndarray,
+) -> np.ndarray:
+    """Literal per-(node, duplicate) transcription of the Fig 6 walk.
+
+    O(K * |S_i|) in pure Python — test/reference use only, mirroring
+    :func:`~repro.core.floyd_warshall.reference_floyd_warshall`.
     """
     mapping = view.mapping
     size = view.num_nodes
@@ -120,7 +172,7 @@ def select_destinations(
             dup for dup in mapping.duplicates(module) if view.alive[dup]
         ]
         if not candidates:
-            continue  # whole module dead: leave NO_DESTINATION sentinels
+            continue
         for node in range(size):
             if not view.alive[node]:
                 continue

@@ -52,9 +52,25 @@ DEFAULT_CACHE_DIR = ".etsim_cache"
 
 
 def config_hash(config: SimulationConfig) -> str:
-    """Stable content hash of one simulation configuration."""
+    """Stable content hash of one simulation configuration.
+
+    The ``engine`` field is normalised out of the payload whenever it
+    resolves to the same engine ``"auto"`` would pick: those runs are
+    identical simulations, and entries cached before the field existed
+    (whose serialised form had no ``engine`` key) must keep hitting.
+    Only a genuinely overriding engine choice (e.g. ``"vector"`` on a
+    sequential workload) enters the hash.
+    """
+    data = config.to_dict()
+    auto = (
+        "concurrent"
+        if config.workload.kind == "concurrent"
+        else "sequential"
+    )
+    if config.resolved_engine() == auto:
+        data.pop("engine", None)
     payload = json.dumps(
-        {"schema": CACHE_SCHEMA_VERSION, "config": config.to_dict()},
+        {"schema": CACHE_SCHEMA_VERSION, "config": data},
         sort_keys=True,
         separators=(",", ":"),
     )

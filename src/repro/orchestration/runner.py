@@ -14,6 +14,7 @@ always returned in input order regardless of completion order.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -56,6 +57,9 @@ class SweepRecord:
         cached: True when the summary was served from the cache.
         stats: Full statistics object — only available for points that
             were actually executed (None on cache hits).
+        elapsed_s: Wall-clock seconds the point's simulation took —
+            only for executed points (None on cache hits, where the
+            stored timing would describe some other machine/run).
     """
 
     label: str
@@ -64,19 +68,31 @@ class SweepRecord:
     config_hash: str
     cached: bool = False
     stats: SimulationStats | None = None
+    elapsed_s: float | None = None
 
-    def record(self) -> dict:
-        """Flat row for CSV/JSON emission: params merged with summary."""
+    def record(self, timing: bool = False) -> dict:
+        """Flat row for CSV/JSON emission: params merged with summary.
+
+        ``timing=True`` appends ``elapsed_s`` for executed points (the
+        bench emitter wants it; parity tests and cached rows must stay
+        a pure function of the configuration, so it is opt-in).
+        """
         row = dict(self.params)
         row["label"] = self.label
         row.update(self.summary)
+        if timing and self.elapsed_s is not None:
+            row["elapsed_s"] = round(self.elapsed_s, 6)
         return row
 
 
 def execute_point(point: SweepPoint) -> SimulationStats:
     """Run one point's simulation (module-level so it pickles into
-    worker processes)."""
-    return run_simulation(point.config)
+    worker processes).  Wall-clock time lands in ``stats.extra`` so
+    the bench harness can track per-point performance."""
+    start = time.perf_counter()
+    stats = run_simulation(point.config)
+    stats.extra["elapsed_s"] = time.perf_counter() - start
+    return stats
 
 
 class SweepRunner:
@@ -146,6 +162,7 @@ class SweepRunner:
                     config_hash=key,
                     cached=False,
                     stats=stats,
+                    elapsed_s=stats.extra.get("elapsed_s"),
                 )
                 if self.cache is not None:
                     self.cache.store(

@@ -15,22 +15,33 @@ routing):
 * :class:`~repro.sim.concurrent_engine.ConcurrentEngine` — slot-stepped
   engine with finite buffers, link contention and the deadlock-recovery
   protocol, used for the multi-job experiments.
+* :class:`~repro.sim.vector_engine.VectorEngine` — frame-batched NumPy
+  engine for large fabrics (16x16 and beyond): sequential-workload
+  semantics with all battery state in struct-of-arrays banks and one
+  vectorised draw per frame bucket.
 
-:func:`~repro.sim.et_sim.run_simulation` builds a platform from a
-:class:`~repro.config.SimulationConfig` and runs it to system death.
+Engines are selected by name through
+:data:`~repro.sim.registry.ENGINE_REGISTRY`
+(``SimulationConfig.engine``, ``"auto"`` resolving to the workload's
+historical engine).  :func:`~repro.sim.et_sim.run_simulation` builds a
+platform from a :class:`~repro.config.SimulationConfig` and runs it to
+system death.
 """
 
 from .et_sim import EtSim, run_simulation
 from .job import Job
+from .registry import ENGINE_REGISTRY, build_engine
 from .stats import EnergyLedger, NodeStats, SimulationStats
 from .workload import JobFactory
 
 __all__ = [
+    "ENGINE_REGISTRY",
     "EnergyLedger",
     "EtSim",
     "Job",
     "JobFactory",
     "NodeStats",
     "SimulationStats",
+    "build_engine",
     "run_simulation",
 ]

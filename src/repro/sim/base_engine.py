@@ -235,6 +235,46 @@ class EngineBase:
         # raised by fresh charge is reported this very frame.
         if self.harvest_active:
             self._apply_harvest(frame)
+        reports, heartbeats = self._heartbeat_phase()
+        if self._link_report_pending:
+            # A node discovered a dead line since the last frame and
+            # reports it in its upload slot: the controller updates its
+            # length picture (only the *discovered* state) and re-plans
+            # this frame.
+            self.control.update_lengths(self._known_lengths)
+            self._link_report_pending = False
+        if self._track_wear and self.faults.wear_dirty:
+            # Some link crossed a quantised wear level since the last
+            # frame: push the new picture so the controller re-plans
+            # around the wear *before* the line actually severs.
+            self.control.update_wear(
+                self.faults.wear_level_matrix(self.topology.num_nodes)
+            )
+            self.faults.wear_dirty = False
+        if self._track_income and self.harvest.income_dirty:
+            # Some node's smoothed income crossed a quantised level:
+            # the status uploads carry the new rate and the controller
+            # steers traffic toward the energy-rich region.
+            self.control.update_income(
+                self.harvest.income_level_vector(self.topology.num_nodes)
+            )
+            self.harvest.income_dirty = False
+        outcome = self.control.process_frame(frame, reports, heartbeats)
+        self.ledger.add_controller(outcome.controller_energy_pj)
+        if not self.control.alive:
+            raise SystemDead("controller-dead")
+
+    def _heartbeat_phase(self) -> tuple[list[StatusReport], int]:
+        """Per-node upload phase of one frame.
+
+        Every living node pays the upload energy, deadlock flags and
+        level/liveness changes become status reports, and living cells
+        rest for the frame.  Returns the reports plus the heartbeat
+        count the controller bills for.  Overridable: the vector engine
+        replaces the per-node loop with array operations over its
+        battery bank while keeping the observable behaviour (report
+        set, energy ledger, death hooks) identical.
+        """
         reports: list[StatusReport] = []
         heartbeats = 0
         for node in range(self.num_mesh_nodes):
@@ -275,33 +315,7 @@ class EngineBase:
                 )
             if unit.alive:
                 unit.rest(self.schedule.frame_cycles)
-        if self._link_report_pending:
-            # A node discovered a dead line since the last frame and
-            # reports it in its upload slot: the controller updates its
-            # length picture (only the *discovered* state) and re-plans
-            # this frame.
-            self.control.update_lengths(self._known_lengths)
-            self._link_report_pending = False
-        if self._track_wear and self.faults.wear_dirty:
-            # Some link crossed a quantised wear level since the last
-            # frame: push the new picture so the controller re-plans
-            # around the wear *before* the line actually severs.
-            self.control.update_wear(
-                self.faults.wear_level_matrix(self.topology.num_nodes)
-            )
-            self.faults.wear_dirty = False
-        if self._track_income and self.harvest.income_dirty:
-            # Some node's smoothed income crossed a quantised level:
-            # the status uploads carry the new rate and the controller
-            # steers traffic toward the energy-rich region.
-            self.control.update_income(
-                self.harvest.income_level_vector(self.topology.num_nodes)
-            )
-            self.harvest.income_dirty = False
-        outcome = self.control.process_frame(frame, reports, heartbeats)
-        self.ledger.add_controller(outcome.controller_energy_pj)
-        if not self.control.alive:
-            raise SystemDead("controller-dead")
+        return reports, heartbeats
 
     # ------------------------------------------------------------------
     # Fault injection

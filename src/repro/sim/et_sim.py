@@ -1,9 +1,11 @@
 """et_sim facade: build and run a configured platform.
 
-:class:`EtSim` hides the engine selection: the paper's main experiments
-use the sequential workload, the deadlock experiments the concurrent
-one.  :func:`run_simulation` is the one-call entry point used by the
-examples, the benches and the CLI.
+:class:`EtSim` resolves the engine through the registry
+(:data:`~repro.sim.registry.ENGINE_REGISTRY`): ``config.engine`` picks
+it by name, with ``"auto"`` keeping the historical workload-kind
+mapping (the paper's main experiments use the sequential engine, the
+deadlock experiments the concurrent one).  :func:`run_simulation` is
+the one-call entry point used by the examples, the benches and the CLI.
 """
 
 from __future__ import annotations
@@ -20,14 +22,10 @@ class EtSim:
         self.config = config
 
     def build_engine(self):
-        """Instantiate the engine matching the workload kind."""
-        if self.config.workload.kind == "sequential":
-            from .sequential_engine import SequentialEngine
+        """Instantiate the engine ``config.engine`` selects."""
+        from .registry import build_engine
 
-            return SequentialEngine(self.config)
-        from .concurrent_engine import ConcurrentEngine
-
-        return ConcurrentEngine(self.config)
+        return build_engine(self.config)
 
     def run(self) -> SimulationStats:
         """Simulate until system death (or budget) and return statistics."""

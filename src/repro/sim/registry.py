@@ -1,0 +1,62 @@
+"""First-class engine registry.
+
+Engine choice used to be an implicit function of the workload kind,
+buried in ``EtSim.build_engine``.  The registry makes it an explicit,
+extensible mapping from engine *names* to builders, shared by the
+facade, the sweep runner and the CLI: ``SimulationConfig.engine``
+selects by name (``"auto"`` resolving to the workload's historical
+engine), and unknown names fail with the full list of valid ones.
+
+Builders import lazily so ``import repro.sim`` stays cheap and the
+registry never forces NumPy-heavy modules on callers that only need
+the sequential engine.
+"""
+
+from __future__ import annotations
+
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+
+
+def _build_sequential(config: SimulationConfig):
+    from .sequential_engine import SequentialEngine
+
+    return SequentialEngine(config)
+
+
+def _build_concurrent(config: SimulationConfig):
+    from .concurrent_engine import ConcurrentEngine
+
+    return ConcurrentEngine(config)
+
+
+def _build_vector(config: SimulationConfig):
+    from .vector_engine import VectorEngine
+
+    return VectorEngine(config)
+
+
+#: Engine name -> builder taking a :class:`SimulationConfig`.
+ENGINE_REGISTRY = {
+    "sequential": _build_sequential,
+    "concurrent": _build_concurrent,
+    "vector": _build_vector,
+}
+
+
+def build_engine(config: SimulationConfig):
+    """Instantiate the engine ``config`` selects, via the registry.
+
+    Resolves ``"auto"`` through
+    :meth:`~repro.config.SimulationConfig.resolved_engine` and rejects
+    unknown names with the list of registered ones.
+    """
+    name = config.resolved_engine()
+    try:
+        builder = ENGINE_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; registered engines: "
+            f"{sorted(ENGINE_REGISTRY)}"
+        ) from None
+    return builder(config)

@@ -1,0 +1,459 @@
+"""Struct-of-arrays battery banks for the vector engine.
+
+The scalar battery models (:mod:`repro.battery`) hold one Python object
+per cell, which is exactly right for the per-draw engines but wastes the
+frame-batched structure of the vector engine: there, every mesh cell
+performs the *same* operation per frame (absorb the frame's load, accept
+income, rest), so the state lives better as NumPy arrays with one
+vectorised update per frame.
+
+Each bank mirrors the corresponding scalar model's arithmetic line by
+line — EMA smoothing, discharge-curve interpolation, rate-capacity
+penalty, death conditions — so a bank cell and a scalar cell fed the
+same draw sequence agree to float precision (pinned by the unit tests).
+Scalar access stays available two ways:
+
+* ``draw_one`` / ``recharge_one`` / ``rest_one`` operate on a single
+  index with the exact scalar code path (used by the inherited
+  power-sharing pass, which transfers between individual cells), and
+* :class:`BankBatteryView` adapts one bank index to the
+  :class:`~repro.battery.base.Battery` interface, so everything written
+  against per-node batteries (finalisation, conservation tests,
+  examples) reads bank-backed nodes unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+
+from ..battery.base import Battery, DrawResult
+from ..battery.ideal import DEFAULT_VOLTAGE
+from ..battery.thin_film import _PJ_PER_CYCLE_TO_MW, ThinFilmParameters
+from ..errors import BatteryError, ConfigurationError
+
+
+class BankBatteryView(Battery):
+    """One bank index presented through the scalar Battery interface."""
+
+    def __init__(self, bank: "IdealBatteryBank | ThinFilmBatteryBank", index: int):
+        self._bank = bank
+        self._index = index
+
+    @property
+    def nominal_capacity_pj(self) -> float:
+        return self._bank.capacity_pj
+
+    @property
+    def delivered_pj(self) -> float:
+        return float(self._bank.delivered[self._index])
+
+    @property
+    def recharged_pj(self) -> float:
+        return float(self._bank.recharged[self._index])
+
+    @property
+    def consumed_pj(self) -> float:
+        return self._bank.consumed_one(self._index)
+
+    @property
+    def loss_pj(self) -> float:
+        return self._bank.loss_one(self._index)
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._bank.alive[self._index])
+
+    @property
+    def voltage(self) -> float:
+        return self._bank.voltage_one(self._index)
+
+    @property
+    def state_of_charge(self) -> float:
+        return self._bank.soc_one(self._index)
+
+    def draw(self, energy_pj: float, duration_cycles: float) -> DrawResult:
+        return self._bank.draw_one(self._index, energy_pj, duration_cycles)
+
+    def recharge(self, energy_pj: float) -> float:
+        return self._bank.recharge_one(self._index, energy_pj)
+
+    def rest(self, duration_cycles: float) -> None:
+        self._bank.rest_one(self._index, duration_cycles)
+
+
+def _check_draw_args(energy_pj: float, duration_cycles: float) -> None:
+    if energy_pj < 0:
+        raise ConfigurationError(f"cannot draw negative energy {energy_pj}")
+    if duration_cycles <= 0:
+        raise ConfigurationError(
+            f"draw duration must be positive, got {duration_cycles}"
+        )
+
+
+class IdealBatteryBank:
+    """Array-of-cells version of :class:`~repro.battery.ideal.IdealBattery`."""
+
+    def __init__(
+        self,
+        count: int,
+        capacity_pj: float,
+        voltage: float = DEFAULT_VOLTAGE,
+    ):
+        if capacity_pj <= 0:
+            raise ConfigurationError("battery capacity must be positive")
+        self.capacity_pj = float(capacity_pj)
+        self._voltage = float(voltage)
+        self.delivered = np.zeros(count, dtype=float)
+        self.recharged = np.zeros(count, dtype=float)
+        self.alive = np.ones(count, dtype=bool)
+
+    # -- vector operations (one call per frame) -------------------------
+    def draw(
+        self, requests: np.ndarray, durations: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``requests[i]`` pJ from every cell; zero requests and
+        dead cells are untouched.  Returns ``(delivered, died)``."""
+        active = self.alive & (requests > 0.0)
+        available = self.capacity_pj - (self.delivered - self.recharged)
+        delivered = np.where(
+            active, np.minimum(requests, available), 0.0
+        )
+        self.delivered += delivered
+        died = active & (
+            self.delivered - self.recharged >= self.capacity_pj - 1e-9
+        )
+        self.alive &= ~died
+        return delivered, died
+
+    def recharge(
+        self, offers: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        """Accept up to ``offers[i]`` into each masked living cell."""
+        ok = mask & self.alive & (offers > 0.0)
+        headroom = np.maximum(0.0, self.delivered - self.recharged)
+        accepted = np.where(ok, np.minimum(offers, headroom), 0.0)
+        self.recharged += accepted
+        return accepted
+
+    def rest(self, duration_cycles: float, mask: np.ndarray) -> None:
+        """No-op: an ideal cell has no load-history state."""
+
+    def soc_vector(self) -> np.ndarray:
+        consumed = self.delivered - self.recharged
+        return np.minimum(1.0, np.maximum(0.0, 1.0 - consumed / self.capacity_pj))
+
+    # -- scalar access (power sharing, views) ---------------------------
+    def consumed_one(self, i: int) -> float:
+        return float(self.delivered[i] - self.recharged[i])
+
+    def loss_one(self, i: int) -> float:
+        return 0.0
+
+    def voltage_one(self, i: int) -> float:
+        return self._voltage if self.alive[i] else 0.0
+
+    def soc_one(self, i: int) -> float:
+        return min(1.0, max(0.0, 1.0 - self.consumed_one(i) / self.capacity_pj))
+
+    def draw_one(
+        self, i: int, energy_pj: float, duration_cycles: float
+    ) -> DrawResult:
+        if not self.alive[i]:
+            raise BatteryError("cannot draw from a dead battery")
+        _check_draw_args(energy_pj, duration_cycles)
+        available = self.capacity_pj - self.consumed_one(i)
+        delivered = min(energy_pj, available)
+        self.delivered[i] += delivered
+        died = self.consumed_one(i) >= self.capacity_pj - 1e-9
+        if died:
+            self.alive[i] = False
+        return DrawResult(
+            requested_pj=energy_pj,
+            delivered_pj=delivered,
+            died=died,
+            voltage=self._voltage,
+        )
+
+    def recharge_one(self, i: int, energy_pj: float) -> float:
+        if energy_pj < 0:
+            raise ConfigurationError(
+                f"cannot recharge negative energy {energy_pj}"
+            )
+        if not self.alive[i]:
+            return 0.0
+        accepted = min(energy_pj, max(0.0, self.consumed_one(i)))
+        self.recharged[i] += accepted
+        return accepted
+
+    def rest_one(self, i: int, duration_cycles: float) -> None:
+        if duration_cycles < 0:
+            raise ConfigurationError(
+                f"rest duration must be non-negative, got {duration_cycles}"
+            )
+
+
+class ThinFilmBatteryBank:
+    """Array-of-cells version of
+    :class:`~repro.battery.thin_film.ThinFilmBattery`."""
+
+    def __init__(self, count: int, params: ThinFilmParameters):
+        self._p = params
+        self.capacity_pj = params.capacity_pj
+        self.consumed = np.zeros(count, dtype=float)
+        self.delivered = np.zeros(count, dtype=float)
+        self.recharged = np.zeros(count, dtype=float)
+        self.ema = np.zeros(count, dtype=float)
+        self.alive = np.ones(count, dtype=bool)
+        # Discharge-curve knots as arrays for the vectorised lookup.
+        self._dods = np.array([p[0] for p in params.profile.points])
+        self._volts = np.array([p[1] for p in params.profile.points])
+        self._max_knot = len(self._dods) - 1
+        # Running knot minimum: ``_volts_cummin[k]`` bounds the curve
+        # from below on every DoD up to knot ``k`` without assuming the
+        # profile is monotonic — the healthy-bank fast path in ``draw``
+        # uses it to prove no cell can be near the cutoff.
+        self._volts_cummin = np.minimum.accumulate(self._volts)
+
+    @property
+    def parameters(self) -> ThinFilmParameters:
+        return self._p
+
+    # -- vectorised discharge curve -------------------------------------
+    def _voltage_at(self, dod: np.ndarray) -> np.ndarray:
+        """Piecewise-linear ``V_oc(DoD)``, vectorised.
+
+        Interpolates with the same association order as the scalar
+        ``DischargeProfile.voltage_at`` (``v0 + frac * (v1 - v0)``) so
+        both paths round identically; out-of-range values clamp to the
+        curve ends, exactly like the scalar early returns.  Built from
+        direct ufunc/method calls — this sits on the once-per-frame hot
+        path and the ``np.clip``-style wrappers dominate at mesh-sized
+        arrays.
+        """
+        idx = self._dods.searchsorted(dod, side="right")
+        np.minimum(idx, self._max_knot, out=idx)
+        np.maximum(idx, 1, out=idx)
+        lo = idx - 1
+        d0 = self._dods.take(lo)
+        d1 = self._dods.take(idx)
+        v0 = self._volts.take(lo)
+        v1 = self._volts.take(idx)
+        frac = (dod - d0) / (d1 - d0)
+        volts = v0 + frac * (v1 - v0)
+        volts = np.where(dod <= 0.0, self._volts[0], volts)
+        return np.where(dod >= 1.0, self._volts[-1], volts)
+
+    def _ocv_vector(self) -> np.ndarray:
+        dod = np.minimum(1.0, self.consumed / self.capacity_pj)
+        return self._voltage_at(dod)
+
+    def _current_ma_vector(self, ocv: np.ndarray) -> np.ndarray:
+        powered = ocv > 0.0
+        current = self.ema * _PJ_PER_CYCLE_TO_MW
+        np.divide(current, ocv, out=current, where=powered)
+        return np.where(powered, current, 0.0)
+
+    # -- vector operations (one call per frame) -------------------------
+    def draw(
+        self, requests: np.ndarray, durations: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``requests[i]`` pJ over ``durations[i]`` cycles per cell.
+
+        Zero requests and dead cells are untouched (the scalar model's
+        early returns); everything else is the scalar draw arithmetic
+        applied element-wise.  Returns ``(delivered, died)``.
+        """
+        p = self._p
+        active = self.alive & (requests > 0.0)
+        safe_durations = np.maximum(durations, 1.0)
+        alpha = 1.0 - np.exp(-safe_durations / p.ema_window_cycles)
+        power = requests / safe_durations
+        self.ema = np.where(
+            active, self.ema + alpha * (power - self.ema), self.ema
+        )
+        ocv_before = self._ocv_vector()
+        ratio = self._current_ma_vector(ocv_before) / p.reference_current_ma
+        penalty = 1.0 + p.rate_penalty_coeff * ratio ** p.rate_penalty_exponent
+        charge_needed = requests * penalty
+        available = self.capacity_pj - self.consumed
+
+        exhausted = active & (charge_needed >= available - 1e-9)
+        delivered = np.where(
+            exhausted,
+            np.maximum(0.0, available / penalty),
+            np.where(active, requests, 0.0),
+        )
+        self.consumed = np.where(
+            exhausted,
+            self.capacity_pj,
+            np.where(active, self.consumed + charge_needed, self.consumed),
+        )
+        self.delivered += delivered
+
+        died = exhausted
+        if not self._voltage_safe():
+            ocv_after = self._ocv_vector()
+            sag = (
+                self._current_ma_vector(ocv_after)
+                * p.internal_resistance_ohm
+                / 1e3
+            )
+            loaded = np.maximum(0.0, ocv_after - sag)
+            died = exhausted | (active & (ocv_after < p.cutoff_voltage))
+            if not p.allow_recovery:
+                died |= active & (loaded < p.cutoff_voltage)
+        self.alive &= ~died
+        return delivered, died
+
+    def _voltage_safe(self) -> bool:
+        """True when no cell can possibly be at a fatal voltage.
+
+        Bounds the whole bank by its worst cell: the open-circuit
+        voltage of the deepest discharge (via the running knot minimum,
+        so non-monotonic curves stay safe) minus the sag of the hardest
+        smoothed load.  When even that pessimistic composite clears the
+        cutoff, the per-cell post-draw voltage scan — half the cost of
+        a healthy-bank draw — is provably a no-op and is skipped.
+        """
+        p = self._p
+        dod_max = min(1.0, float(self.consumed.max()) / self.capacity_pj)
+        knot = int(self._dods.searchsorted(dod_max, side="right")) - 1
+        knot = max(0, min(knot, self._max_knot))
+        ocv_floor = min(
+            float(self._volts_cummin[knot]), p.profile.voltage_at(dod_max)
+        )
+        if ocv_floor <= 0.0:
+            return False
+        sag_ceiling = (
+            float(self.ema.max())
+            * _PJ_PER_CYCLE_TO_MW
+            / ocv_floor
+            * p.internal_resistance_ohm
+            / 1e3
+        )
+        return ocv_floor - sag_ceiling >= p.cutoff_voltage + 1e-9
+
+    def recharge(
+        self, offers: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        """Roll depth of discharge back by the accepted income."""
+        ok = mask & self.alive & (offers > 0.0)
+        headroom = np.maximum(0.0, self.consumed)
+        accepted = np.where(ok, np.minimum(offers, headroom), 0.0)
+        self.consumed -= accepted
+        self.recharged += accepted
+        return accepted
+
+    def rest(self, duration_cycles: float, mask: np.ndarray) -> None:
+        if duration_cycles <= 0:
+            return
+        decay = math.exp(-duration_cycles / self._p.ema_window_cycles)
+        self.ema = np.where(mask, self.ema * decay, self.ema)
+
+    def soc_vector(self) -> np.ndarray:
+        return 1.0 - np.minimum(1.0, self.consumed / self.capacity_pj)
+
+    # -- scalar access (power sharing, views) ---------------------------
+    def consumed_one(self, i: int) -> float:
+        return float(self.consumed[i])
+
+    def loss_one(self, i: int) -> float:
+        return float(self.consumed[i] + self.recharged[i] - self.delivered[i])
+
+    def _ocv_one(self, i: int) -> float:
+        dod = min(1.0, float(self.consumed[i]) / self.capacity_pj)
+        return self._p.profile.voltage_at(dod)
+
+    def _current_ma_one(self, i: int, ocv: float) -> float:
+        if ocv <= 0:
+            return 0.0
+        return float(self.ema[i]) * _PJ_PER_CYCLE_TO_MW / ocv
+
+    def _loaded_one(self, i: int, ocv: float) -> float:
+        sag = self._current_ma_one(i, ocv) * self._p.internal_resistance_ohm / 1e3
+        return max(0.0, ocv - sag)
+
+    def voltage_one(self, i: int) -> float:
+        if not self.alive[i]:
+            return 0.0
+        return self._loaded_one(i, self._ocv_one(i))
+
+    def soc_one(self, i: int) -> float:
+        return 1.0 - min(1.0, float(self.consumed[i]) / self.capacity_pj)
+
+    def draw_one(
+        self, i: int, energy_pj: float, duration_cycles: float
+    ) -> DrawResult:
+        if not self.alive[i]:
+            raise BatteryError("cannot draw from a dead battery")
+        _check_draw_args(energy_pj, duration_cycles)
+        if energy_pj == 0:
+            return DrawResult(0.0, 0.0, died=False, voltage=self.voltage_one(i))
+        p = self._p
+        alpha = 1.0 - math.exp(-duration_cycles / p.ema_window_cycles)
+        self.ema[i] += alpha * (energy_pj / duration_cycles - self.ema[i])
+        ocv_before = self._ocv_one(i)
+        ratio = self._current_ma_one(i, ocv_before) / p.reference_current_ma
+        penalty = (
+            1.0 + p.rate_penalty_coeff * ratio ** p.rate_penalty_exponent
+        )
+        charge_needed = energy_pj * penalty
+        available = self.capacity_pj - float(self.consumed[i])
+
+        exhausted = charge_needed >= available - 1e-9
+        if exhausted:
+            delivered = max(0.0, available / penalty)
+            self.consumed[i] = self.capacity_pj
+        else:
+            delivered = energy_pj
+            self.consumed[i] += charge_needed
+        self.delivered[i] += delivered
+
+        ocv_after = self._ocv_one(i)
+        loaded_voltage = self._loaded_one(i, ocv_after)
+        voltage_death = (
+            not p.allow_recovery and loaded_voltage < p.cutoff_voltage
+        )
+        died = exhausted or voltage_death or ocv_after < p.cutoff_voltage
+        if died:
+            self.alive[i] = False
+        return DrawResult(
+            requested_pj=energy_pj,
+            delivered_pj=delivered,
+            died=died,
+            voltage=loaded_voltage,
+        )
+
+    def recharge_one(self, i: int, energy_pj: float) -> float:
+        if energy_pj < 0:
+            raise ConfigurationError(
+                f"cannot recharge negative energy {energy_pj}"
+            )
+        if not self.alive[i]:
+            return 0.0
+        accepted = min(energy_pj, max(0.0, float(self.consumed[i])))
+        self.consumed[i] -= accepted
+        self.recharged[i] += accepted
+        return accepted
+
+    def rest_one(self, i: int, duration_cycles: float) -> None:
+        if duration_cycles < 0:
+            raise ConfigurationError(
+                f"rest duration must be non-negative, got {duration_cycles}"
+            )
+        if duration_cycles == 0:
+            return
+        self.ema[i] *= math.exp(-duration_cycles / self._p.ema_window_cycles)
+
+
+def build_battery_bank(platform, count: int):
+    """Bank matching ``platform.make_battery()`` for ``count`` cells."""
+    if platform.battery_model == "ideal":
+        return IdealBatteryBank(count, platform.battery_capacity_pj)
+    params = replace(
+        platform.thin_film, capacity_pj=platform.battery_capacity_pj
+    )
+    return ThinFilmBatteryBank(count, params)

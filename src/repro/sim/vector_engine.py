@@ -1,0 +1,431 @@
+"""The vectorised et_sim engine (frame-batched NumPy state).
+
+Same workload semantics as the sequential engine — one exact job in
+flight, hop-by-hop movement along the routing tables, TDMA control
+frames — but all per-node battery state lives in a struct-of-arrays
+bank (:mod:`repro.sim.vector_bank`) and every energy draw inside a
+frame is *deferred*: hop and compute requests accumulate into per-frame
+buckets and merge with the status-upload energy into a *single*
+vectorised draw at the frame boundary, immediately before the frame's
+fault/harvest/heartbeat processing.  Harvest income lands as one masked
+vector recharge, the heartbeat is an array level-compare, and the
+per-node ledger is merged from arrays once at the end of the run.
+
+The observable protocol is unchanged: the controller sees the same kind
+of status reports (quantised level transitions and deaths), fault
+events apply identically (the schedule is a pure function of the
+configuration), and the conservation identity closes exactly — it is
+re-asserted against the bank arrays at finalisation.  What *does*
+differ from the sequential engine is micro-timing within a frame:
+deaths caused by data/compute draws surface at the frame boundary
+rather than mid-walk, a cell absorbs its whole frame load (data,
+compute and upload together) as one aggregate draw, and the upload
+share lands before the boundary's fault/harvest events instead of
+after, so EMA trajectories (and therefore exact death frames) can
+drift between the engines.  The cross-engine property suite pins
+the quantities that must not drift: delivered jobs under a budget,
+conservation, and fault/harvest event counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..control.controller import StatusReport
+from ..errors import SimulationError
+from .node import NetworkNode
+from .sequential_engine import SequentialEngine
+from .stats import SimulationStats
+from .vector_bank import BankBatteryView, build_battery_bank
+
+
+class VectorNode:
+    """Mesh-node facade over one battery-bank index.
+
+    Mimics the :class:`~repro.sim.node.NetworkNode` surface the shared
+    engine machinery touches (``alive``, ``fault_killed``, ``fail``,
+    ``draw``, ``rest``, ``battery``) while keeping all mutable state in
+    the engine's arrays.
+    """
+
+    __slots__ = ("node_id", "module", "battery", "_alive", "_killed")
+
+    def __init__(
+        self,
+        node_id: int,
+        module: int | None,
+        battery: BankBatteryView,
+        alive: np.ndarray,
+        killed: np.ndarray,
+    ):
+        self.node_id = node_id
+        self.module = module
+        self.battery = battery
+        self._alive = alive
+        self._killed = killed
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._alive[self.node_id]) and not bool(
+            self._killed[self.node_id]
+        )
+
+    @property
+    def fault_killed(self) -> bool:
+        return bool(self._killed[self.node_id])
+
+    def fail(self) -> None:
+        self._killed[self.node_id] = True
+
+    @property
+    def has_infinite_supply(self) -> bool:
+        return False
+
+    @property
+    def state_of_charge(self) -> float:
+        return self.battery.state_of_charge
+
+    @property
+    def infinite_drawn_pj(self) -> float:
+        return 0.0
+
+    def draw(self, energy_pj: float, duration_cycles: float):
+        from ..errors import DeadNodeError
+
+        if not self.alive:
+            raise DeadNodeError(self.node_id, "draw energy")
+        return self.battery.draw(energy_pj, duration_cycles)
+
+    def rest(self, duration_cycles: float) -> None:
+        if self.battery.alive:
+            self.battery.rest(duration_cycles)
+
+    def __repr__(self) -> str:
+        module = f"module={self.module}" if self.module else "relay"
+        state = "alive" if self.alive else "dead"
+        return f"VectorNode({self.node_id}, {module}, {state})"
+
+
+class VectorEngine(SequentialEngine):
+    """Sequential-workload engine with frame-batched vector state."""
+
+    def __init__(self, config):
+        super().__init__(config)
+        mesh = self.num_mesh_nodes
+        self.bank = build_battery_bank(config.platform, mesh)
+        self._killed = np.zeros(mesh, dtype=bool)
+        for node in range(mesh):
+            self.nodes[node] = VectorNode(
+                node,
+                self.mapping.module_of(node),
+                BankBatteryView(self.bank, node),
+                self.bank.alive,
+                self._killed,
+            )
+        # The source keeps its infinite-supply NetworkNode; its draws
+        # are charged live (add_source_tx), never through the bank.
+        assert isinstance(self.nodes[self.source], NetworkNode)
+
+        # Deferred per-node ledger columns, merged once at finalisation.
+        self._data_pj = np.zeros(mesh, dtype=float)
+        self._compute_pj = np.zeros(mesh, dtype=float)
+        self._upload_pj = np.zeros(mesh, dtype=float)
+        self._harvest_pj = np.zeros(mesh, dtype=float)
+        self._packets_sent = np.zeros(mesh, dtype=np.int64)
+        self._packets_relayed = np.zeros(mesh, dtype=np.int64)
+        self._operations = np.zeros(mesh, dtype=np.int64)
+        self._harvest_events = 0
+        self._ledger_merged = False
+
+        # Current frame's draw buckets.
+        self._hop_senders: list[int] = []
+        self._hop_energies: list[float] = []
+        self._hop_relayers: list[int] = []
+        self._compute_nodes: list[int] = []
+        self._compute_energies: list[float] = []
+        self._compute_cycles_acc: list[int] = []
+
+        # Heartbeat state: last reported (level, alive) per node, primed
+        # full/alive exactly like the base tracker.
+        levels = self.quantizer.levels
+        self._last_level = np.full(mesh, levels - 1, dtype=np.int64)
+        self._last_alive = np.ones(mesh, dtype=bool)
+        self._zero_income = [0.0] * mesh
+        # Per-frame constants, hoisted off the flush/heartbeat hot path.
+        self._upload_energy = float(self.schedule.upload_energy_pj)
+        self._upload_cycles = float(self.schedule.upload_slot_cycles)
+        self._frame_rest_cycles = float(self.schedule.frame_cycles)
+        # Upload request/duration vectors only change when the living
+        # set does; every death path funnels through on_node_death,
+        # which drops the cache.
+        self._upload_vectors: tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # Deferred draws
+    # ------------------------------------------------------------------
+    def _transmit(self, sender: int, receiver: int, holder: int) -> bool:
+        """Queue one hop's energy; the draw lands at the frame boundary.
+
+        Always reports survival: a sender whose cell the queued load
+        exhausts dies when the bucket flushes, which the walk observes
+        through its per-iteration liveness checks.
+        """
+        if (sender, receiver) in self.faults.cut_links:
+            raise SimulationError(
+                f"packet transmitted over cut link {sender} -> {receiver}"
+            )
+        length = float(self.lengths[sender, receiver])
+        energy = self._hop_energy_by_length.get(length)
+        if energy is None:
+            energy = self.link_model.hop_energy_pj(length)
+            self._hop_energy_by_length[length] = energy
+        if self._track_wear:
+            self.faults.note_traversal(sender, receiver)
+        unit = self.nodes[sender]
+        if unit.has_infinite_supply:
+            result = unit.draw(energy, self.hop_cycles)
+            self.ledger.add_source_tx(result.delivered_pj)
+        else:
+            self._hop_senders.append(sender)
+            self._hop_energies.append(energy)
+            if sender != holder:
+                self._hop_relayers.append(sender)
+        self.total_hops += 1
+        return True
+
+    def _compute(self, job, node: int, module: int) -> bool:
+        """Queue the operation's energy and execute the transform.
+
+        The energy draw lands with the frame flush; if advancing the
+        module latency crossed a frame boundary and the flush (or a
+        fault) killed the node, the result is wasted and the operation
+        retries from the holder — the sequential engine's rule.
+        """
+        energy = self._module_energy(module)
+        cycles = self._compute_cycles(module)
+        self._compute_nodes.append(node)
+        self._compute_energies.append(energy)
+        self._compute_cycles_acc.append(cycles)
+        self._operations[node] += 1
+        self._advance_time(cycles)
+        if not self.nodes[node].alive:
+            return False
+        job.execute_current(node)
+        return True
+
+    def _flush_buckets(self, upload: bool = False) -> None:
+        """Apply the frame's whole load as one vectorised draw.
+
+        Hop and compute buckets — plus, at a frame boundary, every
+        living unit's status-upload energy — merge into a single
+        per-node ``(request, duration)`` pair, so a cell absorbs its
+        frame as one aggregate draw.  Delivered energy is split back
+        into the ledger's data/compute/upload columns in proportion to
+        what each category requested; for every surviving cell the
+        factor is exactly 1, so attribution only approximates on the
+        (rare) draw that exhausts a cell mid-frame.
+        """
+        mesh = self.num_mesh_nodes
+        bank = self.bank
+        if upload:
+            if self._upload_vectors is None:
+                unit_alive = bank.alive & ~self._killed
+                self._upload_vectors = (
+                    np.where(unit_alive, self._upload_energy, 0.0),
+                    np.where(unit_alive, self._upload_cycles, 0.0),
+                )
+            upload_req, upload_dur = self._upload_vectors
+            requests = upload_req.copy()
+            durations = upload_dur.copy()
+        else:
+            if not self._hop_senders and not self._compute_nodes:
+                return
+            upload_req = None
+            requests = np.zeros(mesh, dtype=float)
+            durations = np.zeros(mesh, dtype=float)
+        data_req = None
+        if self._hop_senders:
+            senders = np.asarray(self._hop_senders, dtype=np.int64)
+            energies = np.asarray(self._hop_energies, dtype=float)
+            data_req = np.zeros(mesh, dtype=float)
+            np.add.at(data_req, senders, energies)
+            counts = np.zeros(mesh, dtype=np.int64)
+            np.add.at(counts, senders, 1)
+            self._packets_sent += counts
+            if self._hop_relayers:
+                relayers = np.asarray(self._hop_relayers, dtype=np.int64)
+                np.add.at(self._packets_relayed, relayers, 1)
+            requests += data_req
+            durations += counts * float(self.hop_cycles)
+            self._hop_senders.clear()
+            self._hop_energies.clear()
+            self._hop_relayers.clear()
+        compute_req = None
+        if self._compute_nodes:
+            nodes = np.asarray(self._compute_nodes, dtype=np.int64)
+            compute_req = np.zeros(mesh, dtype=float)
+            np.add.at(
+                compute_req,
+                nodes,
+                np.asarray(self._compute_energies, dtype=float),
+            )
+            compute_dur = np.zeros(mesh, dtype=float)
+            np.add.at(
+                compute_dur,
+                nodes,
+                np.asarray(self._compute_cycles_acc, dtype=float),
+            )
+            requests += compute_req
+            durations += compute_dur
+            self._compute_nodes.clear()
+            self._compute_energies.clear()
+            self._compute_cycles_acc.clear()
+        delivered, died = bank.draw(requests, durations)
+        if died.any():
+            # A draw only under-delivers on the cell it exhausts, so
+            # the proportional split is exact everywhere else.
+            factor = delivered / np.where(requests > 0.0, requests, 1.0)
+            if upload_req is not None:
+                self._upload_pj += upload_req * factor
+            if data_req is not None:
+                self._data_pj += data_req * factor
+            if compute_req is not None:
+                self._compute_pj += compute_req * factor
+            for idx in np.flatnonzero(died):
+                self.on_node_death(int(idx))
+        else:
+            if upload_req is not None:
+                self._upload_pj += upload_req
+            if data_req is not None:
+                self._data_pj += data_req
+            if compute_req is not None:
+                self._compute_pj += compute_req
+
+    def on_node_death(self, node: int) -> None:
+        self._upload_vectors = None
+        super().on_node_death(node)
+
+    # ------------------------------------------------------------------
+    # Frame processing overrides
+    # ------------------------------------------------------------------
+    def _run_frame(self, frame: int) -> None:
+        # The frame's accumulated load (including the boundary's status
+        # uploads) must hit the cells before the heartbeat observes
+        # them, so levels and deaths reported this frame reflect the
+        # work done during it.
+        self._flush_buckets(upload=True)
+        super()._run_frame(frame)
+
+    def _heartbeat_phase(self) -> tuple[list[StatusReport], int]:
+        # The upload energy was already part of the frame's merged
+        # draw; the heartbeat proper is only the observation: count the
+        # living units, diff quantised levels against the last report
+        # and let the cells rest.
+        bank = self.bank
+        unit_alive = bank.alive & ~self._killed
+        heartbeats = int(np.count_nonzero(unit_alive))
+        levels = self.quantizer.levels
+        soc = bank.soc_vector()
+        raw = np.minimum(levels - 1, (soc * levels).astype(np.int64))
+        raw = np.where(soc <= 0.0, 0, raw)
+        level = np.where(unit_alive, raw, 0)
+        changed = (level != self._last_level) | (
+            unit_alive != self._last_alive
+        )
+        if changed.any():
+            reports = [
+                StatusReport(
+                    node=int(node),
+                    level=int(level[node]),
+                    alive=bool(unit_alive[node]),
+                )
+                for node in np.flatnonzero(changed)
+            ]
+        else:
+            reports = []
+        self._last_level = level
+        self._last_alive = unit_alive
+        bank.rest(self._frame_rest_cycles, unit_alive)
+        return reports, heartbeats
+
+    def _apply_harvest(self, frame: int) -> None:
+        runtime = self.harvest
+        income = runtime.schedule.income(frame)
+        tracking = self._track_income
+        accepted_list = None
+        if income is not None:
+            offers = np.asarray(income, dtype=float)
+            accepted = self.bank.recharge(offers, ~self._killed)
+            events = int(np.count_nonzero(accepted > 0.0))
+            if events:
+                self._harvest_pj += accepted
+                self._harvest_events += events
+            if tracking:
+                accepted_list = accepted.tolist()
+        if runtime.shares_power:
+            self._apply_power_sharing()
+        if tracking:
+            runtime.observe_frame(
+                accepted_list if accepted_list is not None
+                else self._zero_income
+            )
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def _merge_ledger(self) -> None:
+        """Fold the deferred per-node array columns into the ledger."""
+        if self._ledger_merged:
+            return
+        self._ledger_merged = True
+        ledger = self.ledger
+        ledger.data_tx_pj += float(self._data_pj.sum())
+        ledger.compute_pj += float(self._compute_pj.sum())
+        ledger.upload_pj += float(self._upload_pj.sum())
+        ledger.harvested_pj += float(self._harvest_pj.sum())
+        ledger.harvest_events += self._harvest_events
+        for node in range(self.num_mesh_nodes):
+            stats = ledger.nodes[node]
+            stats.operations += int(self._operations[node])
+            stats.packets_sent += int(self._packets_sent[node])
+            stats.packets_relayed += int(self._packets_relayed[node])
+            stats.data_tx_pj += float(self._data_pj[node])
+            stats.compute_pj += float(self._compute_pj[node])
+            stats.upload_pj += float(self._upload_pj[node])
+            stats.harvested_pj += float(self._harvest_pj[node])
+
+    def _assert_conservation(self) -> None:
+        """Re-derive the energy identity from the bank arrays.
+
+        Everything the cells delivered must appear in the ledger's load
+        buckets, and everything they accepted must be harvest or bus
+        income — the vectorised bookkeeping is only trusted because
+        this closes on every run.
+        """
+        delivered = float(np.sum(self.bank.delivered))
+        recharged = float(np.sum(self.bank.recharged))
+        if not math.isclose(
+            delivered, self.ledger.node_total_pj, rel_tol=1e-9, abs_tol=1e-6
+        ):
+            raise SimulationError(
+                "vector engine conservation violation: cells delivered "
+                f"{delivered} pJ but the ledger booked "
+                f"{self.ledger.node_total_pj} pJ of load"
+            )
+        income = self.ledger.harvested_pj + self.ledger.shared_pj
+        if not math.isclose(recharged, income, rel_tol=1e-9, abs_tol=1e-6):
+            raise SimulationError(
+                "vector engine conservation violation: cells accepted "
+                f"{recharged} pJ but the ledger booked {income} pJ of "
+                "income"
+            )
+
+    def _finalize(
+        self, jobs_completed: int, partial: float, death: str
+    ) -> SimulationStats:
+        self._flush_buckets()
+        self._merge_ledger()
+        self._assert_conservation()
+        return super()._finalize(jobs_completed, partial, death)

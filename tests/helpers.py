@@ -66,6 +66,7 @@ def make_config(
     wear_aware: bool = False,
     harvest: HarvestConfig | None = None,
     harvest_aware: bool = False,
+    engine: str = "auto",
     **workload_kwargs,
 ) -> SimulationConfig:
     """One configuration builder for every engine-driving test.
@@ -105,12 +106,13 @@ def make_config(
         routing=routing,
         wear_aware=wear_aware,
         harvest_aware=harvest_aware,
+        engine=engine,
     )
 
 
 def build_engine(config: SimulationConfig):
-    """The engine matching ``config`` (sequential or concurrent),
-    built but not run — for tests that poke at engine internals."""
+    """The engine ``config`` selects (via the registry), built but not
+    run — for tests that poke at engine internals."""
     from repro.sim.et_sim import EtSim
 
     return EtSim(config).build_engine()

@@ -1,22 +1,27 @@
 """Cross-engine property / metamorphic tests.
 
-The sequential and concurrent engines share one platform
-(``EngineBase``) and differ only in how jobs move.  Until now only the
-golden smoke points pinned their agreement; this module asserts it over
-*randomised* small configurations (Hypothesis):
+The sequential, concurrent and vector engines share one platform
+(``EngineBase``) and differ only in how jobs move and when battery
+draws land.  Until now only the golden smoke points pinned their
+agreement; this module asserts it three-way over *randomised* small
+configurations (Hypothesis):
 
 * **Delivery** — with the concurrent engine throttled to one in-flight
-  job, both engines must complete exactly the same number of jobs under
-  a job budget (and corrupt nothing).
+  job, all three engines must complete exactly the same number of jobs
+  under a job budget (and corrupt nothing).
 * **Conservation** — the energy identity
   ``nominal + harvested == loads + conversion_loss + wasted + stranded``
-  must close on both engines, whatever mix of faults, heterogeneous
+  must close on every engine, whatever mix of faults, heterogeneous
   harvest hardware and multi-hop bus sharing is active.
 * **Event counts** — fault schedules are pure functions of the
-  configuration, so once both runs outlive the last scheduled event
+  configuration, so once the runs outlive the last scheduled event
   they must have applied identical fault counts; harvest events are
   checked against an independent oracle computed from the income
   schedule itself.
+
+The vector engine intentionally batches draws to frame boundaries, so
+EMA trajectories and exact death frames may drift from the sequential
+engine; the properties above are exactly the quantities that must not.
 """
 
 from __future__ import annotations
@@ -27,6 +32,14 @@ from hypothesis import strategies as st
 from helpers import build_engine, make_config
 from repro.faults import FaultConfig
 from repro.harvest import HarvestConfig, HarvestHardware, build_harvest_schedule
+
+#: The three engine variants under comparison, as make_config kwargs:
+#: the vector engine runs the sequential workload, selected by name.
+ENGINE_VARIANTS = {
+    "sequential": {"kind": "sequential", "engine": "sequential"},
+    "concurrent": {"kind": "concurrent", "engine": "concurrent"},
+    "vector": {"kind": "sequential", "engine": "vector"},
+}
 
 
 def harvest_configs(seed: int) -> st.SearchStrategy[HarvestConfig]:
@@ -61,39 +74,39 @@ class TestDeliveryAgreement:
     def test_engines_agree_on_jobs_completed(self, seed, battery, data):
         harvest = data.draw(harvest_configs(seed))
         summaries = {}
-        for kind in ("sequential", "concurrent"):
+        for name, variant in ENGINE_VARIANTS.items():
             config = make_config(
-                kind=kind,
                 concurrency=1,
                 battery=battery,
                 max_jobs=4,
                 seed=seed,
                 harvest=harvest,
+                **variant,
             )
-            summaries[kind] = build_engine(config).run().summary()
-        sequential, concurrent = (
-            summaries["sequential"],
-            summaries["concurrent"],
-        )
-        # Both runs must end on the budget, not on an early death.
-        assume(sequential["death_cause"] == "job-budget")
-        assume(concurrent["death_cause"] == "job-budget")
-        assert sequential["jobs_completed"] == concurrent["jobs_completed"]
-        assert sequential["verification_failures"] == 0
-        assert concurrent["verification_failures"] == 0
+            summaries[name] = build_engine(config).run().summary()
+        # Every run must end on the budget, not on an early death.
+        for summary in summaries.values():
+            assume(summary["death_cause"] == "job-budget")
+        completed = {
+            name: summary["jobs_completed"]
+            for name, summary in summaries.items()
+        }
+        assert len(set(completed.values())) == 1, completed
+        for summary in summaries.values():
+            assert summary["verification_failures"] == 0
 
 
 class TestConservationAgreement:
     @settings(max_examples=12, deadline=None)
     @given(
-        kind=st.sampled_from(["sequential", "concurrent"]),
+        engine_name=st.sampled_from(["sequential", "concurrent", "vector"]),
         battery=st.sampled_from(["ideal", "thin-film"]),
         seed=st.integers(min_value=0, max_value=50_000),
         with_faults=st.booleans(),
         data=st.data(),
     )
     def test_identity_closes_under_the_full_feature_mix(
-        self, kind, battery, seed, with_faults, data
+        self, engine_name, battery, seed, with_faults, data
     ):
         harvest = data.draw(harvest_configs(seed))
         faults = (
@@ -101,14 +114,15 @@ class TestConservationAgreement:
             if with_faults
             else FaultConfig()
         )
+        variant = ENGINE_VARIANTS[engine_name]
         config = make_config(
-            kind=kind,
-            concurrency=2 if kind == "concurrent" else 1,
+            concurrency=2 if variant["kind"] == "concurrent" else 1,
             battery=battery,
             max_jobs=6,
             seed=seed,
             harvest=harvest,
             faults=faults,
+            **variant,
         )
         engine = build_engine(config)
         stats = engine.run()
@@ -143,13 +157,13 @@ class TestEventCountAgreement:
             profile=profile, seed=seed, intensity=2.0, max_link_fraction=0.15
         )
         counters = []
-        for kind in ("sequential", "concurrent"):
+        for variant in ENGINE_VARIANTS.values():
             config = make_config(
-                kind=kind,
                 concurrency=1,
                 max_jobs=10,
                 seed=seed,
                 faults=faults,
+                **variant,
             )
             engine = build_engine(config)
             last_event_frame = max(
@@ -165,17 +179,17 @@ class TestEventCountAgreement:
                     stats.nodes_fault_killed,
                 )
             )
-        assert counters[0] == counters[1]
+        assert counters[0] == counters[1] == counters[2]
 
     @settings(max_examples=10, deadline=None)
     @given(
-        kind=st.sampled_from(["sequential", "concurrent"]),
+        engine_name=st.sampled_from(["sequential", "concurrent", "vector"]),
         profile=st.sampled_from(["motion", "solar"]),
         seed=st.integers(min_value=0, max_value=50_000),
         fraction=st.sampled_from([0.25, 0.5, 1.0]),
     )
     def test_harvest_event_counts_match_the_schedule_oracle(
-        self, kind, profile, seed, fraction
+        self, engine_name, profile, seed, fraction
     ):
         """Each engine's accepted-pulse count is pinned to an oracle
         computed from the income schedule alone: with no deaths and
@@ -199,11 +213,11 @@ class TestEventCountAgreement:
             ),
         )
         config = make_config(
-            kind=kind,
             concurrency=1,
             max_jobs=6,
             seed=seed,
             harvest=harvest,
+            **ENGINE_VARIANTS[engine_name],
         )
         engine = build_engine(config)
         assert harvest.amplitude_pj <= engine.schedule.upload_energy_pj
