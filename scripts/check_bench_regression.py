@@ -33,12 +33,21 @@ import sys
 
 
 def load_points(path: str) -> dict[str, float]:
-    """Flatten a bench JSON document to ``{scenario/label: elapsed_s}``."""
+    """Flatten a bench JSON document to ``{scenario/label: elapsed_s}``.
+
+    Tolerates non-bench keys in the document: fleet bundles (and any
+    future aggregate-shaped sections) are dicts rather than record
+    lists, and carry no per-point timings to guard.
+    """
     with open(path) as handle:
         document = json.load(handle)
     points: dict[str, float] = {}
     for scenario, records in document.items():
+        if not isinstance(records, list):
+            continue
         for record in records:
+            if not isinstance(record, dict) or "label" not in record:
+                continue
             elapsed = record.get("elapsed_s")
             if elapsed is None:  # cached points carry no timing
                 continue

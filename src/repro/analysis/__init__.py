@@ -19,6 +19,7 @@ from .faults import (
     wear_comparison,
     wear_comparison_for,
 )
+from .fleet import fleet_summary
 from .harvest import (
     harvest_aware_twin,
     harvest_comparison,
@@ -45,6 +46,7 @@ __all__ = [
     "fault_free_twin",
     "fault_impact",
     "fault_impact_for",
+    "fleet_summary",
     "format_table",
     "gap_report",
     "harvest_aware_twin",

@@ -1,0 +1,107 @@
+"""Human-readable reporting for fleet aggregate bundles.
+
+The ``fleet`` subcommand's JSON bundle is the machine artifact; this
+module renders the same document the way the per-fabric analyses render
+their tables — metric quantiles, death-cause tallies and an ASCII
+survival curve — so a terminal run of ``python -m repro fleet`` reads
+like the rest of the bench output.
+"""
+
+from __future__ import annotations
+
+from .tables import format_table
+
+
+def _survival_rows(survival: dict, columns: int = 16) -> dict[str, float]:
+    """Down-sample the survival curve to a bar-chart-sized dict.
+
+    Buckets beyond the last death are all zero; the chart stops one
+    column past the last non-zero entry so tiny fleets do not render
+    a hundred empty rows.
+    """
+    survivors = survival["survivors"]
+    edges = survival["edges"]
+    last = 0
+    for index, count in enumerate(survivors):
+        if count > 0:
+            last = index
+    span = last + 1
+    step = max(1, -(-span // columns))
+    rows: dict[str, float] = {}
+    for index in range(0, span, step):
+        rows[f">={edges[index]:g}f"] = float(survivors[index])
+    return rows
+
+
+def fleet_summary(bundle: dict) -> str:
+    """Render one fleet bundle as paper-style tables and charts."""
+    from .ascii_chart import bar_chart
+
+    fleet = bundle["fleet"]
+    aggregate = bundle["aggregate"]
+    run = bundle.get("run", {})
+    stream = bundle.get("stream", {})
+
+    lines = []
+    title = (
+        f"fleet '{fleet['preset']}': {aggregate['count']} garments, "
+        f"seed {fleet['seed']}"
+    )
+    metric_rows = []
+    for name, stat in aggregate["metrics"].items():
+        metric_rows.append(
+            (
+                name,
+                round(stat["mean"], 2),
+                round(stat["min"], 2),
+                round(stat["p5"], 2),
+                round(stat["p50"], 2),
+                round(stat["p95"], 2),
+                round(stat["max"], 2),
+            )
+        )
+    lines.append(
+        format_table(
+            ["metric", "mean", "min", "p5", "p50", "p95", "max"],
+            metric_rows,
+            title=title,
+        )
+    )
+
+    death_rows = sorted(
+        aggregate["death_causes"].items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    if death_rows:
+        lines.append("")
+        lines.append(
+            format_table(["death cause", "garments"], death_rows)
+        )
+
+    survival = aggregate.get("survival")
+    if survival and aggregate["count"]:
+        lines.append("")
+        lines.append(
+            bar_chart(
+                _survival_rows(survival),
+                title="survivors by lifetime (frames)",
+            )
+        )
+
+    stream_stats = stream.get("lifetime_frames") or {}
+    if any(v is not None for v in stream_stats.values()):
+        live = ", ".join(
+            f"{key}={value:.1f}"
+            for key, value in sorted(stream_stats.items())
+            if value is not None
+        )
+        lines.append("")
+        lines.append(f"stream (P2, this run's arrival order): {live}")
+
+    if run:
+        lines.append("")
+        lines.append(
+            f"{run.get('executed', 0)} simulated, {run.get('cached', 0)} "
+            f"cached in {run.get('elapsed_s', 0.0):.1f}s "
+            f"({run.get('workers') or 1} worker(s))"
+        )
+    return "\n".join(lines)

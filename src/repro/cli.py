@@ -7,6 +7,8 @@ Subcommands:
 * ``sweep``         — the Fig 7 EAR-vs-SDR sweep (parallel, cacheable).
 * ``bench``         — run registered sweep scenarios through the
   orchestration layer (``--smoke`` is the CI entry point).
+* ``fleet``         — stream a population-scale fleet of sampled
+  garments through the runner with O(1)-memory aggregation.
 * ``battery-curve`` — print the thin-film discharge curve (Fig 2).
 * ``mapping``       — print the module mapping of a mesh (Fig 3b).
 * ``regen-golden``  — re-run the golden smoke points and rewrite the
@@ -41,6 +43,7 @@ from .harvest import (
 )
 from .mesh.geometry import node_id
 from .orchestration import (
+    CACHE_BACKENDS,
     GOLDEN_SMOKE_POINTS,
     SweepCache,
     build_scenario,
@@ -260,14 +263,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_cache(args: argparse.Namespace) -> SweepCache | None:
+    """The sweep cache selected by --cache/--cache-dir/--cache-backend."""
+    backend = getattr(args, "cache_backend", None)
+    if getattr(args, "cache_dir", None) is not None:
+        return SweepCache(args.cache_dir, backend=backend)
+    if getattr(args, "cache", False):
+        return SweepCache(backend=backend)
+    return None
+
+
 def _make_runner(args: argparse.Namespace):
     """Build the sweep executor selected by --workers/--cache-dir."""
-    cache = None
-    if getattr(args, "cache_dir", None) is not None:
-        cache = SweepCache(args.cache_dir)
-    elif getattr(args, "cache", False):
-        cache = SweepCache()
-    return make_runner(getattr(args, "workers", 1), cache=cache)
+    return make_runner(getattr(args, "workers", 1), cache=_make_cache(args))
 
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -283,6 +291,14 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache", action="store_true",
         help="cache under the default directory "
         "($ETSIM_CACHE_DIR or .etsim_cache)",
+    )
+    parser.add_argument(
+        "--cache-backend", choices=CACHE_BACKENDS, default=None,
+        metavar="LAYOUT",
+        help="cache storage layout: flat (default; one file per entry), "
+        "sharded (two-hex-prefix fan-out for huge caches) or sqlite "
+        "(one database file); $ETSIM_CACHE_BACKEND overrides the "
+        "default",
     )
 
 
@@ -388,6 +404,45 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f" at {cache.directory}"
             )
         print(line)
+    return 0
+
+
+def _fleet_preset_names() -> tuple[str, ...]:
+    from .fleet.distribution import FLEET_PRESETS
+
+    return tuple(FLEET_PRESETS)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .analysis.fleet import fleet_summary
+    from .fleet import FLEET_PRESETS, fleet_bundle, run_fleet
+
+    preset = "smoke" if args.smoke else args.preset
+    distribution = FLEET_PRESETS[preset]
+    size = args.size
+    if size is None:
+        size = 1000 if args.smoke else 256
+    cache = _make_cache(args)
+    result = run_fleet(
+        distribution,
+        size,
+        args.fleet_seed,
+        workers=args.workers,
+        cache=cache,
+        chunk_size=args.chunk,
+    )
+    bundle = fleet_bundle(
+        distribution, size, args.fleet_seed, result, workers=args.workers
+    )
+    if args.json:
+        print(json.dumps(bundle, indent=2, sort_keys=True))
+    else:
+        print(fleet_summary(bundle))
+        if cache is not None:
+            print(
+                f"cache ({cache.backend_name}): {cache.hits} hit(s), "
+                f"{cache.misses} miss(es) at {cache.directory}"
+            )
     return 0
 
 
@@ -554,6 +609,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_arguments(bench)
     _add_harvest_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="population-scale fleet sweep with streaming aggregation",
+    )
+    fleet.add_argument(
+        "--size", type=int, default=None, metavar="N",
+        help="garments in the fleet (default 256, or 1000 with --smoke)",
+    )
+    fleet.add_argument(
+        "--fleet-seed", type=int, default=2005, metavar="S",
+        help="fleet seed; with the preset it fully determines every "
+        "garment (default 2005)",
+    )
+    fleet.add_argument(
+        "--preset", choices=sorted(_fleet_preset_names()),
+        default="default",
+        help="wearer/lot distribution preset (default default)",
+    )
+    fleet.add_argument(
+        "--smoke", action="store_true",
+        help="shorthand for --preset smoke with a 1000-garment default "
+        "size (the CI entry point)",
+    )
+    fleet.add_argument(
+        "--chunk", type=int, default=128, metavar="N",
+        help="garments in flight at once — the memory bound (default 128)",
+    )
+    fleet.add_argument(
+        "--json", action="store_true",
+        help="emit the aggregate bundle as JSON",
+    )
+    _add_runner_arguments(fleet)
+    fleet.set_defaults(func=_cmd_fleet)
 
     curve = sub.add_parser(
         "battery-curve", help="thin-film discharge curve"

@@ -1,0 +1,56 @@
+"""Population-scale fleet sweeps.
+
+One simulation is one garment; production relevance means statistics
+over *millions* of wearers.  This package lifts the per-fabric results
+of the paper (Fig 7/8, Table 2) to population scale:
+
+* :mod:`~repro.fleet.distribution` — deterministic, seedable sampling
+  of per-garment configurations from wearer/lot distributions (fabric
+  size, activity level, wash frequency, harvest-hardware lots, engine
+  mix); every garment reproducible from ``(fleet_seed, index)`` alone;
+* :mod:`~repro.fleet.aggregate` — O(1)-memory streaming statistics
+  (exact sums, P² running percentiles, bucketed survival curves) with
+  an associative, order-independent mergeable core, so shards on
+  separate processes or hosts combine bit-identically;
+* :mod:`~repro.fleet.runner` — the chunked driver that streams any
+  fleet size through the existing sweep runner and cache.
+"""
+
+from .aggregate import (
+    FLEET_METRICS,
+    FLEET_PERCENTILES,
+    FLEET_STATE_SCHEMA,
+    BucketHistogram,
+    ExactSum,
+    FleetAggregator,
+    MetricSpec,
+    MetricStat,
+    P2Quantile,
+)
+from .distribution import FLEET_PRESETS, FleetDistribution
+from .runner import (
+    FLEET_BUNDLE_SCHEMA,
+    FleetRunResult,
+    aggregator_for,
+    fleet_bundle,
+    run_fleet,
+)
+
+__all__ = [
+    "FLEET_BUNDLE_SCHEMA",
+    "FLEET_METRICS",
+    "FLEET_PERCENTILES",
+    "FLEET_PRESETS",
+    "FLEET_STATE_SCHEMA",
+    "BucketHistogram",
+    "ExactSum",
+    "FleetAggregator",
+    "FleetDistribution",
+    "FleetRunResult",
+    "MetricSpec",
+    "MetricStat",
+    "P2Quantile",
+    "aggregator_for",
+    "fleet_bundle",
+    "run_fleet",
+]

@@ -1,0 +1,530 @@
+"""O(1)-memory online statistics for population-scale fleet sweeps.
+
+A fleet run streams thousands to millions of per-garment
+:class:`~repro.orchestration.runner.SweepRecord` summaries through one
+:class:`FleetAggregator`.  Nothing per-garment is retained: the
+aggregator's state is a fixed set of scalars, five-marker quantile
+estimators and fixed-width histograms, so its memory footprint is
+independent of the fleet size.
+
+The state is split into two layers with different guarantees:
+
+* the **canonical** layer — counts, exactly-rounded sums (Shewchuk
+  partials, so floating-point addition order cannot change the result),
+  min/max, death-cause tallies and fixed-bin histograms — is
+  *order-independent* and *mergeable*: feeding the same records in any
+  order, through any shard split, produces a bit-identical
+  :meth:`FleetAggregator.aggregate` document.  This layer is what lands
+  in the exported fleet bundle.
+* the **stream** layer — P² (Jain & Chlamtac) running percentile
+  estimators — is a low-latency live view of the quantiles as the
+  stream arrives.  P² marker updates depend on arrival order by
+  construction, so this view is reported separately
+  (:meth:`FleetAggregator.stream_view`) and is *not* part of the
+  canonical document or of the merge identity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: Version stamp of the serialised aggregator state; bump when the
+#: state layout or the canonical-aggregate fields change.
+FLEET_STATE_SCHEMA = 1
+
+#: The canonical percentiles reported for every metric.
+FLEET_PERCENTILES = (5.0, 50.0, 95.0)
+
+
+# ----------------------------------------------------------------------
+# Exactly-rounded streaming sum
+# ----------------------------------------------------------------------
+class ExactSum:
+    """Order-independent streaming float sum (Shewchuk partials).
+
+    Keeps the running sum as a list of non-overlapping doubles whose
+    mathematical sum is *exact* (the same representation
+    :func:`math.fsum` builds internally).  Because the tracked value is
+    exact, the rounded :attr:`value` cannot depend on the order the
+    addends arrived in — which is what makes fleet aggregation
+    bit-identical across worker counts, completion orders and shard
+    splits.  The partials list is bounded by the exponent range of a
+    double (a few dozen entries), so the state stays O(1).
+    """
+
+    __slots__ = ("partials",)
+
+    def __init__(self, partials: list[float] | None = None):
+        self.partials: list[float] = list(partials or [])
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        i = 0
+        for y in self.partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                self.partials[i] = lo
+                i += 1
+            x = hi
+        del self.partials[i:]
+        self.partials.append(x)
+
+    def merge(self, other: "ExactSum") -> None:
+        """Fold another exact sum in (exact + exact stays exact)."""
+        for partial in other.partials:
+            self.add(partial)
+
+    @property
+    def value(self) -> float:
+        """The exactly-rounded float value of the sum."""
+        return math.fsum(self.partials)
+
+    def to_list(self) -> list[float]:
+        return list(self.partials)
+
+
+# ----------------------------------------------------------------------
+# P² running quantile estimator
+# ----------------------------------------------------------------------
+class P2Quantile:
+    """The P² algorithm (Jain & Chlamtac 1985) for one quantile.
+
+    Tracks five markers whose heights approximate the ``p``-quantile of
+    everything observed so far, in O(1) memory and O(1) time per
+    observation.  Until five observations arrive the estimate is the
+    exact empirical quantile of the buffered values.
+
+    The estimate depends on arrival order (markers move by local
+    parabolic interpolation), so this class powers the *stream view* of
+    a fleet aggregate, never the canonical mergeable document.
+    """
+
+    __slots__ = ("p", "heights", "positions", "desired", "count")
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ConfigurationError(f"quantile must lie in (0, 1), got {p}")
+        self.p = p
+        self.heights: list[float] = []  # buffer until 5, then markers
+        self.positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self.desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self.count = 0
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        if self.count <= 5:
+            self.heights.append(x)
+            if self.count == 5:
+                self.heights.sort()
+            return
+
+        q, n = self.heights, self.positions
+        # Locate the cell and update the extreme markers.
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        increments = (0.0, self.p / 2.0, self.p, (1.0 + self.p) / 2.0, 1.0)
+        for i in range(5):
+            self.desired[i] += increments[i]
+
+        # Nudge the three interior markers toward their desired ranks.
+        for i in (1, 2, 3):
+            d = self.desired[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                d = 1.0 if d > 0 else -1.0
+                candidate = self._parabolic(i, d)
+                if not q[i - 1] < candidate < q[i + 1]:
+                    candidate = self._linear(i, d)
+                q[i] = candidate
+                n[i] += d
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self.heights, self.positions
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d)
+            * (q[i + 1] - q[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d)
+            * (q[i] - q[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self.heights, self.positions
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    def estimate(self) -> float | None:
+        """The current quantile estimate (None before any observation)."""
+        if self.count == 0:
+            return None
+        if self.count <= 5:
+            ordered = sorted(self.heights)
+            rank = self.p * (len(ordered) - 1)
+            low = int(rank)
+            high = min(low + 1, len(ordered) - 1)
+            frac = rank - low
+            value = ordered[low] * (1.0 - frac) + ordered[high] * frac
+            # The lerp can round a hair outside its endpoints
+            # (x*0.95 + x*0.05 need not equal x): clamp it back.
+            return min(max(value, ordered[low]), ordered[high])
+        return self.heights[2]
+
+
+# ----------------------------------------------------------------------
+# Fixed-bin histogram (canonical quantiles + survival curve)
+# ----------------------------------------------------------------------
+class BucketHistogram:
+    """Fixed-width bucket counts over ``[0, buckets * width)``.
+
+    Values at or beyond the last edge land in a single overflow bucket,
+    so the array length never grows.  Counts are integers, which makes
+    merging exact and associative — the canonical quantiles and the
+    survival curve both derive from this structure.
+    """
+
+    __slots__ = ("width", "buckets", "counts")
+
+    def __init__(
+        self,
+        width: float,
+        buckets: int,
+        counts: list[int] | None = None,
+    ):
+        if width <= 0:
+            raise ConfigurationError(f"bucket width must be > 0, got {width}")
+        if buckets < 1:
+            raise ConfigurationError(f"need >= 1 bucket, got {buckets}")
+        self.width = float(width)
+        self.buckets = int(buckets)
+        # counts[buckets] is the overflow bucket.
+        self.counts = list(counts) if counts is not None else [0] * (
+            buckets + 1
+        )
+        if len(self.counts) != self.buckets + 1:
+            raise ConfigurationError(
+                f"histogram needs {self.buckets + 1} counts, "
+                f"got {len(self.counts)}"
+            )
+
+    def add(self, x: float) -> None:
+        index = int(x // self.width) if x > 0 else 0
+        self.counts[min(index, self.buckets)] += 1
+
+    def merge(self, other: "BucketHistogram") -> None:
+        if (self.width, self.buckets) != (other.width, other.buckets):
+            raise ConfigurationError(
+                "cannot merge histograms with different bucketing: "
+                f"{self.width}x{self.buckets} vs {other.width}x{other.buckets}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def quantile(
+        self, q: float, lo: float | None = None, hi: float | None = None
+    ) -> float | None:
+        """Interpolated ``q``-quantile (``q`` in [0, 100]) from counts.
+
+        ``lo``/``hi`` clamp the result to the exact observed min/max
+        (tracked separately by the aggregator), which pins degenerate
+        streams — every value identical — to that value instead of a
+        bucket-interpolated artefact, and bounds the overflow bucket.
+        """
+        total = self.total
+        if total == 0:
+            return None
+        target = q / 100.0 * total
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if cumulative + c >= target:
+                left = i * self.width
+                right = left + self.width
+                if i == self.buckets and hi is not None:
+                    right = max(hi, left)
+                fraction = (target - cumulative) / c
+                value = left + fraction * (right - left)
+                if lo is not None:
+                    value = max(value, lo)
+                if hi is not None:
+                    value = min(value, hi)
+                return value
+            cumulative += c
+        # Only reachable for q == 0 on pathological inputs.
+        return lo
+
+    def survivors(self) -> list[int]:
+        """``survivors[i]`` = observations >= edge ``i * width``.
+
+        Monotone non-increasing by construction (each entry drops the
+        preceding bucket's count), with ``survivors[0]`` == total.
+        """
+        remaining = self.total
+        out = []
+        for c in self.counts:
+            out.append(remaining)
+            remaining -= c
+        return out[: self.buckets + 1]
+
+    def edges(self) -> list[float]:
+        return [i * self.width for i in range(self.buckets + 1)]
+
+
+# ----------------------------------------------------------------------
+# Per-metric stream statistics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricSpec:
+    """Bucketing of one aggregated metric."""
+
+    name: str
+    bucket_width: float
+    buckets: int
+
+
+class MetricStat:
+    """Canonical (mergeable) + stream (P²) statistics of one metric."""
+
+    __slots__ = ("spec", "count", "total", "minimum", "maximum",
+                 "histogram", "p2")
+
+    def __init__(self, spec: MetricSpec):
+        self.spec = spec
+        self.count = 0
+        self.total = ExactSum()
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+        self.histogram = BucketHistogram(spec.bucket_width, spec.buckets)
+        self.p2 = {p: P2Quantile(p / 100.0) for p in FLEET_PERCENTILES}
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        self.total.add(x)
+        self.minimum = x if self.minimum is None else min(self.minimum, x)
+        self.maximum = x if self.maximum is None else max(self.maximum, x)
+        self.histogram.add(x)
+        for estimator in self.p2.values():
+            estimator.add(x)
+
+    def merge(self, other: "MetricStat") -> None:
+        if self.spec != other.spec:
+            raise ConfigurationError(
+                f"cannot merge metric {self.spec} with {other.spec}"
+            )
+        self.count += other.count
+        self.total.merge(other.total)
+        for bound, pick in (("minimum", min), ("maximum", max)):
+            ours, theirs = getattr(self, bound), getattr(other, bound)
+            if theirs is not None:
+                setattr(
+                    self, bound,
+                    theirs if ours is None else pick(ours, theirs),
+                )
+        self.histogram.merge(other.histogram)
+        # P² states are stream-order artefacts; a merged aggregator has
+        # no single stream, so the live view resets (count 0 => None).
+        self.p2 = {p: P2Quantile(p / 100.0) for p in FLEET_PERCENTILES}
+
+    # ------------------------------------------------------------------
+    def canonical(self) -> dict:
+        """Order-independent summary of this metric."""
+        out: dict = {
+            "count": self.count,
+            "mean": self.total.value / self.count if self.count else None,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+        for p in FLEET_PERCENTILES:
+            out[f"p{p:g}"] = self.histogram.quantile(
+                p, lo=self.minimum, hi=self.maximum
+            )
+        return out
+
+    def stream_estimates(self) -> dict:
+        return {f"p{p:g}": est.estimate() for p, est in self.p2.items()}
+
+    def state(self) -> dict:
+        return {
+            "spec": {
+                "name": self.spec.name,
+                "bucket_width": self.spec.bucket_width,
+                "buckets": self.spec.buckets,
+            },
+            "count": self.count,
+            "total_partials": self.total.to_list(),
+            "min": self.minimum,
+            "max": self.maximum,
+            "histogram": list(self.histogram.counts),
+        }
+
+    @classmethod
+    def from_state(cls, raw: dict) -> "MetricStat":
+        spec = MetricSpec(**raw["spec"])
+        stat = cls(spec)
+        stat.count = int(raw["count"])
+        stat.total = ExactSum(raw["total_partials"])
+        stat.minimum = raw["min"]
+        stat.maximum = raw["max"]
+        stat.histogram = BucketHistogram(
+            spec.bucket_width, spec.buckets, raw["histogram"]
+        )
+        return stat
+
+
+# ----------------------------------------------------------------------
+# The fleet aggregator
+# ----------------------------------------------------------------------
+#: The two summary metrics every fleet aggregates.
+FLEET_METRICS = ("lifetime_frames", "jobs_fractional")
+
+
+class FleetAggregator:
+    """Streaming aggregate over per-garment sweep records.
+
+    Consumes records as the runner's progress hook delivers them —
+    completion order, cache-hits-first, shard-local order, anything —
+    and maintains the canonical statistics described in the module
+    docstring.  ``merge`` folds another aggregator (built with the same
+    metric specs) in associatively, so shards running on separate
+    processes or hosts combine into the same canonical aggregate a
+    single stream would have produced.
+
+    Args:
+        lifetime_bucket_frames: Survival-curve/histogram bucket width
+            in frames.
+        lifetime_buckets: Number of lifetime buckets before overflow.
+        jobs_bucket: Histogram bucket width in (fractional) jobs.
+        jobs_buckets: Number of jobs buckets before overflow.
+    """
+
+    def __init__(
+        self,
+        lifetime_bucket_frames: float = 64.0,
+        lifetime_buckets: int = 128,
+        jobs_bucket: float = 0.25,
+        jobs_buckets: int = 64,
+    ):
+        self.metrics = {
+            "lifetime_frames": MetricStat(
+                MetricSpec(
+                    "lifetime_frames", lifetime_bucket_frames,
+                    lifetime_buckets,
+                )
+            ),
+            "jobs_fractional": MetricStat(
+                MetricSpec("jobs_fractional", jobs_bucket, jobs_buckets)
+            ),
+        }
+        self.death_causes: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self.metrics["lifetime_frames"].count
+
+    def observe(self, record) -> None:
+        """Fold one garment's record in.
+
+        Accepts a :class:`~repro.orchestration.runner.SweepRecord` or a
+        bare summary dict; only the summary is read, and nothing of the
+        record is retained.
+        """
+        summary = getattr(record, "summary", record)
+        for name, stat in self.metrics.items():
+            stat.add(summary[name])
+        cause = str(summary.get("death_cause", "unknown"))
+        self.death_causes[cause] = self.death_causes.get(cause, 0) + 1
+
+    def merge(self, other: "FleetAggregator") -> "FleetAggregator":
+        """Fold another shard's aggregator into this one (in place)."""
+        for name, stat in self.metrics.items():
+            stat.merge(other.metrics[name])
+        for cause, n in other.death_causes.items():
+            self.death_causes[cause] = self.death_causes.get(cause, 0) + n
+        return self
+
+    # ------------------------------------------------------------------
+    def aggregate(self) -> dict:
+        """The canonical (order-independent, mergeable) aggregate."""
+        lifetime = self.metrics["lifetime_frames"]
+        return {
+            "count": self.count,
+            "metrics": {
+                name: stat.canonical()
+                for name, stat in sorted(self.metrics.items())
+            },
+            "death_causes": dict(sorted(self.death_causes.items())),
+            "survival": {
+                "bucket_frames": lifetime.spec.bucket_width,
+                "edges": lifetime.histogram.edges(),
+                "survivors": lifetime.histogram.survivors(),
+            },
+        }
+
+    def stream_view(self) -> dict:
+        """P² live percentile estimates, in stream arrival order.
+
+        Order-dependent by construction; empty estimates (None) after a
+        merge, which discards the stream layer.
+        """
+        return {
+            name: stat.stream_estimates()
+            for name, stat in sorted(self.metrics.items())
+        }
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serialisable mergeable state (ships between shard hosts)."""
+        return {
+            "schema": FLEET_STATE_SCHEMA,
+            "metrics": {
+                name: stat.state() for name, stat in self.metrics.items()
+            },
+            "death_causes": dict(sorted(self.death_causes.items())),
+        }
+
+    @classmethod
+    def from_state(cls, raw: dict) -> "FleetAggregator":
+        if raw.get("schema") != FLEET_STATE_SCHEMA:
+            raise ConfigurationError(
+                "unsupported fleet aggregator state schema "
+                f"{raw.get('schema')!r} (expected {FLEET_STATE_SCHEMA})"
+            )
+        aggregator = cls.__new__(cls)
+        aggregator.metrics = {
+            name: MetricStat.from_state(state)
+            for name, state in raw["metrics"].items()
+        }
+        aggregator.death_causes = {
+            str(k): int(v) for k, v in raw["death_causes"].items()
+        }
+        missing = set(FLEET_METRICS) - set(aggregator.metrics)
+        if missing:
+            raise ConfigurationError(
+                f"fleet state missing metrics: {sorted(missing)}"
+            )
+        return aggregator

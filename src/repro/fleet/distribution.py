@@ -1,0 +1,328 @@
+"""Wearer/lot distributions: sampling per-garment configurations.
+
+One simulation run is one garment.  A fleet is a *population* of
+garments whose configurations vary the way a production fleet's would:
+wearers differ in fabric size and activity level (how much motion
+income their harvesters see), in how often the garment is washed
+(transient link degradation), and the harvest hardware itself comes
+from manufacturing lots with per-patch gain spread.
+
+:class:`FleetDistribution` describes those axes as plain ranges and
+weights, and deterministically expands ``(fleet_seed, index)`` into the
+``index``-th garment's full :class:`~repro.config.SimulationConfig`.
+Every sample is reproducible from the pair alone — no sequential state
+— so shards can draw disjoint index ranges of the same fleet without
+coordination, and any single garment can be re-run in isolation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, replace
+
+from ..config import ENGINE_NAMES, SimulationConfig
+from ..errors import ConfigurationError
+from ..faults.config import FaultConfig
+from ..harvest.config import HARVEST_PROFILES, HarvestConfig, HarvestHardware
+from ..orchestration.runner import SweepPoint
+from ..orchestration.scenarios import derive_seed
+
+
+@dataclass(frozen=True)
+class FleetDistribution:
+    """Distribution over per-garment configurations.
+
+    Attributes:
+        name: Preset name (mixed into every per-garment seed, so two
+            presets never share garment draws even at equal seeds).
+        widths / width_weights: Garment fabric sizes and their relative
+            frequencies in the population.
+        engines: Engine names sampled uniformly per garment (all
+            behaviour-equivalent by the cross-engine property suite;
+            sampling them spreads fleet load across code paths and
+            keeps every engine honest at population scale).
+        harvest_fraction: Fraction of garments that carry harvesters at
+            all.
+        harvest_profile: Income profile of harvesting garments.
+        amplitude_low / amplitude_high: Wearer activity band — peak
+            per-node income (pJ/frame) is drawn uniformly from it.
+        gain_spread_low / gain_spread_high: Manufacturing-lot band for
+            the per-patch gain spread of the harvest hardware.
+        equipped_fraction: Fraction of a harvesting garment's nodes
+            that physically carry a generator.
+        wash_fraction: Fraction of garments seeing wash-cycle link
+            degradation.
+        wash_intensity_low / wash_intensity_high: Wash-frequency band —
+            the fault-schedule intensity multiplier is drawn from it.
+        capacity_low / capacity_high: Battery manufacturing-lot band —
+            per-garment battery capacity (pJ) is drawn uniformly from
+            it.  Varying capacity is what makes run-to-death fleets
+            produce a non-degenerate lifetime distribution.
+        max_jobs: Per-garment job cap (None = run to system death).
+        max_frames: Per-garment frame safety limit.
+    """
+
+    name: str = "default"
+    widths: tuple[int, ...] = (4, 5, 6)
+    width_weights: tuple[float, ...] = (0.5, 0.3, 0.2)
+    engines: tuple[str, ...] = ("auto", "vector")
+    harvest_fraction: float = 0.6
+    harvest_profile: str = "motion"
+    amplitude_low: float = 20.0
+    amplitude_high: float = 120.0
+    gain_spread_low: float = 0.0
+    gain_spread_high: float = 0.3
+    equipped_fraction: float = 0.5
+    wash_fraction: float = 0.5
+    wash_intensity_low: float = 0.5
+    wash_intensity_high: float = 2.0
+    capacity_low: float = 20_000.0
+    capacity_high: float = 40_000.0
+    max_jobs: int | None = None
+    max_frames: int = 8_000
+
+    def __post_init__(self) -> None:
+        if not self.widths:
+            raise ConfigurationError("fleet needs at least one fabric width")
+        if any(w < 2 for w in self.widths):
+            raise ConfigurationError(
+                f"fabric widths must be >= 2, got {self.widths}"
+            )
+        if len(self.width_weights) != len(self.widths):
+            raise ConfigurationError(
+                f"{len(self.widths)} widths need {len(self.widths)} "
+                f"weights, got {len(self.width_weights)}"
+            )
+        if any(w <= 0 for w in self.width_weights):
+            raise ConfigurationError("width weights must be positive")
+        if not self.engines:
+            raise ConfigurationError("fleet needs at least one engine")
+        for engine in self.engines:
+            if engine not in ENGINE_NAMES:
+                raise ConfigurationError(
+                    f"unknown engine {engine!r}; expected one of "
+                    f"{ENGINE_NAMES}"
+                )
+        if self.harvest_profile not in HARVEST_PROFILES:
+            raise ConfigurationError(
+                f"unknown harvest profile {self.harvest_profile!r}"
+            )
+        for fraction, label in (
+            (self.harvest_fraction, "harvest fraction"),
+            (self.wash_fraction, "wash fraction"),
+        ):
+            if not 0.0 <= fraction <= 1.0:
+                raise ConfigurationError(
+                    f"{label} must lie in [0, 1], got {fraction}"
+                )
+        if not 0.0 < self.equipped_fraction <= 1.0:
+            raise ConfigurationError(
+                "equipped fraction must lie in (0, 1], got "
+                f"{self.equipped_fraction}"
+            )
+        for low, high, label in (
+            (self.amplitude_low, self.amplitude_high, "amplitude"),
+            (self.gain_spread_low, self.gain_spread_high, "gain spread"),
+            (
+                self.wash_intensity_low,
+                self.wash_intensity_high,
+                "wash intensity",
+            ),
+        ):
+            if low < 0 or high < low:
+                raise ConfigurationError(
+                    f"{label} band must satisfy 0 <= low <= high, "
+                    f"got [{low}, {high}]"
+                )
+        if not 0.0 <= self.gain_spread_high < 1.0:
+            raise ConfigurationError(
+                "gain spread band must stay inside [0, 1), got "
+                f"high={self.gain_spread_high}"
+            )
+        if not 0.0 < self.capacity_low <= self.capacity_high:
+            raise ConfigurationError(
+                "capacity band must satisfy 0 < low <= high, got "
+                f"[{self.capacity_low}, {self.capacity_high}]"
+            )
+        if self.max_jobs is not None and self.max_jobs < 1:
+            raise ConfigurationError("max_jobs must be >= 1 or None")
+        if self.max_frames < 1:
+            raise ConfigurationError("max_frames must be >= 1")
+
+    # ------------------------------------------------------------------
+    def _rng(self, fleet_seed: int, index: int) -> random.Random:
+        return random.Random(
+            derive_seed(fleet_seed, f"fleet/{self.name}/garment/{index}")
+        )
+
+    def garment_config(
+        self,
+        fleet_seed: int,
+        index: int,
+        base: SimulationConfig | None = None,
+    ) -> SimulationConfig:
+        """The ``index``-th garment of fleet ``fleet_seed``.
+
+        A pure function of ``(fleet_seed, index)`` (and the optional
+        base configuration the sampled axes are grafted onto): the same
+        pair always yields a bit-identical configuration, on any host,
+        in any order, from any shard.
+        """
+        if index < 0:
+            raise ConfigurationError(f"garment index must be >= 0, got {index}")
+        base = base if base is not None else SimulationConfig()
+        rng = self._rng(fleet_seed, index)
+
+        # Draw order is part of the format: never reorder these draws,
+        # or every existing fleet seed resamples.
+        width = rng.choices(self.widths, weights=self.width_weights)[0]
+        engine = self.engines[rng.randrange(len(self.engines))]
+        harvesting = rng.random() < self.harvest_fraction
+        amplitude = rng.uniform(self.amplitude_low, self.amplitude_high)
+        gain_spread = rng.uniform(self.gain_spread_low, self.gain_spread_high)
+        washing = rng.random() < self.wash_fraction
+        wash_intensity = rng.uniform(
+            self.wash_intensity_low, self.wash_intensity_high
+        )
+        capacity = rng.uniform(self.capacity_low, self.capacity_high)
+        workload_seed = rng.randrange(2**32)
+        harvest_seed = rng.randrange(2**32)
+        fault_seed = rng.randrange(2**32)
+        hardware_seed = rng.randrange(2**32)
+
+        harvest = base.harvest
+        if harvesting and amplitude > 0:
+            harvest = HarvestConfig(
+                profile=self.harvest_profile,
+                seed=harvest_seed,
+                amplitude_pj=round(amplitude, 3),
+                hardware=HarvestHardware(
+                    equipped_fraction=self.equipped_fraction,
+                    placement="flex",
+                    seed=hardware_seed,
+                    gain_spread=round(gain_spread, 4),
+                ),
+            )
+        faults = base.faults
+        if washing:
+            faults = FaultConfig(
+                profile="wash-cycle",
+                seed=fault_seed,
+                intensity=round(wash_intensity, 3),
+            )
+        return replace(
+            base,
+            platform=replace(
+                base.platform,
+                mesh_width=width,
+                battery_capacity_pj=round(capacity, 1),
+            ),
+            workload=replace(
+                base.workload,
+                seed=workload_seed,
+                max_jobs=self.max_jobs,
+                max_frames=self.max_frames,
+            ),
+            harvest=harvest,
+            faults=faults,
+            engine=engine,
+        )
+
+    def point(
+        self,
+        fleet_seed: int,
+        index: int,
+        base: SimulationConfig | None = None,
+    ) -> SweepPoint:
+        """The garment as a sweep point (label and sampled params)."""
+        config = self.garment_config(fleet_seed, index, base)
+        width = config.platform.mesh_width
+        return SweepPoint(
+            label=f"g{index:04d}/{width}x{width}",
+            config=config,
+            params={
+                "garment": index,
+                "fleet_seed": fleet_seed,
+                "mesh": f"{width}x{width}",
+                "capacity_pj": config.platform.battery_capacity_pj,
+                "engine": config.engine,
+                "harvest_profile": config.harvest.profile,
+                "amplitude_pj": config.harvest.amplitude_pj
+                if config.harvest.is_active
+                else 0.0,
+                "gain_spread": config.harvest.hardware.gain_spread,
+                "fault_profile": config.faults.profile,
+                "fault_intensity": config.faults.intensity
+                if config.faults.profile != "none"
+                else 0.0,
+            },
+        )
+
+    def points(
+        self,
+        fleet_seed: int,
+        indices,
+        base: SimulationConfig | None = None,
+    ) -> list[SweepPoint]:
+        """Sweep points for a (possibly sharded) index range."""
+        return [self.point(fleet_seed, i, base) for i in indices]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict (JSON-safe) form of the distribution."""
+        raw = asdict(self)
+        for key in ("widths", "width_weights", "engines"):
+            raw[key] = list(raw[key])
+        return raw
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FleetDistribution":
+        data = dict(raw)
+        for key in ("widths", "width_weights", "engines"):
+            if key in data:
+                data[key] = tuple(data[key])
+        return cls(**data)
+
+
+#: Named wearer/lot distribution presets.
+#:
+#: * ``smoke``  — tiny 4x4 garments on small battery lots, run to
+#:   death in a few dozen frames each: thousands of them stream
+#:   through CI in seconds (``python -m repro fleet --smoke``);
+#: * ``default`` — the mixed commuter population: 4-6 fabrics, ~60 %
+#:   harvesting at moderate activity, half the fleet seeing wash wear;
+#: * ``active`` — athletic wearers: more motion income, wider hardware
+#:   lots and harder washing.
+FLEET_PRESETS: dict[str, FleetDistribution] = {
+    "smoke": FleetDistribution(
+        name="smoke",
+        widths=(4,),
+        width_weights=(1.0,),
+        engines=("auto", "vector"),
+        harvest_fraction=0.5,
+        amplitude_low=20.0,
+        amplitude_high=80.0,
+        gain_spread_low=0.0,
+        gain_spread_high=0.25,
+        wash_fraction=0.4,
+        capacity_low=5_000.0,
+        capacity_high=10_000.0,
+        max_frames=2_000,
+    ),
+    "default": FleetDistribution(),
+    "active": FleetDistribution(
+        name="active",
+        widths=(4, 5, 6),
+        width_weights=(0.3, 0.4, 0.3),
+        harvest_fraction=0.85,
+        amplitude_low=60.0,
+        amplitude_high=240.0,
+        gain_spread_low=0.05,
+        gain_spread_high=0.45,
+        wash_fraction=0.75,
+        wash_intensity_low=1.0,
+        wash_intensity_high=3.0,
+        capacity_low=25_000.0,
+        capacity_high=50_000.0,
+    ),
+}

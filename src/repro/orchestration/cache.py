@@ -10,9 +10,11 @@ load the stored records instead of re-simulating.
 Invalidation is by construction: any change to a configuration value
 changes the key, and :data:`CACHE_SCHEMA_VERSION` is mixed into every
 key so that simulator-behaviour changes can globally invalidate old
-entries with a one-line bump.  Entries are one file per key, written
-atomically, so concurrent workers and parallel CI jobs can share a
-cache directory.
+entries with a one-line bump.  Storage is pluggable
+(:mod:`~repro.orchestration.backends`): the default flat directory of
+one atomically-written file per key, a two-hex-prefix sharded layout,
+or a sqlite database — all safe to share between concurrent workers
+and parallel CI jobs.
 """
 
 from __future__ import annotations
@@ -21,9 +23,9 @@ import hashlib
 import json
 import os
 import pathlib
-import tempfile
 
 from ..config import SimulationConfig
+from .backends import default_backend_name, make_backend
 
 #: Bump when simulator behaviour changes in a way that invalidates
 #: previously cached summaries (engine semantics, summary fields, ...).
@@ -86,31 +88,42 @@ class SweepCache:
     """Disk-backed config-hash -> summary-record store.
 
     Args:
-        directory: Cache directory; created lazily on first store.
+        directory: Cache root; created lazily on first store.
             ``None`` selects :func:`default_cache_dir`.
+        backend: Storage layout — a name from
+            :data:`~repro.orchestration.backends.CACHE_BACKENDS`
+            (``flat``/``sharded``/``sqlite``), an already-constructed
+            backend object, or ``None`` for ``$ETSIM_CACHE_BACKEND``
+            falling back to the original flat layout (old caches keep
+            hitting unchanged).
     """
 
-    def __init__(self, directory: str | os.PathLike | None = None):
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        backend: str | object | None = None,
+    ):
         self.directory = pathlib.Path(
             directory if directory is not None else default_cache_dir()
         )
+        if backend is None or isinstance(backend, str):
+            name = backend if backend is not None else default_backend_name()
+            self.backend = make_backend(name, self.directory)
+        else:
+            self.backend = backend
+        self.backend_name = getattr(self.backend, "name", "custom")
         self.hits = 0
         self.misses = 0
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> pathlib.Path:
-        return self.directory / f"{key}.json"
+        """Entry location (directory backends only; tests poke at it)."""
+        return self.backend.path(key)
 
     def lookup(self, key: str) -> dict | None:
         """Stored record for ``key``; None (and a miss) when absent."""
-        path = self._path(key)
-        try:
-            with open(path, encoding="utf-8") as handle:
-                record = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
-            return None
-        if record.get("schema") != CACHE_SCHEMA_VERSION:
+        record = self.backend.load(key)
+        if record is None or record.get("schema") != CACHE_SCHEMA_VERSION:
             self.misses += 1
             return None
         self.hits += 1
@@ -118,51 +131,22 @@ class SweepCache:
 
     def store(self, key: str, record: dict) -> None:
         """Atomically persist one finished point's record."""
-        self.directory.mkdir(parents=True, exist_ok=True)
         payload = dict(record)
         payload["schema"] = CACHE_SCHEMA_VERSION
-        # Write-then-rename keeps readers (other workers, parallel CI
-        # jobs) from ever observing a torn file.
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp_name, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        self.backend.save(key, payload)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        if not self.directory.is_dir():
-            return 0
-        return sum(
-            1
-            for p in self.directory.iterdir()
-            if p.suffix == ".json" and not p.name.startswith(".tmp-")
-        )
+        return self.backend.count()
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed.
 
-        In-progress ``.tmp-*`` files are left alone (same predicate as
-        ``__len__``): a concurrent writer mid-``store`` must still be
-        able to complete its rename.
+        In-progress ``.tmp-*`` files are left alone by the directory
+        backends: a concurrent writer mid-``store`` must still be able
+        to complete its rename.
         """
-        removed = 0
-        if self.directory.is_dir():
-            for path in self.directory.iterdir():
-                if path.suffix == ".json" and not path.name.startswith(
-                    ".tmp-"
-                ):
-                    path.unlink(missing_ok=True)
-                    removed += 1
-        return removed
+        return self.backend.clear()
 
     def reset_counters(self) -> None:
         self.hits = 0

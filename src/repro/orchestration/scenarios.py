@@ -62,6 +62,9 @@ GOLDEN_SMOKE_POINTS = (
         "6x6/ear/harvest/vec",
         "vector_mesh_smoke_6x6_harvest.json",
     ),
+    # One sampled garment of the fleet smoke preset, pinning the whole
+    # (fleet_seed, index) -> SimulationConfig sampling chain.
+    ("fleet", "g0000/4x4", "fleet_smoke_g0000.json"),
 )
 
 #: Builder signature: (scale, base config) -> sweep points.
@@ -831,6 +834,31 @@ def _engine_speed(scale: str, base: SimulationConfig) -> list[SweepPoint]:
             )
         )
     return points
+
+
+#: Fleet seed of the registered fleet scenario family (every scale
+#: draws from the same fleet, so quick/full extend the smoke garments).
+FLEET_SCENARIO_SEED = 2005
+
+
+@scenario("fleet", "population fleet sampled from wearer/lot distributions")
+def _fleet(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    """The population-scale axis: garments drawn from a wearer/lot
+    distribution (fabric size, activity, wash frequency, hardware lot,
+    engine mix).  The smoke grid is four garments of the ``smoke``
+    preset — enough to pin the sampling chain with a golden trace and
+    keep CI fast; ``python -m repro fleet --smoke`` streams the same
+    preset at >= 1000 garments with O(1)-memory aggregation.
+    """
+    # Deferred import: repro.fleet imports this module for derive_seed.
+    from ..fleet.distribution import FLEET_PRESETS
+
+    sizes = {"smoke": 4, "quick": 24, "full": 96}
+    presets = {"smoke": "smoke", "quick": "default", "full": "default"}
+    distribution = FLEET_PRESETS[presets[scale]]
+    return distribution.points(
+        FLEET_SCENARIO_SEED, range(sizes[scale]), base
+    )
 
 
 @scenario("battery-ablation", "EAR vs SDR across battery capacities")

@@ -40,3 +40,9 @@ class TestExamples:
         out = run_example("mapping_playground", capsys)
         assert "uniform income degenerates exactly: True" in out
         assert "multi-hop power bus" in out
+
+    def test_fleet_playground(self, capsys):
+        out = run_example("fleet_playground", capsys)
+        assert "shard-merge == single stream, bit for bit: True" in out
+        assert "survivors by lifetime" in out
+        assert "reproducible from (fleet_seed, index)" in out

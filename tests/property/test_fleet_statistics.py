@@ -1,0 +1,249 @@
+"""Property-based invariants of the fleet streaming statistics.
+
+Three contracts are pinned here:
+
+* the **canonical layer** (exact sums, histograms, min/max, death
+  tallies) is order-independent and associatively mergeable —
+  shard-split aggregation is *bit-identical* to a single stream;
+* the **P² stream layer** tracks ``numpy.percentile`` within
+  empirically calibrated tolerances on randomised/sorted/adversarial
+  arrival orders of well-spread streams, and never leaves the observed
+  value range on *any* stream;
+* survival curves are monotone non-increasing whatever the input.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.aggregate import (
+    BucketHistogram,
+    ExactSum,
+    FleetAggregator,
+    P2Quantile,
+)
+
+#: Arrival orders the P² accuracy contract covers.  The tolerance
+#: (fraction of the observed value range) was calibrated empirically
+#: on uniform streams of >= 30 values: shuffled arrival stays within
+#: ~0.11, fully sorted arrival is the estimator's worst well-behaved
+#: case (~0.30 observed for p5 over 4000 trials); 0.45 leaves slack
+#: without letting regressions through.  Heavily duplicated /
+#: clustered streams are excluded — P² is known to drift up to half
+#: the range there, which is exactly why the canonical quantiles come
+#: from histograms instead.
+P2_ORDERS = ("shuffled", "ascending", "descending", "sawtooth")
+P2_TOLERANCE = 0.45
+P2_MIN_STREAM = 30
+
+
+def finite_floats(lo=-1e9, hi=1e9):
+    return st.floats(
+        min_value=lo, max_value=hi, allow_nan=False, allow_infinity=False
+    )
+
+
+def _ordered(values: list[float], order: str, seed: int) -> list[float]:
+    values = sorted(values)
+    if order == "shuffled":
+        random.Random(seed).shuffle(values)
+    elif order == "descending":
+        values.reverse()
+    elif order == "sawtooth":
+        values = values[::2] + values[1::2][::-1]
+    return values
+
+
+# ----------------------------------------------------------------------
+# ExactSum: the float sum is a function of the multiset, not the order
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(
+    values=st.lists(finite_floats(), min_size=1, max_size=60),
+    seed=st.integers(0, 2**32 - 1),
+    split=st.integers(0, 60),
+)
+def test_exact_sum_is_order_independent_and_mergeable(values, seed, split):
+    permuted = list(values)
+    random.Random(seed).shuffle(permuted)
+    straight, shuffled = ExactSum(), ExactSum()
+    for v in values:
+        straight.add(v)
+    for v in permuted:
+        shuffled.add(v)
+    assert straight.value == shuffled.value == math.fsum(values)
+
+    cut = min(split, len(values))
+    left, right = ExactSum(), ExactSum()
+    for v in values[:cut]:
+        left.add(v)
+    for v in values[cut:]:
+        right.add(v)
+    left.merge(right)
+    assert left.value == straight.value
+
+
+# ----------------------------------------------------------------------
+# P²: calibrated accuracy on well-spread streams, bounded everywhere
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(P2_MIN_STREAM, 400),
+    seed=st.integers(0, 2**32 - 1),
+    order=st.sampled_from(P2_ORDERS),
+    p=st.sampled_from((5.0, 50.0, 95.0)),
+)
+def test_p2_tracks_numpy_percentile_on_uniform_streams(n, seed, order, p):
+    rng = random.Random(seed)
+    values = [rng.uniform(0.0, 100.0) for _ in range(n)]
+    stream = _ordered(values, order, seed)
+    estimator = P2Quantile(p / 100.0)
+    for v in stream:
+        estimator.add(v)
+    truth = float(np.percentile(values, p))
+    span = max(values) - min(values)
+    assert abs(estimator.estimate() - truth) <= P2_TOLERANCE * span
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    values=st.lists(finite_floats(), min_size=1, max_size=120),
+    p=st.sampled_from((5.0, 50.0, 95.0)),
+)
+def test_p2_estimate_never_leaves_the_observed_range(values, p):
+    # Even on adversarial clustered/duplicated streams (where the
+    # accuracy contract does not apply) the estimate must stay inside
+    # [min, max] of what was actually observed.
+    estimator = P2Quantile(p / 100.0)
+    for v in values:
+        estimator.add(v)
+    assert min(values) <= estimator.estimate() <= max(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(finite_floats(), min_size=1, max_size=5))
+def test_p2_is_exact_below_its_marker_count(values):
+    estimator = P2Quantile(0.5)
+    for v in values:
+        estimator.add(v)
+    assert estimator.estimate() == pytest.approx(
+        float(np.percentile(values, 50)), rel=1e-12, abs=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# Survival curves: monotone non-increasing on any input
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(
+    values=st.lists(finite_floats(0.0, 1e6), max_size=200),
+    width=st.floats(min_value=0.5, max_value=500.0),
+    buckets=st.integers(1, 64),
+)
+def test_survival_curve_is_monotone_non_increasing(values, width, buckets):
+    hist = BucketHistogram(width, buckets)
+    for v in values:
+        hist.add(v)
+    survivors = hist.survivors()
+    assert survivors[0] == len(values)
+    assert all(a >= b for a, b in zip(survivors, survivors[1:]))
+    assert all(s >= 0 for s in survivors)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    values=st.lists(finite_floats(0.0, 1e4), min_size=1, max_size=200),
+    q=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_histogram_quantile_stays_within_observed_bounds(values, q):
+    hist = BucketHistogram(7.5, 32)
+    for v in values:
+        hist.add(v)
+    value = hist.quantile(q, lo=min(values), hi=max(values))
+    assert min(values) <= value <= max(values)
+
+
+# ----------------------------------------------------------------------
+# FleetAggregator: shard-split == single stream, bit for bit
+# ----------------------------------------------------------------------
+DEATH_CAUSES = ("module-unreachable", "frame-limit", "job-budget")
+
+
+def summaries_strategy():
+    return st.lists(
+        st.tuples(
+            finite_floats(0.0, 10_000.0),
+            finite_floats(0.0, 500.0),
+            st.sampled_from(DEATH_CAUSES),
+        ),
+        min_size=1,
+        max_size=80,
+    )
+
+
+def _observe_all(aggregator: FleetAggregator, rows) -> FleetAggregator:
+    for lifetime, jobs, cause in rows:
+        aggregator.observe(
+            {
+                "lifetime_frames": lifetime,
+                "jobs_fractional": jobs,
+                "death_cause": cause,
+            }
+        )
+    return aggregator
+
+
+def _canonical_json(aggregator: FleetAggregator) -> str:
+    return json.dumps(aggregator.aggregate(), sort_keys=True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=summaries_strategy(),
+    seed=st.integers(0, 2**32 - 1),
+    cuts=st.tuples(st.integers(0, 80), st.integers(0, 80)),
+)
+def test_shard_merge_is_bit_identical_to_single_stream(rows, seed, cuts):
+    single = _observe_all(FleetAggregator(), rows)
+
+    # Shuffle, split into three shards, aggregate each independently
+    # (possibly on "different hosts" via the JSON state), then merge.
+    shuffled = list(rows)
+    random.Random(seed).shuffle(shuffled)
+    a, b = sorted(min(c, len(rows)) for c in cuts)
+    shards = [shuffled[:a], shuffled[a:b], shuffled[b:]]
+    merged = FleetAggregator()
+    for shard in shards:
+        state = _observe_all(FleetAggregator(), shard).state_dict()
+        shipped = json.loads(json.dumps(state))  # over the wire
+        merged.merge(FleetAggregator.from_state(shipped))
+    assert _canonical_json(merged) == _canonical_json(single)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=summaries_strategy(),
+    seed=st.integers(0, 2**32 - 1),
+    cut=st.integers(0, 80),
+)
+def test_merge_is_associative(rows, seed, cut):
+    shuffled = list(rows)
+    random.Random(seed).shuffle(shuffled)
+    third = max(1, len(shuffled) // 3)
+    parts = [shuffled[:third], shuffled[third:2 * third],
+             shuffled[2 * third:]]
+
+    def agg(part):
+        return _observe_all(FleetAggregator(), part)
+
+    left = agg(parts[0]).merge(agg(parts[1])).merge(agg(parts[2]))
+    inner = agg(parts[1]).merge(agg(parts[2]))
+    right = agg(parts[0]).merge(inner)
+    assert _canonical_json(left) == _canonical_json(right)

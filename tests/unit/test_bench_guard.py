@@ -1,0 +1,77 @@
+"""The CI bench-regression guard must tolerate fleet-shaped documents."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "scripts"
+    / "check_bench_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def guard():
+    spec = importlib.util.spec_from_file_location("bench_guard", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write(tmp_path, name: str, document: dict) -> str:
+    path = tmp_path / name
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return str(path)
+
+
+BENCH_RECORDS = {
+    "fig7": [
+        {"label": "4x4/ear", "elapsed_s": 0.5},
+        {"label": "4x4/sdr"},  # cached: no timing
+    ],
+}
+
+
+class TestLoadPoints:
+    def test_flattens_scenario_records(self, guard, tmp_path):
+        path = write(tmp_path, "bench.json", BENCH_RECORDS)
+        assert guard.load_points(path) == {"fig7/4x4/ear": 0.5}
+
+    def test_skips_fleet_bundle_keys(self, guard, tmp_path):
+        document = {
+            **BENCH_RECORDS,
+            # A fleet bundle merged into the same document: a dict, not
+            # a list of labelled records.
+            "fleet_smoke": {
+                "schema": 1,
+                "aggregate": {"count": 1000},
+                "run": {"elapsed_s": 42.0},
+            },
+            # And a record list with aggregate-shaped entries.
+            "fleet_points": [{"aggregate": {"count": 4}}, "not-a-dict"],
+        }
+        path = write(tmp_path, "mixed.json", document)
+        assert guard.load_points(path) == {"fig7/4x4/ear": 0.5}
+
+    def test_guard_passes_on_mixed_documents(self, guard, tmp_path):
+        document = {
+            **BENCH_RECORDS,
+            "fleet_smoke": {"schema": 1, "aggregate": {"count": 10}},
+        }
+        baseline = write(tmp_path, "baseline.json", document)
+        fresh = write(tmp_path, "fresh.json", document)
+        assert guard.main([baseline, fresh]) == 0
+
+    def test_guard_still_fails_on_regression(self, guard, tmp_path):
+        baseline = write(tmp_path, "baseline.json", BENCH_RECORDS)
+        slower = {
+            "fig7": [{"label": "4x4/ear", "elapsed_s": 5.0}],
+            "fleet_smoke": {"schema": 1},
+        }
+        fresh = write(tmp_path, "fresh.json", slower)
+        assert guard.main([baseline, fresh]) == 1

@@ -1,0 +1,220 @@
+"""Unit behaviour of the O(1) fleet statistics primitives."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.aggregate import (
+    FLEET_PERCENTILES,
+    BucketHistogram,
+    ExactSum,
+    FleetAggregator,
+    MetricSpec,
+    MetricStat,
+    P2Quantile,
+)
+
+
+def summary(lifetime: float, jobs: float, cause: str = "module-unreachable"):
+    return {
+        "lifetime_frames": lifetime,
+        "jobs_fractional": jobs,
+        "death_cause": cause,
+    }
+
+
+class TestExactSum:
+    def test_matches_fsum_on_catastrophic_cancellation(self):
+        values = [1e16, 1.0, -1e16, 1.0]
+        acc = ExactSum()
+        for v in values:
+            acc.add(v)
+        assert acc.value == math.fsum(values) == 2.0
+
+    def test_merge_equals_single_stream(self):
+        values = [1e16, 3.14, -1e16, 2.71, 1e-8, -2.0]
+        left, right, whole = ExactSum(), ExactSum(), ExactSum()
+        for v in values[:3]:
+            left.add(v)
+        for v in values[3:]:
+            right.add(v)
+        for v in values:
+            whole.add(v)
+        left.merge(right)
+        assert left.value == whole.value
+
+    def test_partials_round_trip(self):
+        acc = ExactSum()
+        for v in (0.1, 0.2, 0.3):
+            acc.add(v)
+        clone = ExactSum(acc.to_list())
+        assert clone.value == acc.value
+
+
+class TestP2Quantile:
+    def test_rejects_out_of_range_quantile(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                P2Quantile(bad)
+
+    def test_none_before_observations(self):
+        assert P2Quantile(0.5).estimate() is None
+
+    def test_exact_for_small_streams(self):
+        # Up to five observations the estimator is the buffered exact
+        # empirical quantile (numpy's linear interpolation).
+        numpy = pytest.importorskip("numpy")
+        values = [7.0, 1.0, 5.0, 3.0]
+        est = P2Quantile(0.5)
+        for v in values:
+            est.add(v)
+        assert est.estimate() == pytest.approx(
+            float(numpy.percentile(values, 50))
+        )
+
+    def test_estimate_stays_within_observed_range(self):
+        est = P2Quantile(0.95)
+        values = [float(((i * 37) % 100)) for i in range(200)]
+        for v in values:
+            est.add(v)
+        assert min(values) <= est.estimate() <= max(values)
+
+
+class TestBucketHistogram:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BucketHistogram(0.0, 4)
+        with pytest.raises(ConfigurationError):
+            BucketHistogram(1.0, 0)
+        with pytest.raises(ConfigurationError):
+            BucketHistogram(1.0, 4, counts=[0, 0])
+
+    def test_overflow_bucket_catches_everything_beyond_range(self):
+        hist = BucketHistogram(1.0, 4)
+        for value in (0.5, 3.9, 4.0, 400.0):
+            hist.add(value)
+        assert hist.counts == [1, 0, 0, 1, 2]
+        assert hist.total == 4
+
+    def test_negative_values_clamp_to_first_bucket(self):
+        hist = BucketHistogram(1.0, 4)
+        hist.add(-3.0)
+        assert hist.counts[0] == 1
+
+    def test_merge_requires_identical_bucketing(self):
+        with pytest.raises(ConfigurationError):
+            BucketHistogram(1.0, 4).merge(BucketHistogram(2.0, 4))
+
+    def test_survivors_monotone_and_anchored(self):
+        hist = BucketHistogram(10.0, 4)
+        for value in (5, 15, 15, 25, 35, 95):
+            hist.add(value)
+        survivors = hist.survivors()
+        assert survivors[0] == hist.total
+        assert all(a >= b for a, b in zip(survivors, survivors[1:]))
+
+    def test_quantile_clamps_degenerate_stream_to_exact_value(self):
+        hist = BucketHistogram(10.0, 4)
+        for _ in range(9):
+            hist.add(42.5)
+        for q in FLEET_PERCENTILES:
+            assert hist.quantile(q, lo=42.5, hi=42.5) == 42.5
+
+    def test_quantile_none_when_empty(self):
+        assert BucketHistogram(1.0, 4).quantile(50) is None
+
+
+class TestMetricStat:
+    def test_merge_rejects_mismatched_spec(self):
+        a = MetricStat(MetricSpec("x", 1.0, 4))
+        b = MetricStat(MetricSpec("x", 2.0, 4))
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_state_round_trip(self):
+        stat = MetricStat(MetricSpec("x", 1.0, 8))
+        for v in (0.5, 3.25, 7.75, 100.0):
+            stat.add(v)
+        clone = MetricStat.from_state(
+            json.loads(json.dumps(stat.state()))
+        )
+        assert clone.canonical() == stat.canonical()
+
+
+class TestFleetAggregator:
+    def test_observe_accepts_summary_dict_and_record_objects(self):
+        class FakeRecord:
+            summary = summary(10.0, 2.0)
+
+        agg = FleetAggregator()
+        agg.observe(FakeRecord())
+        agg.observe(summary(20.0, 4.0, cause="frame-limit"))
+        assert agg.count == 2
+        assert agg.death_causes == {
+            "module-unreachable": 1,
+            "frame-limit": 1,
+        }
+
+    def test_aggregate_document_shape(self):
+        agg = FleetAggregator()
+        agg.observe(summary(10.0, 2.0))
+        doc = agg.aggregate()
+        assert doc["count"] == 1
+        assert set(doc["metrics"]) == {"jobs_fractional", "lifetime_frames"}
+        for stat in doc["metrics"].values():
+            assert set(stat) == {
+                "count", "mean", "min", "max", "p5", "p50", "p95",
+            }
+        assert doc["survival"]["survivors"][0] == 1
+        assert len(doc["survival"]["edges"]) == len(
+            doc["survival"]["survivors"]
+        )
+
+    def test_merge_resets_stream_view_only(self):
+        a, b = FleetAggregator(), FleetAggregator()
+        a.observe(summary(10.0, 2.0))
+        b.observe(summary(30.0, 6.0))
+        a.merge(b)
+        # Canonical layer keeps aggregating across the merge...
+        assert a.count == 2
+        assert a.aggregate()["metrics"]["lifetime_frames"]["min"] == 10.0
+        # ...but the P2 stream layer has no single arrival order left.
+        for stats in a.stream_view().values():
+            assert all(value is None for value in stats.values())
+
+    def test_state_dict_round_trips_bit_identically(self):
+        agg = FleetAggregator()
+        for i in range(50):
+            agg.observe(summary(float(i * 7 % 90), float(i % 11)))
+        raw = json.loads(json.dumps(agg.state_dict(), sort_keys=True))
+        clone = FleetAggregator.from_state(raw)
+        assert json.dumps(clone.aggregate(), sort_keys=True) == json.dumps(
+            agg.aggregate(), sort_keys=True
+        )
+
+    def test_from_state_rejects_unknown_schema(self):
+        with pytest.raises(ConfigurationError):
+            FleetAggregator.from_state({"schema": 999, "metrics": {},
+                                        "death_causes": {}})
+
+    def test_from_state_rejects_missing_metrics(self):
+        state = FleetAggregator().state_dict()
+        del state["metrics"]["jobs_fractional"]
+        with pytest.raises(ConfigurationError):
+            FleetAggregator.from_state(state)
+
+    def test_state_size_is_independent_of_fleet_size(self):
+        # The O(1) claim, stated directly: aggregating 40x more
+        # garments must not grow the serialised state.
+        small, large = FleetAggregator(), FleetAggregator()
+        for i in range(10):
+            small.observe(summary(float(i), float(i)))
+        for i in range(400):
+            large.observe(summary(float(i % 97), float(i % 13)))
+        assert len(json.dumps(large.state_dict())) <= len(
+            json.dumps(small.state_dict())
+        ) + 400  # count digits / partials jitter, not per-garment growth

@@ -1,0 +1,171 @@
+"""Unit behaviour of the wearer/lot distribution sampling."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.fleet.distribution import FLEET_PRESETS, FleetDistribution
+from repro.orchestration.cache import config_hash
+
+
+class TestValidation:
+    def test_rejects_empty_widths(self):
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(widths=(), width_weights=())
+
+    def test_rejects_tiny_widths(self):
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(widths=(1,), width_weights=(1.0,))
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(widths=(4, 5), width_weights=(1.0,))
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(widths=(4,), width_weights=(0.0,))
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(engines=("warp-drive",))
+
+    def test_rejects_unknown_harvest_profile(self):
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(harvest_profile="antimatter")
+
+    def test_rejects_fractions_outside_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(harvest_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(wash_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(equipped_fraction=0.0)
+
+    def test_rejects_inverted_bands(self):
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(amplitude_low=10.0, amplitude_high=5.0)
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(capacity_low=0.0)
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(capacity_low=10.0, capacity_high=5.0)
+
+    def test_rejects_gain_spread_reaching_one(self):
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(gain_spread_low=0.5, gain_spread_high=1.0)
+
+    def test_rejects_degenerate_limits(self):
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(max_jobs=0)
+        with pytest.raises(ConfigurationError):
+            FleetDistribution(max_frames=0)
+
+    def test_rejects_negative_garment_index(self):
+        with pytest.raises(ConfigurationError):
+            FleetDistribution().garment_config(1, -1)
+
+
+class TestSampling:
+    def test_same_pair_is_bit_identical(self):
+        dist = FLEET_PRESETS["default"]
+        assert dist.garment_config(7, 3) == dist.garment_config(7, 3)
+        assert config_hash(dist.garment_config(7, 3)) == config_hash(
+            dist.garment_config(7, 3)
+        )
+
+    def test_different_indices_differ(self):
+        dist = FLEET_PRESETS["default"]
+        configs = [dist.garment_config(7, i) for i in range(16)]
+        assert len({config_hash(c) for c in configs}) > 1
+
+    def test_different_seeds_differ(self):
+        dist = FLEET_PRESETS["default"]
+        assert dist.garment_config(1, 0) != dist.garment_config(2, 0)
+
+    def test_preset_name_forks_the_draws(self):
+        # Two presets with identical bands but different names must not
+        # share garment draws: the name is mixed into every seed.
+        a = FleetDistribution(name="a")
+        b = dataclasses.replace(a, name="b")
+        assert a.garment_config(1, 0) != b.garment_config(1, 0)
+
+    def test_samples_stay_inside_declared_bands(self):
+        dist = FLEET_PRESETS["active"]
+        for index in range(64):
+            config = dist.garment_config(11, index)
+            assert config.platform.mesh_width in dist.widths
+            assert config.engine in dist.engines
+            cap = config.platform.battery_capacity_pj
+            assert dist.capacity_low <= cap <= dist.capacity_high
+            if config.harvest.is_active:
+                amp = config.harvest.amplitude_pj
+                assert dist.amplitude_low <= amp <= dist.amplitude_high
+                spread = config.harvest.hardware.gain_spread
+                assert dist.gain_spread_low <= spread
+                assert spread <= dist.gain_spread_high
+            if config.faults.profile != "none":
+                assert config.faults.profile == "wash-cycle"
+                assert (
+                    dist.wash_intensity_low
+                    <= config.faults.intensity
+                    <= dist.wash_intensity_high
+                )
+
+    def test_population_mixes_harvesting_and_washing(self):
+        dist = FLEET_PRESETS["smoke"]
+        configs = [dist.garment_config(3, i) for i in range(64)]
+        harvesting = sum(1 for c in configs if c.harvest.is_active)
+        washing = sum(1 for c in configs if c.faults.profile != "none")
+        assert 0 < harvesting < len(configs)
+        assert 0 < washing < len(configs)
+
+    def test_base_config_is_grafted_not_replaced(self):
+        base = SimulationConfig(routing="sdr")
+        config = FLEET_PRESETS["smoke"].garment_config(5, 0, base)
+        assert config.routing == "sdr"
+
+    def test_point_params_mirror_the_config(self):
+        dist = FLEET_PRESETS["default"]
+        for index in (0, 5, 11):
+            point = dist.point(9, index)
+            width = point.config.platform.mesh_width
+            assert point.label == f"g{index:04d}/{width}x{width}"
+            assert point.params["garment"] == index
+            assert point.params["mesh"] == f"{width}x{width}"
+            assert (
+                point.params["capacity_pj"]
+                == point.config.platform.battery_capacity_pj
+            )
+            if not point.config.harvest.is_active:
+                assert point.params["amplitude_pj"] == 0.0
+            if point.config.faults.profile == "none":
+                assert point.params["fault_intensity"] == 0.0
+
+    def test_points_cover_a_shard_range(self):
+        dist = FLEET_PRESETS["smoke"]
+        shard = dist.points(2, range(10, 14))
+        assert [p.params["garment"] for p in shard] == [10, 11, 12, 13]
+        # A shard draws the same garments the whole fleet would.
+        whole = dist.points(2, range(16))
+        assert [p.config for p in shard] == [
+            p.config for p in whole[10:14]
+        ]
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize("name", sorted(FLEET_PRESETS))
+    def test_presets_round_trip(self, name):
+        dist = FLEET_PRESETS[name]
+        clone = FleetDistribution.from_dict(dist.to_dict())
+        assert clone == dist
+        # The round-tripped distribution draws identical garments.
+        assert clone.garment_config(1, 0) == dist.garment_config(1, 0)
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        raw = FLEET_PRESETS["default"].to_dict()
+        assert json.loads(json.dumps(raw)) == raw
