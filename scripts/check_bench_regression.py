@@ -113,8 +113,17 @@ def main(argv: list[str] | None = None) -> int:
         )
         if ratio > args.threshold:
             failures.append(name)
-    for name in sorted(fresh.keys() - baseline.keys()):
+    candidates = sorted(fresh.keys() - baseline.keys())
+    for name in candidates:
         print(f"  new   {name}: {fresh[name]:.3f}s (no baseline yet)")
+    if candidates:
+        # Candidate-only points are informational: scenario families
+        # grow PR by PR, and the next committed baseline refresh
+        # starts guarding them.
+        print(
+            f"{len(candidates)} candidate-only point(s) not guarded — "
+            "refresh BENCH_smoke.json to baseline them"
+        )
 
     if failures:
         print(

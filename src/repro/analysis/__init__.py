@@ -19,6 +19,12 @@ from .faults import (
     wear_comparison,
     wear_comparison_for,
 )
+from .congestion import (
+    congestion_comparison,
+    congestion_comparison_for,
+    congestion_relief_twin,
+    measure_only_twin,
+)
 from .fleet import fleet_summary
 from .harvest import (
     harvest_aware_twin,
@@ -43,6 +49,9 @@ __all__ = [
     "bar_chart",
     "bound_comparison",
     "calibrated_link_pitch_cm",
+    "congestion_comparison",
+    "congestion_comparison_for",
+    "congestion_relief_twin",
     "fault_free_twin",
     "fault_impact",
     "fault_impact_for",
@@ -59,6 +68,7 @@ __all__ = [
     "income_mapping_twin",
     "mapping_comparison",
     "mapping_comparison_for",
+    "measure_only_twin",
     "reactive_mapping_twin",
     "run_sweep",
     "series_chart",

@@ -1,0 +1,107 @@
+"""Congestion-relief analysis: spreading runs against measure-only twins.
+
+Per-run congestion counters (peak link traversals, hot-link share) live
+in :meth:`repro.sim.stats.SimulationStats.summary`; what they cannot say
+alone is *what the spreading bought*.  Those are paired quantities: the
+same configuration with the congestion penalty neutralised and ECMP off
+— but load tracking still on, so the metrics stay comparable — is the
+twin, and the delta between the two runs is attributable to the
+spreading alone.  Everything else (workload, seeds, platform) is
+bit-identical by construction, and the measure-only twin routes exactly
+like plain EAR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import RoutingOptions, SimulationConfig
+
+
+def measure_only_twin(config: SimulationConfig) -> SimulationConfig:
+    """The same run with spreading disabled but load tracking kept.
+
+    The twin keeps ``congestion_aware`` on with a neutral penalty
+    (q = 1.0) so its summary still carries ``max_link_traversals`` /
+    ``hot_link_share``, while the weights — and therefore every routing
+    decision — match plain EAR bit for bit.
+    """
+    return replace(
+        config,
+        routing_opts=replace(
+            config.routing_opts,
+            congestion_aware=True,
+            congestion_q=1.0,
+            ecmp=False,
+            ecmp_seed=0,
+        ),
+    )
+
+
+def congestion_relief_twin(config: SimulationConfig) -> SimulationConfig:
+    """The same run with the congestion penalty and ECMP switched on."""
+    opts = config.routing_opts
+    return replace(
+        config,
+        routing_opts=replace(
+            opts,
+            congestion_aware=True,
+            congestion_q=(
+                RoutingOptions().congestion_q
+                if opts.congestion_q <= 1.0
+                else opts.congestion_q
+            ),
+            ecmp=True,
+        ),
+    )
+
+
+def congestion_comparison(baseline: dict, relieved: dict) -> dict:
+    """Congestion-aware ECMP against the measure-only baseline.
+
+    Args:
+        baseline: ``SimulationStats.summary()`` of the measure-only run
+            (neutral penalty, no ECMP — plain-EAR routing).
+        relieved: Summary of the spreading run of the same
+            configuration.
+
+    Returns:
+        JSON-safe dict with the hot-link and lifetime deltas the
+        spreading bought (positive reduction = relief is ahead), plus
+        both runs' delivery accounting.
+    """
+    base_peak = int(baseline.get("max_link_traversals", 0))
+    relief_peak = int(relieved.get("max_link_traversals", 0))
+    base_share = float(baseline.get("hot_link_share", 0.0))
+    relief_share = float(relieved.get("hot_link_share", 0.0))
+    return {
+        "peak_traversals_baseline": base_peak,
+        "peak_traversals_relieved": relief_peak,
+        "peak_reduction": base_peak - relief_peak,
+        "peak_reduction_fraction": (
+            round((base_peak - relief_peak) / base_peak, 5)
+            if base_peak > 0
+            else 0.0
+        ),
+        "hot_share_baseline": base_share,
+        "hot_share_relieved": relief_share,
+        "hot_share_reduction": round(base_share - relief_share, 9),
+        "jobs_baseline": float(baseline["jobs_fractional"]),
+        "jobs_relieved": float(relieved["jobs_fractional"]),
+        "lifetime_baseline_frames": baseline["lifetime_frames"],
+        "lifetime_relieved_frames": relieved["lifetime_frames"],
+        "lifetime_gain_frames": (
+            relieved["lifetime_frames"] - baseline["lifetime_frames"]
+        ),
+        "recomputes_baseline": baseline.get("recomputes", 0),
+        "recomputes_relieved": relieved.get("recomputes", 0),
+    }
+
+
+def congestion_comparison_for(config: SimulationConfig) -> dict:
+    """Run ``config`` measure-only and relieved; return the comparison."""
+    from ..sim.et_sim import run_simulation
+
+    baseline = run_simulation(measure_only_twin(config)).summary()
+    relieved = run_simulation(congestion_relief_twin(config)).summary()
+    return congestion_comparison(baseline, relieved)

@@ -30,9 +30,11 @@ from .config import (
     ENGINE_NAMES,
     MAPPING_STRATEGIES,
     PlatformConfig,
+    RoutingOptions,
     SimulationConfig,
     WorkloadConfig,
 )
+from .core.weights import DEFAULT_CONGESTION_Q
 from .faults import FAULT_PROFILES, FaultConfig
 from .harvest import (
     HARDWARE_PLACEMENTS,
@@ -195,6 +197,48 @@ def _harvest_config(args: argparse.Namespace) -> HarvestConfig:
     )
 
 
+def _add_routing_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--congestion-weight", action="store_true",
+        help="enable the congestion routing weight (the engine tracks "
+        "per-link utilisation and EAR spreads traffic off hot links)",
+    )
+    parser.add_argument(
+        "--congestion-q", type=float, default=DEFAULT_CONGESTION_Q,
+        metavar="Q",
+        help="penalty base of the congestion weight (>= 1; 1 = "
+        f"measure-only, default {DEFAULT_CONGESTION_Q})",
+    )
+    parser.add_argument(
+        "--ecmp", action="store_true",
+        help="round-robin over equal-cost successor groups instead of "
+        "always forwarding on the canonical shortest-path successor",
+    )
+    parser.add_argument(
+        "--ecmp-seed", type=int, default=0, metavar="S",
+        help="seed of the deterministic ECMP rotation offsets",
+    )
+
+
+def _routing_options(args: argparse.Namespace) -> RoutingOptions:
+    if not args.congestion_weight and not args.ecmp:
+        # Normalise inert knobs (q, seed) so the config — and therefore
+        # its cache hash — matches a flag-free run.
+        return RoutingOptions()
+    return RoutingOptions(
+        congestion_aware=args.congestion_weight,
+        # Q is inert without --congestion-weight, the seed without
+        # --ecmp: normalise both away so they cannot fork the hash.
+        congestion_q=(
+            args.congestion_q
+            if args.congestion_weight
+            else DEFAULT_CONGESTION_Q
+        ),
+        ecmp=args.ecmp,
+        ecmp_seed=args.ecmp_seed if args.ecmp else 0,
+    )
+
+
 def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine", choices=ENGINE_NAMES, default="auto",
@@ -243,6 +287,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         routing=args.routing,
         wear_aware=args.wear_weight,
         harvest_aware=args.harvest_weight,
+        routing_opts=_routing_options(args),
         engine=args.engine,
     )
     stats = run_simulation(config)
@@ -311,6 +356,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         harvest=_harvest_config(args),
         wear_aware=args.wear_weight,
         harvest_aware=args.harvest_weight,
+        routing_opts=_routing_options(args),
         engine=args.engine,
     )
     widths = tuple(range(args.min_mesh, args.max_mesh + 1))
@@ -366,6 +412,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         harvest=_harvest_config(args),
         wear_aware=args.wear_weight,
         harvest_aware=args.harvest_weight,
+        routing_opts=_routing_options(args),
         engine=args.engine,
     )
     runner = _make_runner(args)
@@ -477,11 +524,19 @@ def _cmd_regen_golden(args: argparse.Namespace) -> int:
     Run after an *intentional* behaviour change (new summary key,
     engine-semantics fix) — and bump ``CACHE_SCHEMA_VERSION``
     alongside — instead of hand-editing the stored JSON documents.
+
+    With ``--check`` nothing is written: each freshly-simulated payload
+    is compared against the stored fixture and the command exits
+    non-zero on any drift (or missing fixture).  CI runs this so a
+    behaviour change that forgot to regenerate the fixtures fails the
+    build as a named staleness error instead of a confusing test diff.
     """
     import pathlib
 
     directory = pathlib.Path(args.dir)
-    directory.mkdir(parents=True, exist_ok=True)
+    if not args.check:
+        directory.mkdir(parents=True, exist_ok=True)
+    stale = 0
     for scenario_name, label, filename in GOLDEN_SMOKE_POINTS:
         matches = [
             point
@@ -500,11 +555,29 @@ def _cmd_regen_golden(args: argparse.Namespace) -> int:
             "summary": run_simulation(matches[0].config).summary(),
         }
         path = directory / filename
+        if args.check:
+            if not path.exists():
+                print(f"MISSING {path}")
+                stale += 1
+                continue
+            stored = json.loads(path.read_text(encoding="utf-8"))
+            if stored != payload:
+                print(f"STALE   {path}")
+                stale += 1
+            else:
+                print(f"ok      {path}")
+            continue
         path.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
         print(f"wrote {path}")
+    if args.check and stale:
+        print(
+            f"{stale} stale golden fixture(s); run "
+            "`python -m repro regen-golden` and commit the result"
+        )
+        return 1
     return 0
 
 
@@ -569,6 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_arguments(simulate)
     _add_harvest_arguments(simulate)
+    _add_routing_arguments(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     sweep = sub.add_parser("sweep", help="EAR vs SDR across mesh sizes")
@@ -579,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_arguments(sweep)
     _add_fault_arguments(sweep)
     _add_harvest_arguments(sweep)
+    _add_routing_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     bench = sub.add_parser(
@@ -608,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_arguments(bench)
     _add_fault_arguments(bench)
     _add_harvest_arguments(bench)
+    _add_routing_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
 
     fleet = sub.add_parser(
@@ -670,6 +746,11 @@ def build_parser() -> argparse.ArgumentParser:
     regen.add_argument(
         "--dir", default="tests/golden", metavar="DIR",
         help="fixture directory (default tests/golden)",
+    )
+    regen.add_argument(
+        "--check", action="store_true",
+        help="compare instead of write; exit 1 when any fixture is "
+        "stale or missing (the CI staleness gate)",
     )
     regen.set_defaults(func=_cmd_regen_golden)
     return parser

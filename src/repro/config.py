@@ -27,12 +27,15 @@ from .control.tdma import (
     TdmaSchedule,
 )
 from .core.weights import (
+    DEFAULT_CONGESTION_Q,
+    DEFAULT_CONGESTION_QUANTUM,
     DEFAULT_HARVEST_Q,
     DEFAULT_HARVEST_QUANTUM,
     DEFAULT_Q,
     DEFAULT_WEAR_Q,
     DEFAULT_WEAR_QUANTUM,
     BatteryWeightFunction,
+    CongestionWeightFunction,
     HarvestWeightFunction,
     WearWeightFunction,
 )
@@ -367,6 +370,45 @@ class WorkloadConfig:
 
 
 @dataclass(frozen=True)
+class RoutingOptions:
+    """Congestion-aware spreading options of the routing stack.
+
+    Groups the knobs added on top of the historical flat ``wear_*`` /
+    ``harvest_*`` fields into one section (the shape future cost terms
+    should follow).  The default instance is behaviour-identical to the
+    pre-congestion simulator, and :meth:`SimulationConfig.to_dict`
+    omits the section entirely when it is default so existing cached
+    results and golden fixtures keep their hashes.
+
+    Attributes:
+        congestion_aware: Track per-link EMA utilisation and penalise
+            hot links in the EAR weight.  Only meaningful with
+            ``routing == "ear"``.
+        congestion_q: Penalty base of the congestion weight (>= 1; 1 is
+            measure-only — utilisation metrics are reported but the
+            weight matrix is untouched).
+        congestion_quantum: Smoothed traversals per frame per quantised
+            load level.
+        ecmp: Round-robin over equal-cost successor groups instead of
+            always forwarding on the canonical Floyd–Warshall
+            successor.
+        ecmp_seed: Seed of the deterministic rotation offsets.
+    """
+
+    congestion_aware: bool = False
+    congestion_q: float = DEFAULT_CONGESTION_Q
+    congestion_quantum: float = DEFAULT_CONGESTION_QUANTUM
+    ecmp: bool = False
+    ecmp_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.congestion_q < 1.0:
+            raise ConfigurationError("congestion Q must be >= 1")
+        if self.congestion_quantum <= 0:
+            raise ConfigurationError("congestion quantum must be positive")
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Everything one et_sim run needs.
 
@@ -393,6 +435,8 @@ class SimulationConfig:
             degenerates to reactive EAR).
         harvest_quantum: Smoothed income (pJ/frame) per quantised
             income level.
+        routing_opts: Congestion/ECMP options (see
+            :class:`RoutingOptions`; default = both off).
         engine: Simulation engine to run this configuration on — one of
             :data:`ENGINE_NAMES`.  ``"auto"`` (the default) picks the
             engine matching the workload kind, which is exactly what
@@ -414,6 +458,7 @@ class SimulationConfig:
     harvest_aware: bool = False
     harvest_q: float = DEFAULT_HARVEST_Q
     harvest_quantum: float = DEFAULT_HARVEST_QUANTUM
+    routing_opts: RoutingOptions = field(default_factory=RoutingOptions)
     engine: str = "auto"
 
     def __post_init__(self) -> None:
@@ -473,6 +518,15 @@ class SimulationConfig:
             q=self.harvest_q, quantum=self.harvest_quantum
         )
 
+    def congestion_function(self) -> CongestionWeightFunction | None:
+        """The congestion penalty, or None when disabled."""
+        if not self.routing_opts.congestion_aware:
+            return None
+        return CongestionWeightFunction(
+            q=self.routing_opts.congestion_q,
+            quantum=self.routing_opts.congestion_quantum,
+        )
+
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
@@ -493,6 +547,13 @@ class SimulationConfig:
                 "name": params.profile.name,
                 "points": [list(p) for p in params.profile.points],
             }
+        # The routing_opts section postdates most cached results and
+        # golden fixtures; the default instance is behaviour-identical
+        # to the pre-congestion simulator, so it is normalised out of
+        # the serialised form — default-pipeline configs keep their
+        # config hashes and old cache entries keep hitting.
+        if self.routing_opts == RoutingOptions():
+            raw.pop("routing_opts", None)
         return raw
 
     @classmethod
@@ -574,5 +635,8 @@ class SimulationConfig:
             harvest_quantum=data.get(
                 "harvest_quantum", DEFAULT_HARVEST_QUANTUM
             ),
+            routing_opts=RoutingOptions(**data["routing_opts"])
+            if isinstance(data.get("routing_opts"), dict)
+            else RoutingOptions(),
             engine=data.get("engine", "auto"),
         )

@@ -154,6 +154,10 @@ class ControlPlane:
         #: uploads (None while harvest-aware routing is off or no node
         #: reported income yet).
         self._income: np.ndarray | None = None
+        #: Quantised per-link load levels pushed by the engine (None
+        #: while congestion-aware routing is off or no link crossed a
+        #: load level yet).
+        self._load: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -219,6 +223,18 @@ class ControlPlane:
         self._income = np.array(income, dtype=int)
         self._links_changed = True
 
+    def update_load(self, load: np.ndarray) -> None:
+        """Hook: the quantised per-link load picture changed.
+
+        The engine pushes a fresh load-level matrix only when some link
+        crossed a load level boundary (the congestion runtime's
+        quantisation of the traversal-rate EMA), so this triggers a
+        recomputation exactly as a changed battery report would — not
+        on every forwarded packet.
+        """
+        self._load = np.array(load, dtype=int)
+        self._links_changed = True
+
     def view(self) -> NetworkView:
         """Current reported-state snapshot."""
         return NetworkView(
@@ -230,6 +246,7 @@ class ControlPlane:
             blocked_ports=self._registry.blocked_ports(),
             wear=self._wear,
             income=self._income,
+            load=self._load,
         )
 
     # ------------------------------------------------------------------

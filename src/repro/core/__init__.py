@@ -18,6 +18,14 @@ replication ``n_i* = K * H_i / sum(H)``, cross-checked by a brute-force
 optimiser of the underlying max-min program.
 """
 
+from .costs import (
+    BatteryTerm,
+    CongestionTerm,
+    CostPipeline,
+    CostTerm,
+    HarvestTerm,
+    WearTerm,
+)
 from .engines import (
     EnergyAwareRouting,
     RoutingEngine,
@@ -25,30 +33,41 @@ from .engines import (
     routing_engine,
 )
 from .floyd_warshall import (
+    equal_cost_successors,
     extract_path,
     floyd_warshall_successors,
     reference_floyd_warshall,
 )
 from .parameters import ApplicationProfile
-from .phase3 import RoutingPlan, select_destinations
+from .phase3 import EcmpSelector, RoutingPlan, select_destinations
 from .upper_bound import UpperBoundResult, optimize_duplicates, theorem1
 from .view import NetworkView
 from .weights import (
     BatteryWeightFunction,
+    CongestionWeightFunction,
     ear_weight_matrix,
     sdr_weight_matrix,
 )
 
 __all__ = [
     "ApplicationProfile",
+    "BatteryTerm",
     "BatteryWeightFunction",
+    "CongestionTerm",
+    "CongestionWeightFunction",
+    "CostPipeline",
+    "CostTerm",
+    "EcmpSelector",
     "EnergyAwareRouting",
+    "HarvestTerm",
     "NetworkView",
     "RoutingEngine",
     "RoutingPlan",
     "ShortestDistanceRouting",
     "UpperBoundResult",
+    "WearTerm",
     "ear_weight_matrix",
+    "equal_cost_successors",
     "extract_path",
     "floyd_warshall_successors",
     "optimize_duplicates",

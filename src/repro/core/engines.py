@@ -3,7 +3,9 @@
 "For a fair comparison, the proposed energy-aware routing strategy and
 its non-energy-aware counterpart are kept exactly the same except their
 routing algorithms" (paper Sec 5) — accordingly both engines share
-phases 2 and 3 verbatim and differ *only* in the phase 1 weight matrix.
+phases 2 and 3 verbatim and differ *only* in the phase 1 weight matrix,
+which both now obtain from a :class:`~repro.core.costs.CostPipeline`
+(empty for SDR, battery/wear/harvest/congestion terms for EAR).
 """
 
 from __future__ import annotations
@@ -13,17 +15,15 @@ import abc
 import numpy as np
 
 from ..errors import ConfigurationError
+from .costs import CostPipeline
 from .floyd_warshall import floyd_warshall_successors
-from .phase3 import RoutingPlan, select_destinations
+from .phase3 import EcmpSelector, RoutingPlan, select_destinations
 from .view import NetworkView
 from .weights import (
     BatteryWeightFunction,
+    CongestionWeightFunction,
     HarvestWeightFunction,
     WearWeightFunction,
-    apply_harvest_bonus,
-    apply_wear_penalty,
-    ear_weight_matrix,
-    sdr_weight_matrix,
 )
 
 
@@ -33,20 +33,48 @@ class RoutingEngine(abc.ABC):
     #: Short identifier used in configs, reports, and the CLI.
     name: str = "abstract"
 
+    #: ECMP round-robin seed; None disables equal-cost spreading and
+    #: every plan routes on the canonical successor table alone.
+    _ecmp_seed: int | None = None
+
+    @property
     @abc.abstractmethod
+    def pipeline(self) -> CostPipeline:
+        """The phase 1 cost pipeline producing the weight matrix."""
+
     def weight_matrix(self, view: NetworkView) -> np.ndarray:
         """Phase 1: produce the directed interconnect weight matrix."""
+        return self.pipeline.weight_matrix(view)
+
+    def configure_ecmp(self, seed: int | None) -> None:
+        """Enable (seeded) or disable equal-cost multi-path spreading."""
+        self._ecmp_seed = None if seed is None else int(seed)
+
+    @property
+    def ecmp_enabled(self) -> bool:
+        """Whether computed plans round-robin equal-cost successors."""
+        return self._ecmp_seed is not None
 
     def compute_plan(self, view: NetworkView) -> RoutingPlan:
         """Run all three phases and return the routing plan."""
         weights = self.weight_matrix(view)
         distances, successors = floyd_warshall_successors(weights)
         destinations = select_destinations(view, distances, successors)
+        ecmp = None
+        if self._ecmp_seed is not None:
+            ecmp = EcmpSelector(
+                weights=weights,
+                distances=distances,
+                successors=successors,
+                blocked_ports=view.blocked_ports,
+                seed=self._ecmp_seed,
+            )
         return RoutingPlan(
             distances=distances,
             successors=successors,
             destinations=destinations,
             view=view,
+            ecmp=ecmp,
         )
 
     def __repr__(self) -> str:
@@ -54,26 +82,41 @@ class RoutingEngine(abc.ABC):
 
 
 class ShortestDistanceRouting(RoutingEngine):
-    """SDR: the non-energy-aware baseline (weights = line lengths)."""
+    """SDR: the non-energy-aware baseline (weights = line lengths).
+
+    The empty cost pipeline: no term touches the masked length matrix.
+    """
 
     name = "sdr"
 
-    def weight_matrix(self, view: NetworkView) -> np.ndarray:
-        return sdr_weight_matrix(view)
+    def __init__(self) -> None:
+        self._pipeline = CostPipeline()
+
+    @property
+    def pipeline(self) -> CostPipeline:
+        return self._pipeline
 
 
 class EnergyAwareRouting(RoutingEngine):
     """EAR: lengths scaled by the receiver's battery weight ``f(N_B(j))``.
 
-    With a :class:`~repro.core.weights.WearWeightFunction` attached, the
-    weight matrix is additionally scaled by the per-link wear penalty
-    whenever the view carries wear information — routing drifts away
-    from worn lines before they sever, instead of only reacting to
-    discovered cuts.  With a
-    :class:`~repro.core.weights.HarvestWeightFunction` attached, the
-    matrix is further scaled by the receiver's harvest bonus whenever
-    the view carries income information — traffic is steered toward
-    regions the fabric is actively recharging.
+    The standard EAR pipeline composes up to four cost terms over the
+    masked length matrix — battery (always), and wear / harvest /
+    congestion whenever the corresponding weight function is attached
+    *and* the view carries the matching telemetry:
+
+    * wear (:class:`~repro.core.weights.WearWeightFunction`) — routing
+      drifts away from worn lines before they sever, instead of only
+      reacting to discovered cuts;
+    * harvest (:class:`~repro.core.weights.HarvestWeightFunction`) —
+      traffic is steered toward regions the fabric is actively
+      recharging;
+    * congestion (:class:`~repro.core.weights.CongestionWeightFunction`)
+      — hot links look longer, spreading traffic off the corridors
+      adjacent to the controller.
+
+    A fully custom :class:`~repro.core.costs.CostPipeline` may be passed
+    instead of the individual functions.
     """
 
     name = "ear"
@@ -83,49 +126,61 @@ class EnergyAwareRouting(RoutingEngine):
         weight_function: BatteryWeightFunction | None = None,
         wear_function: WearWeightFunction | None = None,
         harvest_function: HarvestWeightFunction | None = None,
+        congestion_function: CongestionWeightFunction | None = None,
+        pipeline: CostPipeline | None = None,
     ):
-        self._weight_function = (
-            weight_function
-            if weight_function is not None
-            else BatteryWeightFunction()
-        )
-        self._wear_function = wear_function
-        self._harvest_function = harvest_function
+        if pipeline is not None:
+            self._pipeline = pipeline
+        else:
+            self._pipeline = CostPipeline.ear(
+                weight_function=weight_function,
+                wear_function=wear_function,
+                harvest_function=harvest_function,
+                congestion_function=congestion_function,
+            )
+
+    @property
+    def pipeline(self) -> CostPipeline:
+        return self._pipeline
+
+    def _term_function(self, name: str):
+        term = self._pipeline.term(name)
+        return term.function if term is not None else None
 
     @property
     def weight_function(self) -> BatteryWeightFunction:
         """The battery weighting function ``f`` in use."""
-        return self._weight_function
+        function = self._term_function("battery")
+        if function is None:
+            raise ConfigurationError(
+                "EAR pipeline has no battery term"
+            )
+        return function
 
     @property
     def wear_function(self) -> WearWeightFunction | None:
         """The wear-prediction penalty in use (None = reactive EAR)."""
-        return self._wear_function
+        return self._term_function("wear")
 
     @property
     def harvest_function(self) -> HarvestWeightFunction | None:
         """The harvest bonus in use (None = harvest-blind EAR)."""
-        return self._harvest_function
+        return self._term_function("harvest")
 
-    def weight_matrix(self, view: NetworkView) -> np.ndarray:
-        weights = ear_weight_matrix(view, self._weight_function)
-        if self._wear_function is not None and view.wear is not None:
-            weights = apply_wear_penalty(
-                weights, view.wear, self._wear_function
-            )
-        if self._harvest_function is not None and view.income is not None:
-            weights = apply_harvest_bonus(
-                weights, view, self._harvest_function
-            )
-        return weights
+    @property
+    def congestion_function(self) -> CongestionWeightFunction | None:
+        """The congestion penalty in use (None = congestion-blind EAR)."""
+        return self._term_function("congestion")
 
     def __repr__(self) -> str:
-        wf = self._weight_function
+        wf = self.weight_function
         parts = [f"q={wf.q}", f"levels={wf.levels}"]
-        if self._wear_function is not None:
-            parts.append(f"wear_q={self._wear_function.q}")
-        if self._harvest_function is not None:
-            parts.append(f"harvest_q={self._harvest_function.q}")
+        if self.wear_function is not None:
+            parts.append(f"wear_q={self.wear_function.q}")
+        if self.harvest_function is not None:
+            parts.append(f"harvest_q={self.harvest_function.q}")
+        if self.congestion_function is not None:
+            parts.append(f"congestion_q={self.congestion_function.q}")
         return f"EnergyAwareRouting({', '.join(parts)})"
 
 
@@ -134,12 +189,16 @@ def routing_engine(
     weight_function: BatteryWeightFunction | None = None,
     wear_function: WearWeightFunction | None = None,
     harvest_function: HarvestWeightFunction | None = None,
+    congestion_function: CongestionWeightFunction | None = None,
 ) -> RoutingEngine:
     """Factory by short name (``"ear"`` or ``"sdr"``)."""
     normalized = name.strip().lower()
     if normalized == "ear":
         return EnergyAwareRouting(
-            weight_function, wear_function, harvest_function
+            weight_function,
+            wear_function,
+            harvest_function,
+            congestion_function,
         )
     if normalized == "sdr":
         return ShortestDistanceRouting()

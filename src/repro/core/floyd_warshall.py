@@ -85,6 +85,63 @@ def floyd_warshall_successors(
     return distances, successors
 
 
+#: Relative tolerance for "equal cost" when collecting ECMP successor
+#: groups.  The vectorised and reference Floyd–Warshall runs accumulate
+#: sums in different orders, so exact equality would make group
+#: membership depend on summation order; one part in 10^9 is far below
+#: any physically meaningful weight difference.
+ECMP_COST_TOLERANCE = 1e-9
+
+
+def equal_cost_successors(
+    weights: np.ndarray,
+    distances: np.ndarray,
+    successors: np.ndarray,
+    source: int,
+    destination: int,
+) -> list[int]:
+    """All next hops of ``source`` on a minimal path to ``destination``.
+
+    The canonical successor matrix keeps a single (deterministic,
+    first-found) next hop per pair; this recovers the full equal-cost
+    group from the distance matrix.  A neighbour ``k`` qualifies when
+
+    * the edge ``source -> k`` exists (finite weight, ``k != source``),
+    * ``D[k, dest] < D[source, dest]`` — strict progress toward the
+      destination, which guarantees loop freedom for positive weights
+      (every hop decreases the remaining distance, so no cycle), and
+    * ``W[source, k] + D[k, dest] <= D[source, dest] * (1 + tol)`` —
+      the detour through ``k`` costs no more than the optimum (up to
+      :data:`ECMP_COST_TOLERANCE`).
+
+    The canonical successor always satisfies these conditions, so the
+    group is never empty for a reachable pair; members are returned in
+    ascending node order.  For an unreachable pair (or ``source ==
+    destination``) the list is empty.
+    """
+    if source == destination:
+        return []
+    optimum = distances[source, destination]
+    if not np.isfinite(optimum):
+        return []
+    edge = weights[source]
+    remaining = distances[:, destination]
+    candidates = (
+        np.isfinite(edge)
+        & (remaining < optimum)
+        & (edge + remaining <= optimum * (1.0 + ECMP_COST_TOLERANCE))
+    )
+    candidates[source] = False
+    group = [int(k) for k in np.flatnonzero(candidates)]
+    canonical = int(successors[source, destination])
+    if canonical != NO_SUCCESSOR and canonical not in group:
+        # Rounding pushed the recomputed sum past the tolerance; the
+        # canonical choice is minimal by construction, so keep it.
+        group.append(canonical)
+        group.sort()
+    return group
+
+
 def reference_floyd_warshall(
     weights: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray]:

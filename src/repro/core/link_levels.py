@@ -1,0 +1,79 @@
+"""Quantised per-link level tracking shared by wear and congestion.
+
+Two telemetry subsystems quantise a per-link scalar into discrete
+levels and report changes to the controller on level crossings: the
+fault runtime (traversal wear) and the congestion runtime (smoothed
+utilisation).  Both need the same bookkeeping — a sparse canonical-pair
+-> level map, a dirty flag that flips only on genuine level changes,
+and a dense symmetric matrix view for the
+:class:`~repro.core.view.NetworkView` — which this store provides once
+instead of twice.
+
+Sparsity matters: on a K-node mesh only O(K) links ever carry traffic,
+so the map stays small while the dense matrix is materialised only at
+report time (once per level crossing, not per packet).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LinkLevelStore:
+    """Sparse map of canonical link pairs to positive quantised levels.
+
+    Level 0 is the implicit default and is never stored; a transition
+    back to 0 removes the entry.  :attr:`dirty` flips True whenever any
+    pair's stored level actually changes — the report trigger — and is
+    reset by the consumer after pushing a fresh picture upstream (the
+    same discipline as battery-level reports).
+    """
+
+    def __init__(self) -> None:
+        self._levels: dict[tuple[int, int], int] = {}
+        self.dirty = False
+
+    @staticmethod
+    def canonical(u: int, v: int) -> tuple[int, int]:
+        """The undirected pair key: ``(min, max)``."""
+        return (u, v) if u < v else (v, u)
+
+    def level(self, pair: tuple[int, int]) -> int:
+        """Current level of a canonical pair (0 when unstored)."""
+        return self._levels.get(pair, 0)
+
+    def set_level(self, pair: tuple[int, int], level: int) -> bool:
+        """Record a pair's level; returns True (and dirties) on change."""
+        if level == self._levels.get(pair, 0):
+            return False
+        if level:
+            self._levels[pair] = level
+        else:
+            self._levels.pop(pair, None)
+        self.dirty = True
+        return True
+
+    def clear(self, pair: tuple[int, int]) -> bool:
+        """Drop a pair's level; returns True (and dirties) if it was set."""
+        if self._levels.pop(pair, None) is None:
+            return False
+        self.dirty = True
+        return True
+
+    def matrix(self, num_nodes: int) -> np.ndarray:
+        """Dense symmetric ``(K, K)`` int matrix of current levels."""
+        matrix = np.zeros((num_nodes, num_nodes), dtype=np.int64)
+        for (u, v), level in self._levels.items():
+            matrix[u, v] = level
+            matrix[v, u] = level
+        return matrix
+
+    def max_level(self) -> int:
+        """Largest stored level (0 when every link is at the default)."""
+        return max(self._levels.values(), default=0)
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __bool__(self) -> bool:
+        return True

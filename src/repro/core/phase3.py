@@ -16,11 +16,98 @@ from functools import cached_property
 import numpy as np
 
 from ..errors import RoutingError, UnreachableModuleError
-from .floyd_warshall import NO_SUCCESSOR, extract_path
+from .floyd_warshall import NO_SUCCESSOR, equal_cost_successors, extract_path
 from .view import NetworkView
 
 #: Sentinel for "no destination reachable".
 NO_DESTINATION = -1
+
+
+class EcmpSelector:
+    """Deterministic round-robin over equal-cost successor groups.
+
+    Floyd–Warshall keeps one canonical next hop per (node, destination)
+    pair, which concentrates all traffic of a pair on a single corridor
+    even when several minimal paths exist.  This selector recovers the
+    full equal-cost group (lazily, per pair — most pairs are never
+    routed) and cycles through it per forwarded packet, so equal-cost
+    traffic spreads across parallel corridors.
+
+    Determinism: the starting member of each pair's rotation is a hash
+    of ``(node, destination, seed)``, and subsequent calls advance one
+    member per call.  Every engine drives the same per-pair call
+    sequence for the same workload, so sequential, vector, and
+    concurrent runs pick identical hops.  Members whose ``(node, hop)``
+    port is reported deadlocked are skipped; if every member is blocked
+    the canonical successor is returned (matching the non-ECMP
+    behaviour, where deadlock handling is phase 3's job).
+
+    This object is mutable (rotation counters) and is rebuilt with each
+    routing plan, so stale groups never outlive the weights they were
+    derived from.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        distances: np.ndarray,
+        successors: np.ndarray,
+        blocked_ports: frozenset[tuple[int, int]],
+        seed: int,
+    ):
+        self._weights = weights
+        self._distances = distances
+        self._successors = successors
+        self._blocked = blocked_ports
+        self._seed = int(seed)
+        self._groups: dict[tuple[int, int], list[int]] = {}
+        self._counters: dict[tuple[int, int], int] = {}
+
+    def _group(self, node: int, destination: int) -> list[int]:
+        key = (node, destination)
+        group = self._groups.get(key)
+        if group is None:
+            group = equal_cost_successors(
+                self._weights,
+                self._distances,
+                self._successors,
+                node,
+                destination,
+            )
+            self._groups[key] = group
+        return group
+
+    def _start_offset(self, node: int, destination: int, size: int) -> int:
+        # Integer hash mix (Teschner-style spatial hash primes): cheap,
+        # stable across platforms, and decorrelates neighbouring pairs
+        # so rotations do not start in lockstep.
+        mixed = (
+            (node * 73856093)
+            ^ (destination * 19349663)
+            ^ (self._seed * 83492791)
+        )
+        return (mixed & 0x7FFFFFFF) % size
+
+    def next_hop(self, node: int, destination: int) -> int | None:
+        """Next member of the pair's rotation, or None when no group.
+
+        ``None`` tells the caller to fall back to the canonical
+        successor entry (covering unreachable pairs, whose error
+        handling stays in :meth:`RoutingPlan.next_hop`).
+        """
+        group = self._group(node, destination)
+        if len(group) <= 1:
+            return group[0] if group else None
+        key = (node, destination)
+        turn = self._counters.get(key, 0)
+        self._counters[key] = turn + 1
+        size = len(group)
+        start = self._start_offset(node, destination, size)
+        for step in range(size):
+            hop = group[(start + turn + step) % size]
+            if (node, hop) not in self._blocked:
+                return hop
+        return None
 
 
 @dataclass(frozen=True)
@@ -35,12 +122,19 @@ class RoutingPlan:
             at node ``n`` (column 0 is unused padding so module ids can
             index directly); :data:`NO_DESTINATION` when unreachable.
         view: The network view the plan was computed from.
+        ecmp: Optional :class:`EcmpSelector`; when present,
+            :meth:`next_hop` round-robins over equal-cost successor
+            groups instead of always returning the canonical entry.
+            :meth:`successor` is unaffected (consumers that need the
+            deterministic canonical table — power-bus pathing, plan
+            diffing — keep it).
     """
 
     distances: np.ndarray
     successors: np.ndarray
     destinations: np.ndarray
     view: NetworkView = field(repr=False)
+    ecmp: EcmpSelector | None = field(default=None, repr=False)
 
     @property
     def num_nodes(self) -> int:
@@ -79,7 +173,16 @@ class RoutingPlan:
         return self._successor_rows[node][destination]
 
     def next_hop(self, node: int, destination: int) -> int:
-        """Next hop from ``node`` toward ``destination``."""
+        """Next hop from ``node`` toward ``destination``.
+
+        With an :attr:`ecmp` selector attached, equal-cost groups are
+        round-robined; otherwise (and for pairs with a single minimal
+        path) the canonical successor entry is returned.
+        """
+        if self.ecmp is not None and node != destination:
+            hop = self.ecmp.next_hop(node, destination)
+            if hop is not None:
+                return hop
         hop = self._successor_rows[node][destination]
         if hop == NO_SUCCESSOR:
             raise RoutingError(

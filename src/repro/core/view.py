@@ -39,6 +39,10 @@ class NetworkView:
             harvest income levels (smoothed accepted income, learned
             from status uploads); None when harvest-aware routing is
             off.
+        load: Optional ``(K, K)`` matrix of quantised per-link load
+            levels (smoothed traversal rates, reported by the engine's
+            congestion runtime); None when congestion-aware routing is
+            off.
     """
 
     lengths: np.ndarray
@@ -51,6 +55,7 @@ class NetworkView:
     )
     wear: np.ndarray | None = None
     income: np.ndarray | None = None
+    load: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         lengths = np.asarray(self.lengths, dtype=float)
@@ -100,6 +105,15 @@ class NetworkView:
             if income.min(initial=0) < 0:
                 raise ConfigurationError("income levels must be >= 0")
             object.__setattr__(self, "income", income)
+        if self.load is not None:
+            load = np.asarray(self.load, dtype=int)
+            if load.shape != (size, size):
+                raise ConfigurationError(
+                    f"load matrix must be {size}x{size}, got {load.shape}"
+                )
+            if load.min(initial=0) < 0:
+                raise ConfigurationError("load levels must be >= 0")
+            object.__setattr__(self, "load", load)
 
     @property
     def num_nodes(self) -> int:
@@ -123,4 +137,5 @@ class NetworkView:
             blocked_ports=blocked,
             wear=self.wear,
             income=self.income,
+            load=self.load,
         )

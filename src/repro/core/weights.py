@@ -71,6 +71,76 @@ DEFAULT_HARVEST_LEVELS = 8
 #: weight's protection, not extra traffic.
 HARVEST_RICH_BAND = 2
 
+#: Default congestion-penalty base: a link one load level up looks
+#: 25 % longer.  Stronger than the wear penalty — congestion is a
+#: *measured* per-frame utilisation, not a failure prediction, and the
+#: penalty must overcome the battery weight's pull toward the short
+#: central corridors for ECMP spreading to engage.  Calibrated (with
+#: the quantum below) on the congestion-relief scenario grid so the
+#: hottest link's traffic share drops without shortening lifetime.
+DEFAULT_CONGESTION_Q = 1.25
+
+#: Default smoothed per-frame traversal count (EMA) per quantised load
+#: level.  One job on a small mesh crosses a source-adjacent line a
+#: handful of times per frame, so whole-number steps separate the hot
+#: corridor from the idle periphery.
+DEFAULT_CONGESTION_QUANTUM = 2.0
+
+#: Load-level cap shared by the congestion runtime's quantiser and the
+#: penalty table — one source of truth for where congestion saturates.
+DEFAULT_CONGESTION_LEVELS = 8
+
+
+# ----------------------------------------------------------------------
+# Shared scale/gate helpers (the cost-pipeline primitives)
+# ----------------------------------------------------------------------
+def scale_columns(weights: np.ndarray, multipliers: np.ndarray) -> np.ndarray:
+    """Scale column ``j`` (the receiving endpoint) by ``multipliers[j]``.
+
+    The common shape of every *node*-keyed cost term (battery, harvest):
+    ``inf`` entries stay ``inf`` (``inf * x == inf`` for positive
+    multipliers) and the diagonal is re-zeroed, so the Floyd–Warshall
+    conventions survive.  Returns a new matrix; the input is unchanged.
+    """
+    weights = weights * multipliers[np.newaxis, :]
+    np.fill_diagonal(weights, 0.0)
+    return weights
+
+
+def scale_links(weights: np.ndarray, multipliers: np.ndarray) -> np.ndarray:
+    """Scale every link by a dense per-link multiplier matrix.
+
+    The common shape of every *link*-keyed cost term (wear, congestion).
+    ``inf`` entries stay ``inf`` and the diagonal is re-zeroed, so the
+    Floyd–Warshall conventions survive.  Returns a new matrix.
+    """
+    weights = weights * multipliers
+    np.fill_diagonal(weights, 0.0)
+    return weights
+
+
+def quantised_multipliers(
+    table: np.ndarray, levels: np.ndarray, cap: int
+) -> np.ndarray:
+    """Look up a saturating level table: ``table[min(levels, cap)]``.
+
+    The shared quantise step of every level-driven term: reported
+    levels index a precomputed multiplier table, saturating at the
+    table's last entry so runtime levels beyond the configured cap
+    cannot index out of range.
+    """
+    return table[np.minimum(levels, cap)]
+
+
+def battery_rich_mask(view: NetworkView, band: int) -> np.ndarray:
+    """Nodes reporting a battery level within ``band`` levels of full.
+
+    The shared gate of surplus-seeking terms (harvest): a bonus only
+    applies while the receiver is still nearly full — below the band
+    the node needs the battery weight's protection, not extra traffic.
+    """
+    return view.battery_levels >= view.levels - band
+
 
 @dataclass(frozen=True)
 class BatteryWeightFunction:
@@ -204,6 +274,62 @@ class HarvestWeightFunction:
         return np.array([self(level) for level in range(self.levels)])
 
 
+@dataclass(frozen=True)
+class CongestionWeightFunction:
+    """Congestion penalty: ``c(l) = Q_c ** min(l, levels - 1)``.
+
+    ``l`` is a link's quantised load level — its smoothed per-frame
+    traversal count in units of a load quantum, tracked by the engine's
+    congestion runtime and pushed to the controller on level crossings.
+    Hot links look longer, so EAR spreads traffic off the corridors
+    adjacent to the controller — the lifetime bottleneck under heavy
+    traffic.  An idle link (level 0) is unpenalised, and ``q == 1``
+    degenerates to a *measure-only* run: utilisation is tracked and
+    reported but the weight matrix is untouched (the congestion
+    analysis uses this as the comparison baseline).
+
+    Args:
+        q: Penalty base ``Q_c`` (>= 1).
+        quantum: Smoothed traversals per frame per load level (> 0).
+        levels: Level cap (the penalty saturates, like battery levels).
+    """
+
+    q: float = DEFAULT_CONGESTION_Q
+    quantum: float = DEFAULT_CONGESTION_QUANTUM
+    levels: int = DEFAULT_CONGESTION_LEVELS
+
+    def __post_init__(self) -> None:
+        if self.q < 1.0:
+            raise ConfigurationError(
+                f"congestion penalty base must be >= 1, got {self.q}"
+            )
+        if self.quantum <= 0:
+            raise ConfigurationError(
+                f"congestion quantum must be positive, got {self.quantum}"
+            )
+        if self.levels < 1:
+            raise ConfigurationError(
+                f"congestion levels must be >= 1, got {self.levels}"
+            )
+
+    @property
+    def is_neutral(self) -> bool:
+        """True when the penalty cannot change any weight (measure-only)."""
+        return self.q == 1.0
+
+    def __call__(self, level: int) -> float:
+        """Weight multiplier of a link at load ``level``."""
+        if level < 0:
+            raise ConfigurationError(
+                f"load level must be >= 0, got {level}"
+            )
+        return self.q ** min(level, self.levels - 1)
+
+    def table(self) -> np.ndarray:
+        """Vector of multipliers indexed by level."""
+        return np.array([self(level) for level in range(self.levels)])
+
+
 def apply_harvest_bonus(
     weights: np.ndarray,
     view: NetworkView,
@@ -222,14 +348,12 @@ def apply_harvest_bonus(
     entries stay ``inf`` and the diagonal stays 0, so the
     Floyd–Warshall conventions survive.
     """
-    multipliers = harvest_function.table()[
-        np.minimum(view.income, harvest_function.levels - 1)
-    ]
-    rich = view.battery_levels >= view.levels - HARVEST_RICH_BAND
+    multipliers = quantised_multipliers(
+        harvest_function.table(), view.income, harvest_function.levels - 1
+    )
+    rich = battery_rich_mask(view, HARVEST_RICH_BAND)
     multipliers = np.where(rich, multipliers, 1.0)
-    weights = weights * multipliers[np.newaxis, :]
-    np.fill_diagonal(weights, 0.0)
-    return weights
+    return scale_columns(weights, multipliers)
 
 
 def apply_wear_penalty(
@@ -242,12 +366,27 @@ def apply_wear_penalty(
     ``inf`` entries (severed or masked lines) stay ``inf`` and the
     diagonal stays 0, so the Floyd–Warshall conventions survive.
     """
-    multipliers = wear_function.table()[
-        np.minimum(wear, wear_function.levels - 1)
-    ]
-    weights = weights * multipliers
-    np.fill_diagonal(weights, 0.0)
-    return weights
+    multipliers = quantised_multipliers(
+        wear_function.table(), wear, wear_function.levels - 1
+    )
+    return scale_links(weights, multipliers)
+
+
+def apply_congestion_penalty(
+    weights: np.ndarray,
+    load: np.ndarray,
+    congestion_function: CongestionWeightFunction,
+) -> np.ndarray:
+    """Scale a weight matrix by the per-link congestion penalty.
+
+    ``load`` is the controller's quantised load-level matrix.  ``inf``
+    entries stay ``inf`` and the diagonal stays 0, so the
+    Floyd–Warshall conventions survive.
+    """
+    multipliers = quantised_multipliers(
+        congestion_function.table(), load, congestion_function.levels - 1
+    )
+    return scale_links(weights, multipliers)
 
 
 def _masked_lengths(view: NetworkView) -> np.ndarray:
@@ -280,10 +419,8 @@ def ear_weight_matrix(
             f"the view reports {view.levels}"
         )
     weights = _masked_lengths(view)
+    # Scale column j (the receiving endpoint) by f(N_B(j)); battery
+    # levels are validated against the view so no saturating cap is
+    # needed here.
     multipliers = weight_function.table()[view.battery_levels]
-    # Scale column j (the receiving endpoint) by f(N_B(j)); the diagonal
-    # and infinite entries are unaffected because inf * x == inf and the
-    # diagonal is zero.
-    weights = weights * multipliers[np.newaxis, :]
-    np.fill_diagonal(weights, 0.0)
-    return weights
+    return scale_columns(weights, multipliers)

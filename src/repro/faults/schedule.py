@@ -26,6 +26,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..core.link_levels import LinkLevelStore
 from ..core.weights import DEFAULT_WEAR_LEVELS
 from ..mesh.topology import Topology
 from .config import FAULT_KINDS, FaultConfig
@@ -513,8 +514,16 @@ class FaultRuntime:
         self.wear_quantum = int(wear_quantum)
         self.wear_levels = int(wear_levels)
         #: Canonical pair -> current quantised wear level (> 0 only).
-        self._levels: dict[tuple[int, int], int] = {}
-        self.wear_dirty = False
+        self._levels = LinkLevelStore()
+
+    @property
+    def wear_dirty(self) -> bool:
+        """Some link crossed a wear-level boundary since the last reset."""
+        return self._levels.dirty
+
+    @wear_dirty.setter
+    def wear_dirty(self, value: bool) -> None:
+        self._levels.dirty = value
 
     def due(self, frame: int) -> list[FaultEvent]:
         """Events scheduled at or before ``frame`` not yet delivered."""
@@ -556,8 +565,7 @@ class FaultRuntime:
         pair = (min(u, v), max(u, v))
         self.traversals.pop(pair, None)
         self.degrade_counts.pop(pair, None)
-        if self._levels.pop(pair, None) is not None:
-            self.wear_dirty = True
+        self._levels.clear(pair)
 
     def is_cut(self, u: int, v: int) -> bool:
         return (u, v) in self.cut_links
@@ -571,12 +579,7 @@ class FaultRuntime:
             self.traversals.get(pair, 0) // self.wear_quantum
             + self.degrade_counts.get(pair, 0),
         )
-        if level != self._levels.get(pair, 0):
-            if level:
-                self._levels[pair] = level
-            else:
-                self._levels.pop(pair, None)
-            self.wear_dirty = True
+        self._levels.set_level(pair, level)
 
     def note_traversal(self, u: int, v: int) -> None:
         """One packet crossed the ``u - v`` line (hot path when enabled)."""
@@ -596,8 +599,4 @@ class FaultRuntime:
 
     def wear_level_matrix(self, num_nodes: int) -> np.ndarray:
         """Dense symmetric ``(K, K)`` int matrix of quantised wear levels."""
-        matrix = np.zeros((num_nodes, num_nodes), dtype=np.int64)
-        for (u, v), level in self._levels.items():
-            matrix[u, v] = level
-            matrix[v, u] = level
-        return matrix
+        return self._levels.matrix(num_nodes)

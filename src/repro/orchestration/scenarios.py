@@ -21,7 +21,7 @@ import hashlib
 from dataclasses import dataclass, replace
 from typing import Callable
 
-from ..config import SimulationConfig
+from ..config import RoutingOptions, SimulationConfig
 from ..errors import ConfigurationError
 from ..faults import FaultConfig
 from ..harvest import HarvestConfig, HarvestHardware
@@ -65,6 +65,15 @@ GOLDEN_SMOKE_POINTS = (
     # One sampled garment of the fleet smoke preset, pinning the whole
     # (fleet_seed, index) -> SimulationConfig sampling chain.
     ("fleet", "g0000/4x4", "fleet_smoke_g0000.json"),
+    # Congestion pair: measure-only baseline (neutral q tracks load
+    # without changing weights) and the ECMP + congestion-penalty
+    # relief point, pinning the load-telemetry path end to end.
+    ("congestion-relief", "4x4/base", "congestion_relief_smoke_4x4_base.json"),
+    (
+        "congestion-relief",
+        "4x4/relief",
+        "congestion_relief_smoke_4x4_relief.json",
+    ),
 )
 
 #: Builder signature: (scale, base config) -> sweep points.
@@ -833,6 +842,76 @@ def _engine_speed(scale: str, base: SimulationConfig) -> list[SweepPoint]:
                 params={"mesh": f"{width}x{width}", "engine": engine},
             )
         )
+    return points
+
+
+def _congestion_opts(mode: str, label: str, base_seed: int) -> RoutingOptions:
+    """The two arms of the congestion comparison.
+
+    ``base`` is *measure-only*: congestion tracking is on with a
+    neutral penalty (q = 1.0), so the summary carries the hot-link
+    metrics while routing behaves exactly like plain EAR.  ``relief``
+    keeps the default penalty and turns on ECMP spreading, with a
+    label-derived rotation seed so every point is deterministic but
+    decorrelated.
+    """
+    if mode == "base":
+        return RoutingOptions(congestion_aware=True, congestion_q=1.0)
+    return RoutingOptions(
+        congestion_aware=True,
+        ecmp=True,
+        ecmp_seed=derive_seed(base_seed, f"congestion-relief/{label}"),
+    )
+
+
+@scenario(
+    "congestion-relief",
+    "hot-link spreading: measure-only EAR vs congestion-aware ECMP",
+)
+def _congestion_relief(scale: str, base: SimulationConfig) -> list[SweepPoint]:
+    """The congestion axis, measured: the same workload routed with
+    load tracking only (``base``, bit-identical to plain EAR) and with
+    the congestion penalty plus ECMP round-robin (``relief``).  With
+    every job funnelling through the source corner, the canonical
+    successor tree concentrates relays on a handful of lines; the
+    relief arm spreads them across the equal-cost fan.  The quick grid
+    pairs both arms on the sequential *and* vector engines — the
+    integration suite asserts the hot-link share drops and the
+    lifetime never shortens.
+    """
+    widths = {"smoke": (4,), "quick": (5,), "full": (16,)}[scale]
+    kinds = {
+        "smoke": ("sequential",),
+        "quick": ("sequential", "vector"),
+        "full": ("vector",),
+    }[scale]
+    caps = {"smoke": 8, "quick": 30, "full": 120}
+    points = []
+    for width in widths:
+        for engine in kinds:
+            for mode in ("base", "relief"):
+                suffix = "/vec" if engine == "vector" else ""
+                label = f"{width}x{width}/{mode}{suffix}"
+                config = _mesh_point(
+                    base, width, engine=engine, max_jobs=caps[scale]
+                )
+                config = replace(
+                    config,
+                    routing_opts=_congestion_opts(
+                        mode, label, base.workload.seed
+                    ),
+                )
+                points.append(
+                    SweepPoint(
+                        label=label,
+                        config=config,
+                        params={
+                            "mesh": f"{width}x{width}",
+                            "engine": engine,
+                            "mode": mode,
+                        },
+                    )
+                )
     return points
 
 

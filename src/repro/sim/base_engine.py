@@ -19,6 +19,7 @@ from ..harvest.schedule import HarvestRuntime, build_harvest_schedule
 from ..mesh.connectivity import reachable_set, system_is_alive
 from ..mesh.geometry import node_id as mesh_node_id
 from ..mesh.topology import attach_external_node
+from .congestion import CongestionRuntime
 from .node import NetworkNode
 from .stats import EnergyLedger, SimulationStats
 from .workload import JobFactory
@@ -95,6 +96,9 @@ class EngineBase:
         # Per-hop packet energy depends only on the (static) line length,
         # and _transmit sits on the per-hop hot path: memoise by length.
         self._hop_energy_by_length: dict[float, float] = {}
+        # Per-segment bus-transfer efficiency likewise depends only on
+        # the line length (see _share_arrival_factor): memoise by length.
+        self._share_factor_by_length: dict[float, float] = {}
 
         # --- control --------------------------------------------------------
         self.schedule = config.control.make_schedule(self.num_mesh_nodes)
@@ -114,13 +118,22 @@ class EngineBase:
         harvest_function = (
             config.harvest_function() if config.routing == "ear" else None
         )
+        # Same gating again for congestion: SDR routes on lengths alone.
+        congestion_function = (
+            config.congestion_function() if config.routing == "ear" else None
+        )
         routing_engine = (
             EnergyAwareRouting(
-                config.weight_function(), wear_function, harvest_function
+                config.weight_function(),
+                wear_function,
+                harvest_function,
+                congestion_function,
             )
             if config.routing == "ear"
             else ShortestDistanceRouting()
         )
+        if config.routing_opts.ecmp:
+            routing_engine.configure_ecmp(config.routing_opts.ecmp_seed)
         self.control = ControlPlane(
             lengths=self.lengths,
             mapping=self.mapping,
@@ -199,6 +212,24 @@ class EngineBase:
         self._track_income = (
             harvest_function is not None and self.harvest.is_active
         )
+
+        # --- congestion tracking ------------------------------------------
+        self.congestion = CongestionRuntime(
+            # Load is estimated with the same quantum the penalty table
+            # quantises at — one source of truth via the congestion
+            # function.
+            quantum=(
+                congestion_function.quantum if congestion_function else 0.0
+            ),
+            levels=congestion_function.levels if congestion_function else 1,
+        )
+        self._track_load = congestion_function is not None
+        #: Levels are pushed to the controller only when the penalty can
+        #: actually change a weight: a measure-only run (q == 1) tracks
+        #: and reports utilisation without charging the controller
+        #: spurious recomputes, so it is behaviour-identical to plain
+        #: EAR — the congestion analysis' baseline.
+        self._push_load = self._track_load and not congestion_function.is_neutral
         #: True when the frame hook has any work at all: income to
         #: apply, or a bus profile redistributing existing charge.
         self.harvest_active = (
@@ -259,6 +290,17 @@ class EngineBase:
                 self.harvest.income_level_vector(self.topology.num_nodes)
             )
             self.harvest.income_dirty = False
+        if self._track_load:
+            # Fold the frame's traversal counts into the utilisation
+            # EMA; when some link crossed a quantised load level (and
+            # the penalty is active), push the new picture so the
+            # controller spreads traffic off the hot corridor.
+            self.congestion.end_frame()
+            if self._push_load and self.congestion.load_dirty:
+                self.control.update_load(
+                    self.congestion.load_level_matrix(self.topology.num_nodes)
+                )
+                self.congestion.load_dirty = False
         outcome = self.control.process_frame(frame, reports, heartbeats)
         self.ledger.add_controller(outcome.controller_energy_pj)
         if not self.control.alive:
@@ -493,12 +535,15 @@ class EngineBase:
         textile lines and, when the gap exceeds the configured
         threshold, pushes one quantum toward the poorest of them along
         the cheapest-loss path.  Each line segment passes
-        ``share_efficiency`` of what enters it, so a ``k``-hop transfer
-        arrives scaled by ``efficiency ** k`` — the per-hop losses are
-        booked segment by segment and the intermediate nodes' relayed
-        energy is recorded, so the conservation identity closes with
-        any hop count.  Donor order is node order: deterministic, and
-        identical in both engines.
+        ``share_efficiency`` of what enters it *per link pitch of
+        physical line* (see :meth:`_share_arrival_factor`), so a
+        ``k``-hop transfer over uniform-pitch lines arrives scaled by
+        exactly ``efficiency ** k`` while a stretched or degraded line
+        loses proportionally more — the per-hop losses are booked
+        segment by segment and the intermediate nodes' relayed energy
+        is recorded, so the conservation identity closes with any hop
+        count.  Donor order is node order: deterministic, and identical
+        in both engines.
         """
         config = self.config.harvest
         rate = config.share_rate_pj
@@ -542,12 +587,16 @@ class EngineBase:
                 transfer, self.schedule.frame_cycles
             )
             energy = result.delivered_pj
+            prev = donor
             for hop in paths[poorest]:
-                arrived = energy * efficiency
+                arrived = energy * self._share_arrival_factor(
+                    float(self.lengths[prev, hop]), efficiency
+                )
                 self.ledger.add_share_hop(energy - arrived)
                 if hop != poorest:
                     self.ledger.note_share_relay(hop, arrived)
                 energy = arrived
+                prev = hop
             accepted = self.nodes[poorest].battery.recharge(energy)
             self.ledger.add_share(
                 donor,
@@ -558,6 +607,25 @@ class EngineBase:
             )
             if result.died:
                 self.on_node_death(donor)
+
+    def _share_arrival_factor(self, length: float, efficiency: float) -> float:
+        """Fraction of bus-transferred energy surviving one line segment.
+
+        Resistive loss on a conductive-textile line grows with its
+        physical length, so the per-segment efficiency is
+        ``share_efficiency ** (length / link_pitch_cm)`` — the
+        configured efficiency is the loss of one *pitch-length* line,
+        and a stretched (degraded) or longer line loses proportionally
+        more.  For uniform-pitch fabrics ``length / pitch == 1.0``
+        exactly and ``x ** 1.0 == x`` in IEEE 754, so the historical
+        constant-per-hop compounding is reproduced bit-identically.
+        """
+        factor = self._share_factor_by_length.get(length)
+        if factor is None:
+            pitch = self.config.platform.link_pitch_cm
+            factor = efficiency ** (length / pitch)
+            self._share_factor_by_length[length] = factor
+        return factor
 
     def _link_alive(self, u: int, v: int) -> bool:
         """True while the ``u -> v`` line has not been cut by a fault."""
@@ -612,6 +680,8 @@ class EngineBase:
             self._hop_energy_by_length[length] = energy
         if self._track_wear:
             self.faults.note_traversal(sender, receiver)
+        if self._track_load:
+            self.congestion.note_traversal(sender, receiver)
         unit = self.nodes[sender]
         result = unit.draw(energy, self.hop_cycles)
         if unit.has_infinite_supply:
@@ -655,6 +725,14 @@ class EngineBase:
         # The textile power bus loses energy in conversion too: drawn
         # from donors minus accepted by receivers.
         loss += self.ledger.share_loss_pj
+        # Utilisation metrics exist only on congestion-tracking runs:
+        # None keeps every historical summary (and the golden fixtures
+        # recorded from them) byte-identical.
+        max_link_traversals = None
+        hot_link_share = None
+        if self._track_load:
+            max_link_traversals = self.congestion.max_link_traversals()
+            hot_link_share = round(self.congestion.hot_link_share(), 9)
         return SimulationStats(
             jobs_completed=jobs_completed,
             partial_progress=partial,
@@ -683,4 +761,6 @@ class EngineBase:
             shared_pj=self.ledger.shared_pj,
             share_hops=self.ledger.share_hops,
             harvest_events=self.ledger.harvest_events,
+            max_link_traversals=max_link_traversals,
+            hot_link_share=hot_link_share,
         )

@@ -1,0 +1,142 @@
+"""Per-link utilisation tracking for congestion-aware routing.
+
+The engines already count link traversals for the wear weight
+(:class:`~repro.faults.schedule.FaultRuntime`), but wear accumulates
+monotonically over a link's whole life — congestion needs the *rate*:
+how busy a line is right now.  :class:`CongestionRuntime` keeps an
+exponential moving average of each link's per-frame traversal count,
+quantises it into discrete load levels through the shared
+:class:`~repro.core.link_levels.LinkLevelStore`, and flips
+:attr:`~CongestionRuntime.load_dirty` on level crossings — the same
+report-on-change discipline as battery, wear, and income telemetry.
+
+The EMA half-life is short (a few tens of frames at the default
+``alpha``): congestion must track the *current* routing plan, not the
+run's history, or a relieved corridor would stay penalised long after
+traffic moved off it and the weight would oscillate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.link_levels import LinkLevelStore
+from ..core.weights import DEFAULT_CONGESTION_LEVELS
+
+#: Smoothing factor of the per-link traversal-rate moving average.  Much
+#: faster than the income EMA (0.02): income shifts with the wearer's
+#: activity schedule over thousands of frames, while link load jumps the
+#: moment a routing recomputation moves a corridor, and the penalty must
+#: follow within tens of frames for relief to engage before the hot
+#: cells sag.
+CONGESTION_EMA_ALPHA = 0.2
+
+
+class CongestionRuntime:
+    """Per-run link-utilisation state backing the congestion weight.
+
+    Tracking is opt-in via ``quantum``: each link's load level is its
+    smoothed per-frame traversal count in units of ``quantum``, capped
+    at ``levels - 1``.  :meth:`note_traversal` is the hot path (one
+    dict increment per forwarded packet, mirroring the wear counter);
+    the EMA fold, quantisation, and dirty-flag bookkeeping happen once
+    per frame in :meth:`end_frame`.
+
+    Lifetime totals (:attr:`totals`) are kept alongside the EMA for the
+    end-of-run utilisation metrics — they see every traversal whether
+    or not the penalty is active, so measure-only baselines report the
+    same statistics as penalised runs.
+    """
+
+    def __init__(
+        self,
+        quantum: float = 0.0,
+        levels: int = DEFAULT_CONGESTION_LEVELS,
+        alpha: float = CONGESTION_EMA_ALPHA,
+    ):
+        self.quantum = float(quantum)
+        self.levels = int(levels)
+        self.alpha = float(alpha)
+        #: Canonical pair -> traversals in the current frame.
+        self._frame_counts: dict[tuple[int, int], int] = {}
+        #: Canonical pair -> smoothed traversals per frame.
+        self._ema: dict[tuple[int, int], float] = {}
+        #: Canonical pair -> lifetime traversal count.
+        self.totals: dict[tuple[int, int], int] = {}
+        self._store = LinkLevelStore()
+
+    @property
+    def tracks_load(self) -> bool:
+        """True when the utilisation estimator is enabled."""
+        return self.quantum > 0
+
+    @property
+    def load_dirty(self) -> bool:
+        """Some link crossed a load-level boundary since the last reset."""
+        return self._store.dirty
+
+    @load_dirty.setter
+    def load_dirty(self, value: bool) -> None:
+        self._store.dirty = value
+
+    def note_traversal(self, u: int, v: int) -> None:
+        """One packet crossed the ``u - v`` line (hot path when enabled)."""
+        if not self.tracks_load:
+            return
+        pair = (u, v) if u < v else (v, u)
+        self._frame_counts[pair] = self._frame_counts.get(pair, 0) + 1
+
+    def end_frame(self) -> None:
+        """Fold the frame's counts into the EMA and requantise levels."""
+        if not self.tracks_load:
+            return
+        alpha = self.alpha
+        quantum = self.quantum
+        cap = self.levels - 1
+        counts = self._frame_counts
+        ema = self._ema
+        store = self._store
+        # Links active this frame: fold the count in.
+        for pair, count in counts.items():
+            rate = ema.get(pair, 0.0)
+            rate += alpha * (count - rate)
+            ema[pair] = rate
+            self.totals[pair] = self.totals.get(pair, 0) + count
+            store.set_level(pair, min(cap, int(rate / quantum)))
+        # Links quiet this frame: decay toward zero, dropping entries
+        # once they cannot influence a level (keeps the dict bounded by
+        # the working set, not the run's history).
+        floor = quantum * 1e-3
+        for pair in list(ema):
+            if pair in counts:
+                continue
+            rate = ema[pair] * (1.0 - alpha)
+            if rate < floor:
+                del ema[pair]
+                store.set_level(pair, 0)
+            else:
+                ema[pair] = rate
+                store.set_level(pair, min(cap, int(rate / quantum)))
+        counts.clear()
+
+    def load_level_matrix(self, num_nodes: int) -> np.ndarray:
+        """Dense symmetric ``(K, K)`` int matrix of quantised load levels."""
+        return self._store.matrix(num_nodes)
+
+    # ------------------------------------------------------------------
+    # End-of-run utilisation metrics
+    # ------------------------------------------------------------------
+    def total_traversals(self) -> int:
+        """Lifetime traversal count summed over every link."""
+        return sum(self.totals.values())
+
+    def max_link_traversals(self) -> int:
+        """Lifetime traversal count of the single busiest link."""
+        return max(self.totals.values(), default=0)
+
+    def hot_link_share(self) -> float:
+        """Busiest link's share of all traversals (0 when idle)."""
+        total = self.total_traversals()
+        if not total:
+            return 0.0
+        return self.max_link_traversals() / total

@@ -267,6 +267,14 @@ class SimulationStats:
         shared_pj: Power-bus transfers accepted by receiving cells.
         share_hops: Bus line segments traversed by power transfers.
         harvest_events: Harvest pulses that actually recharged a cell.
+        max_link_traversals: Lifetime traversal count of the single
+            busiest link (None unless the run tracked congestion —
+            absent keys keep historical summaries byte-identical).
+        hot_link_share: Busiest link's share of all link traversals
+            (None unless the run tracked congestion).
+        extra: Out-of-band metadata attached by harnesses (e.g. the
+            sweep runner's wall-clock timing); never part of
+            :meth:`summary`.
     """
 
     jobs_completed: int = 0
@@ -296,6 +304,8 @@ class SimulationStats:
     shared_pj: float = 0.0
     share_hops: int = 0
     harvest_events: int = 0
+    max_link_traversals: int | None = None
+    hot_link_share: float | None = None
     extra: dict = field(default_factory=dict)
 
     @property
@@ -311,8 +321,18 @@ class SimulationStats:
         return self.energy.control_overhead_fraction()
 
     def summary(self) -> dict:
-        """Compact JSON-safe result record for sweep harnesses."""
+        """Compact JSON-safe result record for sweep harnesses.
+
+        Congestion metrics appear only on runs that tracked them, so
+        summaries (and the golden fixtures recorded from them) of
+        congestion-blind runs are unchanged by the subsystem's
+        existence.
+        """
         energy = self.energy
+        congestion = {}
+        if self.max_link_traversals is not None:
+            congestion["max_link_traversals"] = self.max_link_traversals
+            congestion["hot_link_share"] = self.hot_link_share
         return {
             "routing": self.routing,
             "jobs_completed": self.jobs_completed,
@@ -346,4 +366,5 @@ class SimulationStats:
             "shared_pj": round(self.shared_pj, 1),
             "share_hops": self.share_hops,
             "harvest_events": self.harvest_events,
+            **congestion,
         }

@@ -183,6 +183,8 @@ class VectorEngine(SequentialEngine):
             self._hop_energy_by_length[length] = energy
         if self._track_wear:
             self.faults.note_traversal(sender, receiver)
+        if self._track_load:
+            self.congestion.note_traversal(sender, receiver)
         unit = self.nodes[sender]
         if unit.has_infinite_supply:
             result = unit.draw(energy, self.hop_cycles)

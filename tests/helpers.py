@@ -14,6 +14,7 @@ import numpy as np
 from repro.config import (
     ControlConfig,
     PlatformConfig,
+    RoutingOptions,
     SimulationConfig,
     WorkloadConfig,
 )
@@ -66,6 +67,7 @@ def make_config(
     wear_aware: bool = False,
     harvest: HarvestConfig | None = None,
     harvest_aware: bool = False,
+    routing_opts: RoutingOptions | None = None,
     engine: str = "auto",
     **workload_kwargs,
 ) -> SimulationConfig:
@@ -106,6 +108,9 @@ def make_config(
         routing=routing,
         wear_aware=wear_aware,
         harvest_aware=harvest_aware,
+        routing_opts=(
+            routing_opts if routing_opts is not None else RoutingOptions()
+        ),
         engine=engine,
     )
 

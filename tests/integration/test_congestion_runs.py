@@ -1,0 +1,101 @@
+"""Integration tests for congestion-aware ECMP spreading.
+
+The acceptance contract of the congestion work, asserted end to end on
+the registered ``congestion-relief`` quick grid: against the
+measure-only baseline (neutral penalty, no ECMP — routing bit-identical
+to plain EAR), the relief arm must reduce the peak per-link load and
+must never shorten the lifetime — on the sequential *and* the vector
+engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    congestion_comparison,
+    congestion_comparison_for,
+    measure_only_twin,
+)
+from repro.config import RoutingOptions
+from repro.orchestration.scenarios import build_scenario
+from repro.sim import run_simulation
+
+from dataclasses import replace
+
+
+def _quick_pairs():
+    """The quick grid, paired ``(engine, base_point, relief_point)``."""
+    points = {p.label: p for p in build_scenario("congestion-relief", "quick")}
+    return [
+        ("sequential", points["5x5/base"], points["5x5/relief"]),
+        ("vector", points["5x5/base/vec"], points["5x5/relief/vec"]),
+    ]
+
+
+class TestCongestionRelief:
+    @pytest.mark.parametrize(
+        "engine,base_point,relief_point",
+        _quick_pairs(),
+        ids=["sequential", "vector"],
+    )
+    def test_relief_spreads_load_without_costing_lifetime(
+        self, engine, base_point, relief_point
+    ):
+        base = run_simulation(base_point.config).summary()
+        relief = run_simulation(relief_point.config).summary()
+        # Peak per-link utilisation drops...
+        assert relief["max_link_traversals"] < base["max_link_traversals"]
+        assert relief["hot_link_share"] < base["hot_link_share"]
+        # ...and the system never dies earlier than plain EAR.
+        assert relief["lifetime_frames"] >= base["lifetime_frames"]
+        assert relief["jobs_completed"] >= base["jobs_completed"]
+        assert relief["verification_failures"] == 0
+        assert base["verification_failures"] == 0
+
+    def test_measure_only_baseline_routes_like_plain_ear(self):
+        """The neutral-q baseline adds the congestion metrics to the
+        summary and changes nothing else."""
+        _, base_point, _ = _quick_pairs()[0]
+        measured = run_simulation(base_point.config).summary()
+        plain = run_simulation(
+            replace(base_point.config, routing_opts=RoutingOptions())
+        ).summary()
+        assert "max_link_traversals" not in plain
+        assert "hot_link_share" not in plain
+        measured.pop("max_link_traversals")
+        measured.pop("hot_link_share")
+        assert measured == plain
+
+    def test_comparison_helper_reports_the_gap(self):
+        _, _, relief_point = _quick_pairs()[0]
+        report = congestion_comparison_for(relief_point.config)
+        assert report["peak_reduction"] > 0
+        assert report["hot_share_reduction"] > 0
+        assert report["lifetime_gain_frames"] >= 0
+        assert report["peak_reduction_fraction"] == pytest.approx(
+            report["peak_reduction"] / report["peak_traversals_baseline"],
+            abs=1e-5,
+        )
+
+    def test_measure_only_twin_is_idempotent_on_base_points(self):
+        _, base_point, _ = _quick_pairs()[0]
+        assert measure_only_twin(base_point.config) == base_point.config
+
+    def test_comparison_accepts_raw_summaries(self):
+        base = {
+            "jobs_fractional": "10.0",
+            "lifetime_frames": 100,
+            "max_link_traversals": 50,
+            "hot_link_share": 0.2,
+        }
+        relief = {
+            "jobs_fractional": "10.0",
+            "lifetime_frames": 110,
+            "max_link_traversals": 40,
+            "hot_link_share": 0.15,
+        }
+        report = congestion_comparison(base, relief)
+        assert report["peak_reduction"] == 10
+        assert report["peak_reduction_fraction"] == 0.2
+        assert report["lifetime_gain_frames"] == 10

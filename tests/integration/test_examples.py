@@ -41,6 +41,11 @@ class TestExamples:
         assert "uniform income degenerates exactly: True" in out
         assert "multi-hop power bus" in out
 
+    def test_congestion_playground(self, capsys):
+        out = run_example("congestion_playground", capsys)
+        assert "hot-link spread without lifetime cost: True" in out
+        assert "measure-only" in out
+
     def test_fleet_playground(self, capsys):
         out = run_example("fleet_playground", capsys)
         assert "shard-merge == single stream, bit for bit: True" in out

@@ -257,3 +257,41 @@ class TestHarvestScenarios:
                 if p.params["amplitude_pj"] == amplitude
             ]
             assert pair[0] == pair[1]
+
+
+class TestLengthScaledBusLoss:
+    """The per-segment bus loss scales with physical line length."""
+
+    def test_unit_pitch_reproduces_the_constant_factor_exactly(self):
+        # On a uniform-pitch fabric length / pitch == 1.0 and
+        # x ** 1.0 == x in IEEE 754, so the length-aware factor is
+        # bit-identical to the historical constant-per-hop loss.
+        engine = build_engine(make_config())
+        pitch = engine.config.platform.link_pitch_cm
+        # The memo keys by length alone (the efficiency is a run-wide
+        # constant), so clear it between probes.
+        for efficiency in (0.6, 0.85, 0.999):
+            engine._share_factor_by_length.clear()
+            assert (
+                engine._share_arrival_factor(pitch, efficiency)
+                == efficiency
+            )
+
+    def test_longer_lines_lose_proportionally_more(self):
+        engine = build_engine(make_config())
+        pitch = engine.config.platform.link_pitch_cm
+        efficiency = 0.85
+        assert engine._share_arrival_factor(
+            2 * pitch, efficiency
+        ) == pytest.approx(efficiency**2)
+        assert engine._share_arrival_factor(
+            1.5 * pitch, efficiency
+        ) < engine._share_arrival_factor(pitch, efficiency)
+
+    def test_factor_is_memoised_per_length(self):
+        engine = build_engine(make_config())
+        pitch = engine.config.platform.link_pitch_cm
+        engine._share_arrival_factor(pitch, 0.85)
+        assert pitch in engine._share_factor_by_length
+        again = engine._share_arrival_factor(pitch, 0.85)
+        assert again == engine._share_factor_by_length[pitch]

@@ -235,6 +235,58 @@ class TestEventCountAgreement:
         assert stats.energy.harvest_events == expected
 
 
+class TestEcmpAgreement:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=50_000),
+        ecmp_seed=st.integers(min_value=0, max_value=1_000),
+        congestion=st.booleans(),
+    )
+    def test_engines_agree_on_jobs_under_ecmp(
+        self, seed, ecmp_seed, congestion
+    ):
+        """ECMP rotation state is rebuilt with every routing plan and
+        advanced once per forwarded packet, so all three engines drive
+        identical per-pair call sequences for the same workload — the
+        spread hops, and therefore the delivery count, must agree
+        three-way just as the canonical-successor path does.
+        """
+        from repro.config import RoutingOptions
+
+        opts = RoutingOptions(
+            congestion_aware=congestion,
+            congestion_q=1.25 if congestion else 1.6,
+            ecmp=True,
+            ecmp_seed=ecmp_seed,
+        )
+        if not congestion:
+            opts = RoutingOptions(ecmp=True, ecmp_seed=ecmp_seed)
+        summaries = {}
+        for name, variant in ENGINE_VARIANTS.items():
+            config = make_config(
+                concurrency=1,
+                max_jobs=4,
+                seed=seed,
+                routing_opts=opts,
+                **variant,
+            )
+            summaries[name] = build_engine(config).run().summary()
+        for summary in summaries.values():
+            assume(summary["death_cause"] == "job-budget")
+        completed = {
+            name: summary["jobs_completed"]
+            for name, summary in summaries.items()
+        }
+        assert len(set(completed.values())) == 1, completed
+        hops = {
+            name: summary["total_hops"]
+            for name, summary in summaries.items()
+        }
+        assert len(set(hops.values())) == 1, hops
+        for summary in summaries.values():
+            assert summary["verification_failures"] == 0
+
+
 def approx(value: float):
     import pytest
 

@@ -1,0 +1,167 @@
+"""Property tests for the cost pipeline and ECMP successor groups.
+
+The pipeline refactor's contract is *bit-identity*: composing the
+battery / wear / harvest terms through :class:`CostPipeline` must
+reproduce the historical monolithic weight path exactly, on randomised
+views — not just the golden points.  The ECMP properties pin the
+group-validity invariants (strict distance progress, cost within
+tolerance, canonical membership) that keep round-robin spreading
+loop-free on any weight matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import CostPipeline
+from repro.core.floyd_warshall import (
+    NO_SUCCESSOR,
+    equal_cost_successors,
+    floyd_warshall_successors,
+)
+from repro.core.view import NetworkView
+from repro.core.weights import (
+    BatteryWeightFunction,
+    HarvestWeightFunction,
+    WearWeightFunction,
+    apply_harvest_bonus,
+    apply_wear_penalty,
+    ear_weight_matrix,
+    sdr_weight_matrix,
+)
+from repro.mesh.mapping import checkerboard_mapping
+from repro.mesh.topology import mesh2d
+
+
+@st.composite
+def random_views(draw, with_wear=False, with_income=False):
+    """Randomised small-mesh views: batteries, deaths, blocked ports,
+    and optional wear / income telemetry."""
+    width = draw(st.integers(min_value=3, max_value=6))
+    topo = mesh2d(width)
+    size = topo.num_nodes
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    levels = 8
+    alive = rng.random(size) > 0.15
+    alive[0] = True  # keep at least one node alive
+    battery = rng.integers(0, levels, size=size)
+    blocked = frozenset(
+        (int(u), int(v))
+        for u, v in zip(
+            rng.integers(0, size, size=3), rng.integers(0, size, size=3)
+        )
+        if u != v
+    )
+    wear = None
+    if with_wear:
+        wear = rng.integers(0, 6, size=(size, size))
+        wear = np.minimum(wear, wear.T)
+        np.fill_diagonal(wear, 0)
+    income = None
+    if with_income:
+        income = np.round(
+            rng.uniform(0.0, 40.0, size=size) * (rng.random(size) < 0.5), 3
+        )
+    return NetworkView(
+        lengths=topo.length_matrix(),
+        alive=alive,
+        battery_levels=battery,
+        levels=levels,
+        mapping=checkerboard_mapping(topo),
+        blocked_ports=blocked,
+        wear=wear,
+        income=income,
+    )
+
+
+class TestPipelineBitIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(random_views())
+    def test_empty_pipeline_matches_sdr(self, view):
+        assert np.array_equal(
+            CostPipeline().weight_matrix(view), sdr_weight_matrix(view)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        view=random_views(),
+        q=st.floats(min_value=1.0, max_value=3.0),
+    )
+    def test_battery_pipeline_matches_ear(self, view, q):
+        fn = BatteryWeightFunction(q=q)
+        assert np.array_equal(
+            CostPipeline.ear(fn).weight_matrix(view),
+            ear_weight_matrix(view, fn),
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_views(with_wear=True, with_income=True))
+    def test_full_pipeline_matches_manual_composition(self, view):
+        battery = BatteryWeightFunction()
+        wear = WearWeightFunction()
+        harvest = HarvestWeightFunction()
+        pipeline = CostPipeline.ear(
+            battery, wear_function=wear, harvest_function=harvest
+        )
+        manual = ear_weight_matrix(view, battery)
+        manual = apply_wear_penalty(manual, view.wear, wear)
+        manual = apply_harvest_bonus(manual, view, harvest)
+        assert np.array_equal(pipeline.weight_matrix(view), manual)
+
+
+class TestTermOrderIndependence:
+    @settings(max_examples=30, deadline=None)
+    @given(random_views(with_wear=True, with_income=True))
+    def test_wear_and_harvest_commute(self, view):
+        """Wear (link scale) and harvest (column scale) are both
+        elementwise multiplications, so their order changes results
+        only by float rounding."""
+        battery = BatteryWeightFunction()
+        wear = WearWeightFunction()
+        harvest = HarvestWeightFunction()
+        base = ear_weight_matrix(view, battery)
+        wear_first = apply_harvest_bonus(
+            apply_wear_penalty(base.copy(), view.wear, wear), view, harvest
+        )
+        harvest_first = apply_wear_penalty(
+            apply_harvest_bonus(base.copy(), view, harvest), view.wear, wear
+        )
+        finite = np.isfinite(wear_first)
+        assert np.array_equal(finite, np.isfinite(harvest_first))
+        assert np.allclose(
+            wear_first[finite], harvest_first[finite], rtol=1e-12
+        )
+
+
+class TestEcmpGroupValidity:
+    @settings(max_examples=40, deadline=None)
+    @given(random_views())
+    def test_groups_progress_and_include_canonical(self, view):
+        weights = sdr_weight_matrix(view)
+        distances, successors = floyd_warshall_successors(weights)
+        size = view.num_nodes
+        rng = np.random.default_rng(0)
+        pairs = zip(
+            rng.integers(0, size, size=24), rng.integers(0, size, size=24)
+        )
+        for source, dest in ((int(s), int(d)) for s, d in pairs):
+            group = equal_cost_successors(
+                weights, distances, successors, source, dest
+            )
+            canonical = successors[source, dest]
+            if source == dest or canonical == NO_SUCCESSOR:
+                assert group == []
+                continue
+            assert canonical in group
+            assert group == sorted(set(group))
+            for member in group:
+                # Strict progress toward the destination (loop-free)
+                # at a total cost matching the optimum.
+                assert distances[member, dest] < distances[source, dest]
+                assert (
+                    weights[source, member] + distances[member, dest]
+                    <= distances[source, dest] * (1 + 1e-9)
+                )

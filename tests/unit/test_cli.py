@@ -93,6 +93,80 @@ class TestRegenGolden:
             encoding="utf-8"
         ), f"{filename} is stale — run `python -m repro regen-golden`"
 
+    def test_check_mode_detects_staleness_without_writing(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import repro.cli as cli_module
+
+        case = next(
+            entry
+            for entry in cli_module.GOLDEN_SMOKE_POINTS
+            if entry[0] == "fig7"
+        )
+        monkeypatch.setattr(cli_module, "GOLDEN_SMOKE_POINTS", (case,))
+        filename = case[2]
+        # Missing fixture: check fails without creating anything.
+        assert main(["regen-golden", "--dir", str(tmp_path), "--check"]) == 1
+        assert "MISSING" in capsys.readouterr().out
+        assert not (tmp_path / filename).exists()
+        # Fresh fixture: check passes.
+        assert main(["regen-golden", "--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["regen-golden", "--dir", str(tmp_path), "--check"]) == 0
+        assert "ok" in capsys.readouterr().out
+        # Tampered fixture: check flags it and leaves the bytes alone.
+        path = tmp_path / filename
+        stale = json.loads(path.read_text(encoding="utf-8"))
+        stale["summary"]["jobs_completed"] = 9999
+        tampered = json.dumps(stale, indent=2, sort_keys=True) + "\n"
+        path.write_text(tampered, encoding="utf-8")
+        assert main(["regen-golden", "--dir", str(tmp_path), "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "STALE" in out
+        assert "regen-golden" in out
+        assert path.read_text(encoding="utf-8") == tampered
+
+
+class TestRoutingFlags:
+    def test_defaults_are_the_inert_options(self):
+        from repro.config import RoutingOptions
+
+        args = build_parser().parse_args(["simulate", "--mesh", "4"])
+        from repro.cli import _routing_options
+
+        assert _routing_options(args) == RoutingOptions()
+
+    def test_inert_knobs_do_not_fork_the_config(self):
+        # Tuning knobs without their enabling flag must normalise away,
+        # so they cannot split the sweep cache hash.
+        from repro.cli import _routing_options
+        from repro.config import RoutingOptions
+
+        args = build_parser().parse_args(
+            ["simulate", "--mesh", "4", "--congestion-q", "2.0",
+             "--ecmp-seed", "7"]
+        )
+        assert _routing_options(args) == RoutingOptions()
+
+    def test_flags_reach_the_options(self):
+        from repro.cli import _routing_options
+
+        args = build_parser().parse_args(
+            ["simulate", "--mesh", "4", "--congestion-weight",
+             "--congestion-q", "1.5", "--ecmp", "--ecmp-seed", "3"]
+        )
+        opts = _routing_options(args)
+        assert opts.congestion_aware and opts.ecmp
+        assert opts.congestion_q == 1.5
+        assert opts.ecmp_seed == 3
+
+    def test_simulate_accepts_the_congestion_flags(self, capsys):
+        assert main(
+            ["simulate", "--mesh", "4", "--congestion-weight", "--ecmp"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "jobs" in out.lower()
+
 
 class TestBenchAndSweepPaths:
     def test_bench_list_prints_the_registry(self, capsys):

@@ -7,6 +7,7 @@ from repro.battery.thin_film import ThinFilmBattery
 from repro.config import (
     ControlConfig,
     PlatformConfig,
+    RoutingOptions,
     SimulationConfig,
     WorkloadConfig,
 )
@@ -179,3 +180,55 @@ class TestSimulationConfig:
         for key in ("wear_aware", "wear_q", "wear_quantum"):
             del raw[key]
         assert SimulationConfig.from_dict(raw) == SimulationConfig()
+
+
+class TestRoutingOptions:
+    def test_defaults_are_inert(self):
+        config = SimulationConfig()
+        assert config.routing_opts == RoutingOptions()
+        assert config.congestion_function() is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RoutingOptions(congestion_q=0.5)
+        with pytest.raises(ConfigurationError):
+            RoutingOptions(congestion_quantum=0.0)
+
+    def test_congestion_function_only_when_aware(self):
+        aware = SimulationConfig(
+            routing_opts=RoutingOptions(
+                congestion_aware=True, congestion_q=1.5
+            )
+        )
+        fn = aware.congestion_function()
+        assert fn is not None and fn.q == 1.5
+
+    def test_default_options_stay_out_of_the_document(self):
+        # The serialised document — and therefore the sweep cache hash
+        # — must not change for configs that never touch the new
+        # routing options, so the cache keeps hitting across versions.
+        raw = SimulationConfig().to_dict()
+        assert "routing_opts" not in raw
+        assert SimulationConfig.from_dict(raw) == SimulationConfig()
+
+    def test_non_default_options_round_trip(self):
+        config = SimulationConfig(
+            routing_opts=RoutingOptions(
+                congestion_aware=True, congestion_q=1.5, ecmp=True,
+                ecmp_seed=11,
+            )
+        )
+        raw = config.to_dict()
+        assert raw["routing_opts"]["ecmp_seed"] == 11
+        assert SimulationConfig.from_dict(raw) == config
+
+    def test_default_hash_unchanged_by_the_new_section(self):
+        from repro.orchestration.cache import config_hash
+
+        default = SimulationConfig()
+        explicit = SimulationConfig(routing_opts=RoutingOptions())
+        assert config_hash(default) == config_hash(explicit)
+        enabled = SimulationConfig(
+            routing_opts=RoutingOptions(congestion_aware=True)
+        )
+        assert config_hash(enabled) != config_hash(default)
