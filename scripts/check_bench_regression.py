@@ -32,8 +32,14 @@ import statistics
 import sys
 
 
-def load_points(path: str) -> dict[str, float]:
-    """Flatten a bench JSON document to ``{scenario/label: elapsed_s}``.
+def load_document(path: str) -> tuple[dict[str, float], set[str]]:
+    """Parse one bench JSON document.
+
+    Returns the flattened ``{scenario/label: elapsed_s}`` timing map
+    plus the set of scenario section names present in the document —
+    the section set is what lets the guard distinguish "this scenario
+    ran but every point was cached" from "this scenario never ran at
+    all" (a silently skipped section must fail CI, not pass it).
 
     Tolerates non-bench keys in the document: fleet bundles (and any
     future aggregate-shaped sections) are dicts rather than record
@@ -42,9 +48,11 @@ def load_points(path: str) -> dict[str, float]:
     with open(path) as handle:
         document = json.load(handle)
     points: dict[str, float] = {}
+    sections: set[str] = set()
     for scenario, records in document.items():
         if not isinstance(records, list):
             continue
+        sections.add(scenario)
         for record in records:
             if not isinstance(record, dict) or "label" not in record:
                 continue
@@ -52,7 +60,12 @@ def load_points(path: str) -> dict[str, float]:
             if elapsed is None:  # cached points carry no timing
                 continue
             points[f"{scenario}/{record['label']}"] = float(elapsed)
-    return points
+    return points, sections
+
+
+def load_points(path: str) -> dict[str, float]:
+    """Flatten a bench JSON document to ``{scenario/label: elapsed_s}``."""
+    return load_document(path)[0]
 
 
 def machine_factor(
@@ -82,8 +95,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = load_points(args.baseline)
-    fresh = load_points(args.fresh)
+    baseline, baseline_sections = load_document(args.baseline)
+    fresh, fresh_sections = load_document(args.fresh)
+    if not baseline_sections:
+        print(f"error: no scenario sections in baseline {args.baseline}")
+        return 2
+    if not fresh_sections:
+        print(f"error: no scenario sections in {args.fresh}")
+        return 2
+    missing_sections = sorted(baseline_sections - fresh_sections)
+    if missing_sections:
+        print(
+            f"error: {args.fresh} is missing scenario section(s) the "
+            f"baseline guards: {', '.join(missing_sections)} — the "
+            "fresh bench must run every baselined scenario (did a "
+            "--scenario filter drop one?)"
+        )
+        return 2
+    for extra in sorted(fresh_sections - baseline_sections):
+        print(
+            f"  note  scenario {extra!r} has no baseline section yet "
+            "(informational)"
+        )
     if not baseline:
         print(f"error: no timed points in baseline {args.baseline}")
         return 2

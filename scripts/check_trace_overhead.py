@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Fail CI when the telemetry layer stops being zero-overhead.
+
+Runs the congestion-relief smoke point three ways — recorder-free,
+with the default :class:`~repro.telemetry.recorder.NullRecorder`, and
+with a full :class:`~repro.telemetry.recorder.TraceRecorder` — in
+interleaved repeats, and compares *minimum* wall-clock times (the
+robust estimator under additive scheduler noise: on a ~25 ms point a
+shared runner's jitter inflates medians well past any real telemetry
+cost, while the best-of-N of each mode converges on the true
+instruction-stream cost):
+
+* the NullRecorder run must stay within benchmark noise of the bare
+  run (default ceiling +8%): the null path is gated out of the hot
+  loops entirely, so any measurable cost is a telemetry leak;
+* the TraceRecorder run must stay within the observability budget
+  (default ceiling +10%).
+
+All three modes must also produce bit-identical summaries — overhead
+aside, a recorder must never change what the simulation computes.
+
+``--trace-out`` additionally writes the traced run's JSONL lines, so
+one invocation doubles as the CI trace-artifact producer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+
+
+def run_point(config, recorder=None) -> tuple[float, dict]:
+    from repro.sim.et_sim import run_simulation
+
+    started = time.perf_counter()
+    stats = run_simulation(config, recorder)
+    return time.perf_counter() - started, stats.summary()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=9,
+        help="interleaved repeats per mode per batch "
+        "(default 9; minima compared)",
+    )
+    parser.add_argument(
+        "--max-batches", type=int, default=4,
+        help="extra batches to run (merging minima) while the ratios "
+        "sit above a ceiling — quadratic flake suppression on noisy "
+        "runners; a real regression fails every batch (default 4)",
+    )
+    parser.add_argument(
+        "--null-ceiling", type=float, default=1.08,
+        help="max allowed NullRecorder/bare median ratio (default 1.08)",
+    )
+    parser.add_argument(
+        "--trace-ceiling", type=float, default=1.10,
+        help="max allowed TraceRecorder/bare median ratio (default 1.10)",
+    )
+    parser.add_argument(
+        "--scenario", default="congestion-relief",
+        help="bench scenario holding the probe point",
+    )
+    parser.add_argument(
+        "--label", default="4x4/relief",
+        help="point label inside the scenario",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="also dump the traced run's JSONL lines to PATH "
+        "(the CI trace artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.orchestration import build_scenario
+    from repro.telemetry import (
+        NULL_RECORDER,
+        TraceRecorder,
+        dump_trace,
+    )
+
+    matches = [
+        point
+        for point in build_scenario(args.scenario, scale="smoke")
+        if point.label == args.label
+    ]
+    if len(matches) != 1:
+        print(
+            f"error: point {args.label!r} not found in scenario "
+            f"{args.scenario!r}"
+        )
+        return 2
+    config = matches[0].config
+
+    # One untimed warm-up run per mode settles imports and allocators.
+    run_point(config)
+    run_point(config, NULL_RECORDER)
+    last_recorder = TraceRecorder()
+    run_point(config, last_recorder)
+
+    bare: list[float] = []
+    null: list[float] = []
+    traced: list[float] = []
+    summaries: set[str] = set()
+    import json
+
+    for batch in range(max(1, args.max_batches)):
+        for _ in range(max(1, args.repeats)):
+            # Interleave the modes so slow-machine drift (thermal,
+            # noisy neighbours) biases all three equally instead of
+            # one.
+            elapsed, summary = run_point(config)
+            bare.append(elapsed)
+            summaries.add(json.dumps(summary, sort_keys=True))
+            elapsed, summary = run_point(config, NULL_RECORDER)
+            null.append(elapsed)
+            summaries.add(json.dumps(summary, sort_keys=True))
+            last_recorder = TraceRecorder()
+            elapsed, summary = run_point(config, last_recorder)
+            traced.append(elapsed)
+            summaries.add(json.dumps(summary, sort_keys=True))
+
+        if len(summaries) != 1:
+            print(
+                "error: recorder modes produced diverging summaries — "
+                "telemetry mutated simulation state"
+            )
+            return 1
+
+        bare_s = min(bare)
+        null_ratio = min(null) / bare_s
+        trace_ratio = min(traced) / bare_s
+        print(
+            f"{args.scenario}/{args.label}: bare best "
+            f"{bare_s * 1e3:.1f} ms (median "
+            f"{statistics.median(bare) * 1e3:.1f} ms) over "
+            f"{len(bare)} repeat(s)"
+        )
+        print(
+            f"  null-recorder  x{null_ratio:.3f} (ceiling "
+            f"x{args.null_ceiling:.2f})"
+        )
+        print(
+            f"  trace-recorder x{trace_ratio:.3f} (ceiling "
+            f"x{args.trace_ceiling:.2f})"
+        )
+        if (
+            null_ratio <= args.null_ceiling
+            and trace_ratio <= args.trace_ceiling
+        ):
+            break
+        if batch + 1 < max(1, args.max_batches):
+            print("  over a ceiling — measuring another batch")
+
+    if args.trace_out:
+        count = dump_trace(
+            args.trace_out,
+            last_recorder.lines(
+                meta={
+                    "command": "check-trace-overhead",
+                    "label": args.label,
+                    "scenario": args.scenario,
+                }
+            ),
+        )
+        print(f"trace artifact: {count} line(s) -> {args.trace_out}")
+
+    failures = []
+    if null_ratio > args.null_ceiling:
+        failures.append(
+            f"NullRecorder overhead x{null_ratio:.3f} exceeds "
+            f"x{args.null_ceiling:.2f} — the null path leaked into a "
+            "hot loop"
+        )
+    if trace_ratio > args.trace_ceiling:
+        failures.append(
+            f"TraceRecorder overhead x{trace_ratio:.3f} exceeds "
+            f"x{args.trace_ceiling:.2f}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("telemetry overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

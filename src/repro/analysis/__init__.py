@@ -43,6 +43,7 @@ from .mapping import (
 from .sweep import SweepResult, run_sweep, sweep_controllers, sweep_mesh_sizes
 from .tables import format_table
 from .theory import bound_comparison, gap_report
+from .trace_summary import trace_summary
 
 __all__ = [
     "SweepResult",
@@ -74,6 +75,7 @@ __all__ = [
     "series_chart",
     "sweep_controllers",
     "sweep_mesh_sizes",
+    "trace_summary",
     "wear_aware_twin",
     "wear_comparison",
     "wear_comparison_for",

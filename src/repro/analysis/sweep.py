@@ -95,9 +95,12 @@ def sweep_mesh_sizes(
     widths: tuple[int, ...] = (4, 5, 6, 7, 8),
     routings: tuple[str, ...] = ("ear", "sdr"),
     runner: SweepRunner | None = None,
+    hook: Callable[["SweepRecord"], None] | None = None,
 ) -> list[SweepResult]:
     """The Fig 7 grid: mesh width x routing algorithm."""
-    return _run_points(mesh_routing_grid(base, widths, routings), runner)
+    return _run_points(
+        mesh_routing_grid(base, widths, routings), runner, hook=hook
+    )
 
 
 def sweep_controllers(

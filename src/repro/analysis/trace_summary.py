@@ -1,0 +1,225 @@
+"""Render a JSONL telemetry trace as a human-readable report.
+
+``python -m repro trace out.jsonl`` feeds a trace captured with
+``--trace`` through :func:`trace_summary`: an ASCII timeline of the
+run's frames with event markers, a re-plan table carrying each
+recompute's causes and per-cost-term weight attribution, event counts,
+and (when the trace kept its wall-clock channel) the hot-path timer
+aggregates.
+
+Traces written by the sweep/bench/fleet commands interleave several
+points in one file, each line tagged with its ``scenario``/``point``;
+the report groups by those tags and renders one section per point.
+"""
+
+from __future__ import annotations
+
+from ..telemetry.recorder import TIMERS_KIND
+from .tables import format_table
+
+#: Timeline marker per event, highest priority last (a bucket holding
+#: several events shows the highest-priority one).
+_EVENT_MARKERS = (
+    ("harvest-rejected", "h"),
+    ("deadlock-recovered", "d"),
+    ("deadlock-report", "D"),
+    ("replan", "R"),
+    ("fault", "F"),
+    ("node-death", "X"),
+)
+
+_MARKER_PRIORITY = {
+    event: priority for priority, (event, _) in enumerate(_EVENT_MARKERS)
+}
+_MARKER_CHAR = dict(_EVENT_MARKERS)
+
+_LEGEND = (
+    "legend: . frame  R replan  F fault  X node-death  "
+    "D deadlock-report  d deadlock-recovered  h harvest-rejected"
+)
+
+
+def _group_key(line: dict) -> tuple:
+    return (line.get("scenario"), line.get("point"))
+
+
+def _group_lines(lines: list[dict]) -> list[tuple[tuple, list[dict]]]:
+    """Split a trace into per-point groups, preserving first-seen order."""
+    groups: dict[tuple, list[dict]] = {}
+    for line in lines:
+        groups.setdefault(_group_key(line), []).append(line)
+    return list(groups.items())
+
+
+def _timeline(group: list[dict], width: int) -> str:
+    """One-line ASCII timeline of the group's frames and events."""
+    last_frame = 0
+    for line in group:
+        frame = line.get("frame")
+        if isinstance(frame, int) and frame > last_frame:
+            last_frame = frame
+    width = max(8, min(width, last_frame + 1))
+    cells = [" "] * width
+    priority = [-1] * width
+    span = last_frame + 1
+
+    def bucket(frame: int) -> int:
+        return min(width - 1, frame * width // span)
+
+    for line in group:
+        frame = line.get("frame")
+        if not isinstance(frame, int) or frame < 0:
+            continue
+        index = bucket(frame)
+        if line["kind"] == "frame" and priority[index] < 0:
+            cells[index] = "."
+        elif line["kind"] == "event":
+            rank = _MARKER_PRIORITY.get(line["event"], -1)
+            if rank > priority[index]:
+                priority[index] = rank
+                cells[index] = _MARKER_CHAR.get(line["event"], "!")
+    return f"frames 0..{last_frame}  |{''.join(cells)}|"
+
+
+def _format_terms(terms: list[dict]) -> str:
+    """Compact per-term attribution: ``term xN (max f)``."""
+    parts = []
+    for term in terms:
+        scaled = term.get("links_scaled", 0)
+        if not scaled:
+            continue
+        parts.append(
+            f"{term['term']} x{scaled} (max {term.get('max_factor')})"
+        )
+    return ", ".join(parts) if parts else "-"
+
+
+def _replan_table(group: list[dict]) -> str | None:
+    replans = [
+        line
+        for line in group
+        if line["kind"] == "event" and line["event"] == "replan"
+    ]
+    if not replans:
+        return None
+    rows = [
+        (
+            line["frame"],
+            ",".join(line.get("causes", [])) or "-",
+            line.get("entries_sent", "-"),
+            _format_terms(line.get("terms", [])),
+        )
+        for line in replans
+    ]
+    return format_table(
+        ["frame", "causes", "entries", "term attribution"],
+        rows,
+        title=f"{len(replans)} re-plan(s)",
+    )
+
+
+def _event_counts(group: list[dict]) -> str | None:
+    counts: dict[str, int] = {}
+    for line in group:
+        if line["kind"] == "event":
+            counts[line["event"]] = counts.get(line["event"], 0) + 1
+    if not counts:
+        return None
+    return "events: " + ", ".join(
+        f"{name}={count}" for name, count in sorted(counts.items())
+    )
+
+
+def _timer_table(group: list[dict]) -> str | None:
+    timers: dict[str, dict] = {}
+    for line in group:
+        if line.get("kind") == TIMERS_KIND:
+            for name, stats in line.get("timers", {}).items():
+                merged = timers.setdefault(
+                    name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+                )
+                merged["count"] += stats.get("count", 0)
+                merged["total_s"] += stats.get("total_s", 0.0)
+                merged["max_s"] = max(
+                    merged["max_s"], stats.get("max_s", 0.0)
+                )
+    if not timers:
+        return None
+    rows = []
+    for name, stats in sorted(timers.items()):
+        count = stats["count"] or 1
+        rows.append(
+            (
+                name,
+                stats["count"],
+                round(stats["total_s"] * 1e3, 3),
+                round(stats["total_s"] / count * 1e6, 3),
+                round(stats["max_s"] * 1e6, 3),
+            )
+        )
+    return format_table(
+        ["timer", "count", "total (ms)", "mean (us)", "max (us)"],
+        rows,
+        title="hot-path timers (non-deterministic channel)",
+    )
+
+
+def _group_title(key: tuple, group: list[dict]) -> str:
+    scenario, point = key
+    if point is not None:
+        return f"{scenario}/{point}" if scenario else str(point)
+    for line in group:
+        if line.get("kind") == "meta" and line.get("label"):
+            return str(line["label"])
+    return "trace"
+
+
+def trace_summary(
+    lines: list[dict], width: int = 64, show_events: bool = False
+) -> str:
+    """Multi-section report over the trace's per-point groups.
+
+    Args:
+        lines: Parsed trace lines (see
+            :func:`repro.telemetry.trace_io.load_trace`).
+        width: Timeline width in character cells.
+        show_events: Append every discrete event as its own line
+            (verbose; the default keeps only the tables).
+    """
+    if not lines:
+        return "empty trace"
+    sections: list[str] = []
+    for key, group in _group_lines(lines):
+        frames = sum(1 for line in group if line["kind"] == "frame")
+        events = sum(1 for line in group if line["kind"] == "event")
+        part = [
+            f"== {_group_title(key, group)} "
+            f"({frames} frame probe(s), {events} event(s))",
+            _timeline(group, width),
+        ]
+        counts = _event_counts(group)
+        if counts:
+            part.append(counts)
+        replans = _replan_table(group)
+        if replans:
+            part.append(replans)
+        if show_events:
+            for line in group:
+                if line["kind"] == "event":
+                    fields = {
+                        k: v
+                        for k, v in line.items()
+                        if k not in ("kind", "event", "frame")
+                    }
+                    detail = " ".join(
+                        f"{k}={v}" for k, v in sorted(fields.items())
+                    )
+                    part.append(
+                        f"  [{line['frame']:>6}] {line['event']} {detail}"
+                    )
+        timers = _timer_table(group)
+        if timers:
+            part.append(timers)
+        sections.append("\n".join(part))
+    sections.append(_LEGEND)
+    return "\n\n".join(sections)

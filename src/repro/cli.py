@@ -11,9 +11,16 @@ Subcommands:
   garments through the runner with O(1)-memory aggregation.
 * ``battery-curve`` — print the thin-film discharge curve (Fig 2).
 * ``mapping``       — print the module mapping of a mesh (Fig 3b).
+* ``trace``         — render a ``--trace`` JSONL capture as an ASCII
+  timeline plus re-plan/fault/term-attribution report.
 * ``regen-golden``  — re-run the golden smoke points and rewrite the
   fixtures under ``tests/golden`` (after intentional behaviour
   changes).
+
+``simulate``/``sweep``/``bench``/``fleet`` accept ``--trace PATH`` to
+capture a structured telemetry trace of every executed run, and every
+command accepts ``--verbose``/``--quiet`` to tune the stderr log level
+(tables and JSON stay on stdout).
 """
 
 from __future__ import annotations
@@ -53,7 +60,35 @@ from .orchestration import (
     scenarios,
 )
 from .sim.et_sim import run_simulation
+from .telemetry import (
+    Heartbeat,
+    TraceRecorder,
+    TraceWriter,
+    dump_trace,
+    get_logger,
+    load_trace,
+    setup_logging,
+)
 from .version import PAPER_CITATION, __version__
+
+
+def _add_logging_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="debug-level diagnostics on stderr",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress progress lines (warnings only)",
+    )
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a structured JSONL telemetry trace of every "
+        "executed run to PATH (render it with `repro trace PATH`)",
+    )
 
 
 def _add_mesh_argument(parser: argparse.ArgumentParser) -> None:
@@ -290,7 +325,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         routing_opts=_routing_options(args),
         engine=args.engine,
     )
-    stats = run_simulation(config)
+    recorder = TraceRecorder() if args.trace else None
+    stats = run_simulation(config, recorder)
     if args.json:
         print(json.dumps(stats.summary(), indent=2))
     else:
@@ -305,6 +341,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 ),
             )
         )
+    if recorder is not None:
+        count = dump_trace(
+            args.trace,
+            recorder.lines(
+                meta={
+                    "command": "simulate",
+                    "label": (
+                        f"{args.routing}/{args.mesh}x{args.mesh}"
+                    ),
+                    "engine": config.resolved_engine(),
+                    "routing": args.routing,
+                }
+            ),
+        )
+        get_logger().info("trace: %d line(s) -> %s", count, args.trace)
     return 0
 
 
@@ -320,7 +371,11 @@ def _make_cache(args: argparse.Namespace) -> SweepCache | None:
 
 def _make_runner(args: argparse.Namespace):
     """Build the sweep executor selected by --workers/--cache-dir."""
-    return make_runner(getattr(args, "workers", 1), cache=_make_cache(args))
+    return make_runner(
+        getattr(args, "workers", 1),
+        cache=_make_cache(args),
+        trace=getattr(args, "trace", None) is not None,
+    )
 
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -360,9 +415,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     widths = tuple(range(args.min_mesh, args.max_mesh + 1))
-    results = sweep_mesh_sizes(
-        base, widths=widths, runner=_make_runner(args)
-    )
+    writer = TraceWriter(args.trace) if args.trace else None
+    hook = None
+    if writer is not None:
+        def hook(record):
+            stats = record.stats
+            writer.add(
+                stats.extra.get("trace") if stats is not None else None,
+                point=record.label,
+            )
+    try:
+        results = sweep_mesh_sizes(
+            base, widths=widths, runner=_make_runner(args), hook=hook
+        )
+    finally:
+        if writer is not None:
+            writer.close()
+            get_logger().info(
+                "trace: %d point(s), %d line(s) -> %s",
+                writer.points_written, writer.lines_written, args.trace,
+            )
     by_mesh: dict[str, dict[str, float]] = {}
     for result in results:
         mesh = result.params["mesh"]
@@ -415,13 +487,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         routing_opts=_routing_options(args),
         engine=args.engine,
     )
+    logger = get_logger()
     runner = _make_runner(args)
     cache = runner.cache
+    writer = TraceWriter(args.trace) if args.trace else None
     emitted: dict[str, list[dict]] = {}
     start = time.perf_counter()
     for name in names:
         points = build_scenario(name, scale=scale, base=base)
+        logger.debug("scenario %s: %d point(s)", name, len(points))
         records = runner.run(points)
+        if writer is not None:
+            for record in records:
+                stats = record.stats
+                writer.add(
+                    stats.extra.get("trace")
+                    if stats is not None
+                    else None,
+                    scenario=name,
+                    point=record.label,
+                )
         emitted[name] = [record.record(timing=True) for record in records]
         if not args.json:
             rows = [
@@ -441,6 +526,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ))
             print()
     elapsed = time.perf_counter() - start
+    if writer is not None:
+        writer.close()
+        logger.info(
+            "trace: %d point(s), %d line(s) -> %s",
+            writer.points_written, writer.lines_written, args.trace,
+        )
     if args.json:
         print(json.dumps(emitted, indent=2, sort_keys=True))
     else:
@@ -450,7 +541,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f" — cache: {cache.hits} hit(s), {cache.misses} miss(es)"
                 f" at {cache.directory}"
             )
-        print(line)
+        logger.info(line)
+    if cache is not None:
+        logger.debug(
+            "cache IO: %.3fs lookup, %.3fs store (%s backend)",
+            cache.time_lookup_s, cache.time_store_s, cache.backend_name,
+        )
     return 0
 
 
@@ -469,27 +565,64 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     size = args.size
     if size is None:
         size = 1000 if args.smoke else 256
+    logger = get_logger()
     cache = _make_cache(args)
-    result = run_fleet(
+    writer = TraceWriter(args.trace) if args.trace else None
+    heartbeat = Heartbeat(total=size, label="garments", logger=logger)
+
+    def progress(record, done, total):
+        if writer is not None and record.stats is not None:
+            writer.add(record.stats.extra.get("trace"), point=record.label)
+        heartbeat(record, done, total)
+
+    try:
+        result = run_fleet(
+            distribution,
+            size,
+            args.fleet_seed,
+            workers=args.workers,
+            cache=cache,
+            chunk_size=args.chunk,
+            progress=progress,
+            trace=writer is not None,
+        )
+    finally:
+        if writer is not None:
+            writer.close()
+            logger.info(
+                "trace: %d garment(s), %d line(s) -> %s",
+                writer.points_written, writer.lines_written, args.trace,
+            )
+    bundle = fleet_bundle(
         distribution,
         size,
         args.fleet_seed,
+        result,
         workers=args.workers,
         cache=cache,
-        chunk_size=args.chunk,
-    )
-    bundle = fleet_bundle(
-        distribution, size, args.fleet_seed, result, workers=args.workers
     )
     if args.json:
         print(json.dumps(bundle, indent=2, sort_keys=True))
     else:
         print(fleet_summary(bundle))
         if cache is not None:
-            print(
-                f"cache ({cache.backend_name}): {cache.hits} hit(s), "
-                f"{cache.misses} miss(es) at {cache.directory}"
+            logger.info(
+                "cache (%s): %d hit(s), %d miss(es) at %s",
+                cache.backend_name, cache.hits, cache.misses,
+                cache.directory,
             )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .analysis.trace_summary import trace_summary
+
+    lines = load_trace(args.path)
+    print(
+        trace_summary(
+            lines, width=args.width, show_events=args.events
+        )
+    )
     return 0
 
 
@@ -620,6 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
+    _add_logging_arguments(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     bound = sub.add_parser("bound", help="evaluate Theorem 1")
@@ -643,6 +777,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_arguments(simulate)
     _add_harvest_arguments(simulate)
     _add_routing_arguments(simulate)
+    _add_trace_argument(simulate)
+    _add_logging_arguments(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     sweep = sub.add_parser("sweep", help="EAR vs SDR across mesh sizes")
@@ -654,6 +790,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_arguments(sweep)
     _add_harvest_arguments(sweep)
     _add_routing_arguments(sweep)
+    _add_trace_argument(sweep)
+    _add_logging_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     bench = sub.add_parser(
@@ -684,6 +822,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_arguments(bench)
     _add_harvest_arguments(bench)
     _add_routing_arguments(bench)
+    _add_trace_argument(bench)
+    _add_logging_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
 
     fleet = sub.add_parser(
@@ -718,7 +858,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the aggregate bundle as JSON",
     )
     _add_runner_arguments(fleet)
+    _add_trace_argument(fleet)
+    _add_logging_arguments(fleet)
     fleet.set_defaults(func=_cmd_fleet)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render a --trace JSONL capture as a timeline + report",
+    )
+    trace.add_argument("path", help="trace file written by --trace")
+    trace.add_argument(
+        "--width", type=int, default=64, metavar="N",
+        help="timeline width in character cells (default 64)",
+    )
+    trace.add_argument(
+        "--events", action="store_true",
+        help="also list every discrete event line by line",
+    )
+    _add_logging_arguments(trace)
+    trace.set_defaults(func=_cmd_trace)
 
     curve = sub.add_parser(
         "battery-curve", help="thin-film discharge curve"
@@ -759,6 +917,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_logging(
+        verbose=getattr(args, "verbose", False),
+        quiet=getattr(args, "quiet", False),
+    )
     return args.func(args)
 
 

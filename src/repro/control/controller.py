@@ -13,6 +13,7 @@ every picojoule the controllers spend.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,6 +24,7 @@ from ..core.phase3 import NO_DESTINATION, RoutingPlan
 from ..core.view import NetworkView
 from ..errors import ConfigurationError
 from ..mesh.mapping import ModuleMapping
+from ..telemetry.recorder import NULL_RECORDER, Recorder
 from .controller_power import ControllerEnergyModel
 from .deadlock import BlockedPortRegistry, DeadlockPolicy
 from .tdma import TdmaSchedule
@@ -124,9 +126,18 @@ class ControlPlane:
         energy_model: ControllerEnergyModel,
         deadlock_policy: DeadlockPolicy,
         controller_batteries: list[Battery | None],
+        recorder: Recorder | None = None,
     ):
         if not controller_batteries:
             raise ConfigurationError("need at least one controller unit")
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+        # Cached gate booleans: the per-frame path must not pay an
+        # attribute chain (or any call) for a disabled recorder.
+        self._trace = bool(self._recorder.active)
+        self._timed = bool(self._recorder.times)
+        #: Re-plan causes accumulated since the last recomputation
+        #: (trace-only; the update_* hooks feed it).
+        self._change_causes: set[str] = set()
         # Own copy: the engine's working matrix mutates under fault
         # injection and must only reach the controller via the
         # update_lengths hook (the controller routes on *known* state).
@@ -199,6 +210,8 @@ class ControlPlane:
         """
         self._lengths = np.array(lengths, dtype=float)
         self._links_changed = True
+        if self._trace:
+            self._change_causes.add("link-state")
 
     def update_wear(self, wear: np.ndarray) -> None:
         """Hook: the quantised wear picture changed.
@@ -210,6 +223,8 @@ class ControlPlane:
         """
         self._wear = np.array(wear, dtype=int)
         self._links_changed = True
+        if self._trace:
+            self._change_causes.add("wear-level")
 
     def update_income(self, income: np.ndarray) -> None:
         """Hook: the learned per-node harvest-income picture changed.
@@ -222,6 +237,8 @@ class ControlPlane:
         """
         self._income = np.array(income, dtype=int)
         self._links_changed = True
+        if self._trace:
+            self._change_causes.add("income-level")
 
     def update_load(self, load: np.ndarray) -> None:
         """Hook: the quantised per-link load picture changed.
@@ -234,6 +251,8 @@ class ControlPlane:
         """
         self._load = np.array(load, dtype=int)
         self._links_changed = True
+        if self._trace:
+            self._change_causes.add("load-level")
 
     def view(self) -> NetworkView:
         """Current reported-state snapshot."""
@@ -250,6 +269,71 @@ class ControlPlane:
         )
 
     # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _compute_plan_traced(self) -> tuple[RoutingPlan, list[dict]]:
+        """Run the routing engine with the trace/timer hooks attached.
+
+        Only called when the recorder is live: the recorder-free path
+        keeps calling ``compute_plan(view)`` with no extra arguments,
+        so its instruction stream is untouched.  Returns the plan plus
+        the per-term weight attribution rows.
+        """
+        attribution: list[dict] = []
+        observer = self._term_observer(attribution) if self._trace else None
+        timer = self._recorder.timing if self._timed else None
+        if self._timed:
+            started = time.perf_counter()
+            plan = self._engine.compute_plan(
+                self.view(), term_observer=observer, timer=timer
+            )
+            self._recorder.timing(
+                "plan-compute", time.perf_counter() - started
+            )
+        else:
+            plan = self._engine.compute_plan(
+                self.view(), term_observer=observer, timer=timer
+            )
+        return plan, attribution
+
+    @staticmethod
+    def _term_observer(sink: list[dict]):
+        """Per-term weight-attribution callback for the cost pipeline.
+
+        Each applied term contributes one row summarising how it scaled
+        the running weight matrix: how many finite link weights it
+        touched and the extreme scale factors.  Ratios are rounded so
+        the rows are stable under bit-identical reruns.
+        """
+
+        def observe(
+            name: str, before: np.ndarray, after: np.ndarray
+        ) -> None:
+            # Terms scale finite link weights in place, so an entry
+            # differs iff the term touched it (inf stays inf, the zero
+            # diagonal stays zero) — comparing once and dividing only
+            # the changed entries keeps this cheap enough for the
+            # TraceRecorder overhead budget.
+            changed = before != after
+            scaled = int(np.count_nonzero(changed))
+            if scaled:
+                ratio = after[changed] / before[changed]
+                max_factor = float(ratio.max())
+                min_factor = float(ratio.min())
+            else:
+                max_factor, min_factor = 1.0, 1.0
+            sink.append(
+                {
+                    "term": name,
+                    "links_scaled": scaled,
+                    "max_factor": round(max_factor, 6),
+                    "min_factor": round(min_factor, 6),
+                }
+            )
+
+        return observe
+
+    # ------------------------------------------------------------------
     # Protocol
     # ------------------------------------------------------------------
     def bootstrap(self) -> RoutingPlan:
@@ -258,7 +342,18 @@ class ControlPlane:
         The bootstrap is free of charge: the paper collects performance
         data from a fully initialised system.
         """
-        self._plan = self._engine.compute_plan(self.view())
+        if self._trace or self._timed:
+            self._plan, attribution = self._compute_plan_traced()
+            if self._trace:
+                self._change_causes.clear()
+                self._recorder.event(
+                    "replan",
+                    frame=-1,
+                    causes=["bootstrap"],
+                    terms=attribution,
+                )
+        else:
+            self._plan = self._engine.compute_plan(self.view())
         self._last_tables = self._tables_of(self._plan)
         return self._plan
 
@@ -337,6 +432,7 @@ class ControlPlane:
         active_index = self._active
         active = self._units[active_index]
 
+        trace = self._trace
         changed = False
         for report in reports:
             if not 0 <= report.node < self._num_nodes:
@@ -346,14 +442,22 @@ class ControlPlane:
             if self._node_levels[report.node] != report.level:
                 self._node_levels[report.node] = report.level
                 changed = True
+                if trace:
+                    self._change_causes.add("battery-level")
             if self._node_alive[report.node] != report.alive:
                 self._node_alive[report.node] = report.alive
                 changed = True
+                if trace:
+                    self._change_causes.add("liveness")
             if report.blocked_port is not None:
                 if self._registry.report(report.node, report.blocked_port, frame):
                     changed = True
+                    if trace:
+                        self._change_causes.add("deadlock-report")
         if self._registry.expire(frame):
             changed = True
+            if trace:
+                self._change_causes.add("deadlock-expiry")
         if self._links_changed:
             changed = True
             self._links_changed = False
@@ -367,7 +471,12 @@ class ControlPlane:
         entries_sent = 0
         recomputed = False
         if changed:
-            self._plan = self._engine.compute_plan(self.view())
+            if trace or self._timed:
+                self._plan, attribution = self._compute_plan_traced()
+                causes = sorted(self._change_causes)
+                self._change_causes.clear()
+            else:
+                self._plan = self._engine.compute_plan(self.view())
             self._recompute_count += 1
             recomputed = True
             energy["compute"] = self._energy_model.route_compute_energy_pj(
@@ -388,6 +497,15 @@ class ControlPlane:
             energy["download_tx"] = (
                 entries_sent * self._schedule.table_entry_energy_pj
             )
+            if trace:
+                self._recorder.event(
+                    "replan",
+                    frame=frame,
+                    causes=causes,
+                    reports=len(reports),
+                    entries_sent=entries_sent,
+                    terms=attribution,
+                )
 
         idle_units = [
             u for i, u in enumerate(self._units)

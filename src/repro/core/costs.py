@@ -181,12 +181,23 @@ class CostPipeline:
             terms.append(CongestionTerm(congestion_function))
         return cls(terms=tuple(terms))
 
-    def weight_matrix(self, view: NetworkView) -> np.ndarray:
-        """Phase 1: compose all applicable terms over the base lengths."""
+    def weight_matrix(self, view: NetworkView, observer=None) -> np.ndarray:
+        """Phase 1: compose all applicable terms over the base lengths.
+
+        ``observer`` is an optional telemetry callback invoked once per
+        *applied* term with ``(name, before, after)`` — the running
+        matrix on either side of the term — so a trace can attribute a
+        re-plan's weight changes to individual cost terms.  The
+        composition itself is untouched: with ``observer=None`` the
+        call is bit-identical to the historical path.
+        """
         weights = sdr_weight_matrix(view)
         for term in self.terms:
             if term.applies(view):
-                weights = term.apply(weights, view)
+                scaled = term.apply(weights, view)
+                if observer is not None:
+                    observer(term.name, weights, scaled)
+                weights = scaled
         return weights
 
     def term(self, name: str) -> CostTerm | None:

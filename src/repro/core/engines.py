@@ -11,6 +11,7 @@ which both now obtain from a :class:`~repro.core.costs.CostPipeline`
 from __future__ import annotations
 
 import abc
+import time
 
 import numpy as np
 
@@ -42,9 +43,15 @@ class RoutingEngine(abc.ABC):
     def pipeline(self) -> CostPipeline:
         """The phase 1 cost pipeline producing the weight matrix."""
 
-    def weight_matrix(self, view: NetworkView) -> np.ndarray:
-        """Phase 1: produce the directed interconnect weight matrix."""
-        return self.pipeline.weight_matrix(view)
+    def weight_matrix(
+        self, view: NetworkView, observer=None
+    ) -> np.ndarray:
+        """Phase 1: produce the directed interconnect weight matrix.
+
+        ``observer`` is the optional per-term telemetry callback of
+        :meth:`~repro.core.costs.CostPipeline.weight_matrix`.
+        """
+        return self.pipeline.weight_matrix(view, observer=observer)
 
     def configure_ecmp(self, seed: int | None) -> None:
         """Enable (seeded) or disable equal-cost multi-path spreading."""
@@ -55,10 +62,27 @@ class RoutingEngine(abc.ABC):
         """Whether computed plans round-robin equal-cost successors."""
         return self._ecmp_seed is not None
 
-    def compute_plan(self, view: NetworkView) -> RoutingPlan:
-        """Run all three phases and return the routing plan."""
-        weights = self.weight_matrix(view)
-        distances, successors = floyd_warshall_successors(weights)
+    def compute_plan(
+        self,
+        view: NetworkView,
+        term_observer=None,
+        timer=None,
+    ) -> RoutingPlan:
+        """Run all three phases and return the routing plan.
+
+        ``term_observer`` forwards to the cost pipeline (per-term
+        weight attribution); ``timer`` is an optional
+        ``(name, seconds)`` callback wrapping the Floyd–Warshall
+        rebuild — phase 2 dominates the recompute cost and is the
+        hot path a trace wants isolated.
+        """
+        weights = self.weight_matrix(view, observer=term_observer)
+        if timer is not None:
+            started = time.perf_counter()
+            distances, successors = floyd_warshall_successors(weights)
+            timer("floyd-warshall", time.perf_counter() - started)
+        else:
+            distances, successors = floyd_warshall_successors(weights)
         destinations = select_destinations(view, distances, successors)
         ecmp = None
         if self._ecmp_seed is not None:

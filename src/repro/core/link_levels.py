@@ -72,6 +72,10 @@ class LinkLevelStore:
         """Largest stored level (0 when every link is at the default)."""
         return max(self._levels.values(), default=0)
 
+    def snapshot(self) -> dict[tuple[int, int], int]:
+        """Copy of the sparse nonzero-level map (telemetry probes)."""
+        return dict(self._levels)
+
     def __len__(self) -> int:
         return len(self._levels)
 

@@ -600,3 +600,7 @@ class FaultRuntime:
     def wear_level_matrix(self, num_nodes: int) -> np.ndarray:
         """Dense symmetric ``(K, K)`` int matrix of quantised wear levels."""
         return self._levels.matrix(num_nodes)
+
+    def level_snapshot(self) -> dict[tuple[int, int], int]:
+        """Sparse copy of the nonzero wear levels (telemetry probes)."""
+        return self._levels.snapshot()

@@ -86,6 +86,7 @@ def run_fleet(
     chunk_size: int = 128,
     aggregator: FleetAggregator | None = None,
     progress: FleetProgress | None = None,
+    trace: bool = False,
 ) -> FleetRunResult:
     """Stream garments ``start .. start+size`` through the sweep runner.
 
@@ -104,6 +105,9 @@ def run_fleet(
         aggregator: Fold into an existing aggregator (defaults to a
             fresh :func:`aggregator_for` the distribution).
         progress: Optional per-record callback for live reporting.
+        trace: Capture a telemetry trace for every executed garment
+            (lands in ``record.stats.extra["trace"]``; collect it in
+            ``progress`` — records are dropped after aggregation).
     """
     if size < 0:
         raise ConfigurationError(f"fleet size must be >= 0, got {size}")
@@ -114,7 +118,7 @@ def run_fleet(
     aggregator = (
         aggregator if aggregator is not None else aggregator_for(distribution)
     )
-    runner = make_runner(workers, cache=cache)
+    runner = make_runner(workers, cache=cache, trace=trace)
     began = time.perf_counter()
     done = 0
     executed = 0
@@ -154,15 +158,25 @@ def fleet_bundle(
     result: FleetRunResult,
     *,
     workers: int | None = None,
+    cache: SweepCache | None = None,
 ) -> dict:
     """The exported fleet document.
 
     The ``aggregate`` section is the canonical artifact: bit-identical
     for one ``(fleet_seed, size, distribution)`` whatever the worker
     count, completion order or shard split.  ``stream`` (P² live
-    estimates) and ``run`` (timings, cache traffic) are diagnostics of
-    *this* run and carry no such guarantee.
+    estimates) and ``run`` (timings, cache traffic — including the
+    cache's hit/miss/IO-time counters when ``cache`` is passed) are
+    diagnostics of *this* run and carry no such guarantee.
     """
+    run: dict = {
+        "workers": workers,
+        "executed": result.executed,
+        "cached": result.cached,
+        "elapsed_s": round(result.elapsed_s, 6),
+    }
+    if cache is not None:
+        run["cache"] = cache.counters()
     return {
         "schema": FLEET_BUNDLE_SCHEMA,
         "fleet": {
@@ -173,10 +187,5 @@ def fleet_bundle(
         },
         "aggregate": result.aggregator.aggregate(),
         "stream": result.aggregator.stream_view(),
-        "run": {
-            "workers": workers,
-            "executed": result.executed,
-            "cached": result.cached,
-            "elapsed_s": round(result.elapsed_s, 6),
-        },
+        "run": run,
     }

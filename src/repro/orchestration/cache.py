@@ -23,6 +23,7 @@ import hashlib
 import json
 import os
 import pathlib
+import time
 
 from ..config import SimulationConfig
 from .backends import default_backend_name, make_backend
@@ -114,6 +115,12 @@ class SweepCache:
         self.backend_name = getattr(self.backend, "name", "custom")
         self.hits = 0
         self.misses = 0
+        #: Cumulative wall-clock seconds spent in backend I/O, kept
+        #: always-on (two clock reads per operation are noise next to
+        #: the file/db access they bracket) so sweep and fleet
+        #: summaries can report cache cost without a recorder.
+        self.time_lookup_s = 0.0
+        self.time_store_s = 0.0
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> pathlib.Path:
@@ -122,7 +129,9 @@ class SweepCache:
 
     def lookup(self, key: str) -> dict | None:
         """Stored record for ``key``; None (and a miss) when absent."""
+        started = time.perf_counter()
         record = self.backend.load(key)
+        self.time_lookup_s += time.perf_counter() - started
         if record is None or record.get("schema") != CACHE_SCHEMA_VERSION:
             self.misses += 1
             return None
@@ -133,7 +142,9 @@ class SweepCache:
         """Atomically persist one finished point's record."""
         payload = dict(record)
         payload["schema"] = CACHE_SCHEMA_VERSION
+        started = time.perf_counter()
         self.backend.save(key, payload)
+        self.time_store_s += time.perf_counter() - started
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -151,3 +162,15 @@ class SweepCache:
     def reset_counters(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.time_lookup_s = 0.0
+        self.time_store_s = 0.0
+
+    def counters(self) -> dict:
+        """JSON-safe snapshot of the cache's activity counters."""
+        return {
+            "backend": self.backend_name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookup_s": round(self.time_lookup_s, 6),
+            "store_s": round(self.time_store_s, 6),
+        }

@@ -85,13 +85,39 @@ class SweepRecord:
         return row
 
 
-def execute_point(point: SweepPoint) -> SimulationStats:
+def execute_point(
+    point: SweepPoint, trace: bool = False
+) -> SimulationStats:
     """Run one point's simulation (module-level so it pickles into
     worker processes).  Wall-clock time lands in ``stats.extra`` so
-    the bench harness can track per-point performance."""
+    the bench harness can track per-point performance.
+
+    With ``trace=True`` the run is driven through a
+    :class:`~repro.telemetry.recorder.TraceRecorder` and the finished
+    trace (a plain list of dicts, so it pickles back from workers)
+    rides along in ``stats.extra["trace"]``, including a
+    ``sweep-point`` timer for the point's full wall-clock.
+    """
+    if not trace:
+        start = time.perf_counter()
+        stats = run_simulation(point.config)
+        stats.extra["elapsed_s"] = time.perf_counter() - start
+        return stats
+    from ..telemetry.recorder import TraceRecorder
+
+    recorder = TraceRecorder()
     start = time.perf_counter()
-    stats = run_simulation(point.config)
-    stats.extra["elapsed_s"] = time.perf_counter() - start
+    stats = run_simulation(point.config, recorder)
+    elapsed = time.perf_counter() - start
+    stats.extra["elapsed_s"] = elapsed
+    recorder.timing("sweep-point", elapsed)
+    stats.extra["trace"] = recorder.lines(
+        meta={
+            "label": point.label,
+            "engine": point.config.resolved_engine(),
+            "routing": point.config.routing,
+        }
+    )
     return stats
 
 
@@ -101,10 +127,17 @@ class SweepRunner:
     Args:
         cache: Optional result cache consulted before executing and
             updated after.  ``None`` disables caching.
+        trace: When True every *executed* point runs under a
+            :class:`~repro.telemetry.recorder.TraceRecorder` and its
+            trace lines land in ``record.stats.extra["trace"]``
+            (cache hits carry no trace — nothing ran).
     """
 
-    def __init__(self, cache: SweepCache | None = None):
+    def __init__(
+        self, cache: SweepCache | None = None, trace: bool = False
+    ):
         self.cache = cache
+        self.trace = trace
 
     # -- to be provided by subclasses ----------------------------------
     def _execute(
@@ -180,7 +213,9 @@ class SweepRunner:
 
 
 def make_runner(
-    workers: int = 1, cache: SweepCache | None = None
+    workers: int = 1,
+    cache: SweepCache | None = None,
+    trace: bool = False,
 ) -> "SweepRunner":
     """Executor selection shared by the CLI and the bench harness.
 
@@ -188,10 +223,13 @@ def make_runner(
         workers: ``1`` = in-process sequential, ``0`` = a process pool
             sized to the machine, ``N > 1`` = a pool of N workers.
         cache: Optional shared result cache.
+        trace: Capture a telemetry trace for every executed point.
     """
     if workers == 1:
-        return SequentialSweepRunner(cache=cache)
-    return ParallelSweepRunner(max_workers=workers or None, cache=cache)
+        return SequentialSweepRunner(cache=cache, trace=trace)
+    return ParallelSweepRunner(
+        max_workers=workers or None, cache=cache, trace=trace
+    )
 
 
 class SequentialSweepRunner(SweepRunner):
@@ -200,7 +238,8 @@ class SequentialSweepRunner(SweepRunner):
     def _execute(
         self, points: Sequence[SweepPoint]
     ) -> Iterable[SimulationStats]:
-        return map(execute_point, points)
+        trace = self.trace
+        return (execute_point(point, trace) for point in points)
 
 
 class ParallelSweepRunner(SweepRunner):
@@ -217,8 +256,9 @@ class ParallelSweepRunner(SweepRunner):
         self,
         max_workers: int | None = None,
         cache: SweepCache | None = None,
+        trace: bool = False,
     ):
-        super().__init__(cache=cache)
+        super().__init__(cache=cache, trace=trace)
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
                 f"need at least one worker, got {max_workers}"
@@ -245,7 +285,7 @@ class ParallelSweepRunner(SweepRunner):
     ) -> Iterable[SimulationStats]:
         if len(points) == 1:
             # Not worth a pool spin-up for a single pending point.
-            return [execute_point(points[0])]
+            return [execute_point(points[0], self.trace)]
         workers = self.max_workers
         if workers is not None:
             workers = min(workers, len(points))
@@ -257,7 +297,8 @@ class ParallelSweepRunner(SweepRunner):
         results: list[SimulationStats | None] = [None] * len(points)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(execute_point, points[i]): i for i in schedule
+                pool.submit(execute_point, points[i], self.trace): i
+                for i in schedule
             }
             for future in as_completed(futures):
                 results[futures[future]] = future.result()

@@ -8,6 +8,8 @@ lives here.
 
 from __future__ import annotations
 
+import time
+
 from ..battery.monitor import BatteryLevelQuantizer, LevelTracker
 from ..config import SimulationConfig
 from ..control.controller import ControlPlane, StatusReport
@@ -19,6 +21,7 @@ from ..harvest.schedule import HarvestRuntime, build_harvest_schedule
 from ..mesh.connectivity import reachable_set, system_is_alive
 from ..mesh.geometry import node_id as mesh_node_id
 from ..mesh.topology import attach_external_node
+from ..telemetry.recorder import NULL_RECORDER, Recorder
 from .congestion import CongestionRuntime
 from .node import NetworkNode
 from .stats import EnergyLedger, SimulationStats
@@ -26,6 +29,24 @@ from .workload import JobFactory
 
 #: Frames a dispatch may wait for a fresh plan before retrying.
 MAX_WAIT_FRAMES = 64
+
+
+def _soc_quantiles(socs: list[float]) -> list[float]:
+    """Nearest-rank p10/p50/p90 of the live cells' state of charge.
+
+    Deterministic and allocation-light: sorts the already-collected
+    per-frame SoC list and indexes it, so repeated traced runs emit
+    byte-identical probe lines.  Returns zeros when no cell is alive.
+    """
+    if not socs:
+        return [0.0, 0.0, 0.0]
+    socs = sorted(socs)
+    last = len(socs) - 1
+    out = []
+    for p in (0.1, 0.5, 0.9):
+        i = min(last, int(p * last + 0.5))
+        out.append(round(socs[i], 6))
+    return out
 
 #: Hop-count guard against transient routing churn.
 HOP_GUARD_FACTOR = 6
@@ -49,9 +70,20 @@ class _AliveFull:
 class EngineBase:
     """Builds the platform and runs the per-frame control protocol."""
 
-    def __init__(self, config: SimulationConfig):
+    def __init__(
+        self,
+        config: SimulationConfig,
+        recorder: Recorder | None = None,
+    ):
         self.config = config
         platform = config.platform
+        #: Telemetry sink; the do-nothing default is gated out of every
+        #: hot path through the two cached booleans below, so a
+        #: recorder-free run executes the pre-telemetry instruction
+        #: stream bit for bit.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self._trace = bool(self.recorder.active)
+        self._timed = bool(self.recorder.times)
 
         # --- fabric -----------------------------------------------------
         self.topology = platform.make_topology()
@@ -143,6 +175,7 @@ class EngineBase:
             energy_model=config.control.energy,
             deadlock_policy=config.control.deadlock,
             controller_batteries=config.control.make_controller_batteries(),
+            recorder=self.recorder,
         )
         self.quantizer = BatteryLevelQuantizer(platform.battery_levels)
         self.tracker = LevelTracker(self.quantizer)
@@ -260,6 +293,8 @@ class EngineBase:
     def _run_frame(self, frame: int) -> None:
         """One TDMA frame: faults, harvest, heartbeats, reports, plan
         refresh."""
+        if self._timed:
+            frame_started = time.perf_counter()
         self._apply_faults(frame)
         # Harvest recharges *after* faults (a frame's tear cannot be
         # undone by its income) and *before* the heartbeats, so a level
@@ -303,8 +338,71 @@ class EngineBase:
                 self.congestion.load_dirty = False
         outcome = self.control.process_frame(frame, reports, heartbeats)
         self.ledger.add_controller(outcome.controller_energy_pj)
+        if self._trace:
+            self._record_frame_probe(frame)
+        if self._timed:
+            self.recorder.timing(
+                "frame-step", time.perf_counter() - frame_started
+            )
         if not self.control.alive:
             raise SystemDead("controller-dead")
+
+    # ------------------------------------------------------------------
+    # Telemetry probes
+    # ------------------------------------------------------------------
+    def _record_frame_probe(self, frame: int) -> None:
+        """One per-frame trace probe (only called when tracing).
+
+        Captures the live-cell count, the p10/p50/p90 state-of-charge
+        quantiles, and the jobs in flight; when load/wear tracking is
+        active the current quantised level snapshots ride along (the
+        recorder deduplicates them, so a line appears only on level
+        crossings).  Pure observation: nothing here mutates simulation
+        state, which is what keeps traced runs bit-identical.
+        """
+        # _alive_set is kept in sync by on_node_death (every death
+        # path funnels through it before the probe runs), so iterating
+        # it skips the per-node ``alive`` property chain; the mesh
+        # guard drops the battery-less source node, and the quantile
+        # helper sorts, so set order cannot leak into the trace.
+        nodes = self.nodes
+        mesh = self.num_mesh_nodes
+        socs = [
+            nodes[node].battery.state_of_charge
+            for node in self._alive_set
+            if node < mesh
+        ]
+        probe: dict = {
+            "alive": len(socs),
+            "soc": _soc_quantiles(socs),
+            "jobs": self._jobs_in_flight(),
+        }
+        if self._track_load:
+            probe["load_levels"] = self.congestion.level_snapshot()
+        if self._track_wear:
+            probe["wear_levels"] = self.faults.level_snapshot()
+        self.recorder.frame(frame, **probe)
+
+    def _jobs_in_flight(self) -> int:
+        """Jobs currently resident in the network (telemetry probe)."""
+        return 0
+
+    def _record_harvest_rejection(
+        self,
+        frame: int,
+        offered_pj: float,
+        accepted_pj: float,
+        rejecting_nodes: int,
+    ) -> None:
+        """Emit a harvest-rejection event (only called when tracing)."""
+        self.recorder.event(
+            "harvest-rejected",
+            frame=frame,
+            offered_pj=round(offered_pj, 6),
+            accepted_pj=round(accepted_pj, 6),
+            rejected_pj=round(offered_pj - accepted_pj, 6),
+            nodes=rejecting_nodes,
+        )
 
     def _heartbeat_phase(self) -> tuple[list[StatusReport], int]:
         """Per-node upload phase of one frame.
@@ -338,6 +436,13 @@ class EngineBase:
             blocked = self.pending_deadlock.pop(node, None)
             if blocked is not None and unit.alive:
                 self.deadlocks_reported += 1
+                if self._trace:
+                    self.recorder.event(
+                        "deadlock-report",
+                        frame=self.frames_done,
+                        node=node,
+                        blocked=blocked,
+                    )
                 reports.append(
                     StatusReport(
                         node=node,
@@ -375,6 +480,7 @@ class EngineBase:
         runtime = self.faults
         events = runtime.due(frame)
         restored = runtime.expire_degradations(frame)
+        trace = self._trace
         lengths_changed = False
         for u, v in restored:
             self.lengths[u, v] = self._base_lengths[u, v]
@@ -382,6 +488,10 @@ class EngineBase:
             self._known_lengths[u, v] = self._base_lengths[u, v]
             self._known_lengths[v, u] = self._base_lengths[v, u]
             lengths_changed = True
+            if trace:
+                self.recorder.event(
+                    "link-restored", frame=frame, link=[u, v]
+                )
         for event in events:
             if event.kind == "link-cut":
                 u, v = event.node_a, event.node_b
@@ -397,6 +507,10 @@ class EngineBase:
                 # the failure by trying to use it (_note_fault_block).
                 self._undiscovered.add((u, v))
                 self._undiscovered.add((v, u))
+                if trace:
+                    self.recorder.event(
+                        "fault", frame=frame, fault="link-cut", link=[u, v]
+                    )
             elif event.kind == "link-repair":
                 u, v = event.node_a, event.node_b
                 if not runtime.is_cut(u, v):
@@ -416,6 +530,13 @@ class EngineBase:
                 self.links_repaired += 1
                 self.faults_injected += 1
                 lengths_changed = True
+                if trace:
+                    self.recorder.event(
+                        "fault",
+                        frame=frame,
+                        fault="link-repair",
+                        link=[u, v],
+                    )
             elif event.kind == "node-kill":
                 unit = self.nodes[event.node_a]
                 if not unit.alive:
@@ -424,6 +545,13 @@ class EngineBase:
                 self.on_node_death(event.node_a)
                 self.nodes_fault_killed += 1
                 self.faults_injected += 1
+                if trace:
+                    self.recorder.event(
+                        "fault",
+                        frame=frame,
+                        fault="node-kill",
+                        node=event.node_a,
+                    )
             else:  # link-degrade
                 u, v = event.node_a, event.node_b
                 if runtime.is_cut(u, v) or not self.topology.has_edge(u, v):
@@ -442,6 +570,15 @@ class EngineBase:
                 self.links_degraded += 1
                 self.faults_injected += 1
                 lengths_changed = True
+                if trace:
+                    self.recorder.event(
+                        "fault",
+                        frame=frame,
+                        fault="link-degrade",
+                        link=[u, v],
+                        factor=event.factor,
+                        duration_frames=event.duration_frames,
+                    )
         if lengths_changed:
             self.control.update_lengths(self._known_lengths)
 
@@ -461,6 +598,10 @@ class EngineBase:
         runtime = self.harvest
         income = runtime.schedule.income(frame)
         tracking = self._track_income
+        trace = self._trace
+        offered_pj = 0.0
+        accepted_pj = 0.0
+        rejecting_nodes = 0
         accepted_income = self._accepted_income
         if tracking:
             for node in range(self.num_mesh_nodes):
@@ -469,16 +610,28 @@ class EngineBase:
             for node, offered in enumerate(income):
                 if offered <= 0.0:
                     continue
+                if trace:
+                    offered_pj += offered
                 unit = self.nodes[node]
                 # A fault-killed node's generator is as torn as its
                 # module: only living nodes with a cell can harvest.
                 if unit.battery is None or not unit.alive:
+                    if trace:
+                        rejecting_nodes += 1
                     continue
                 accepted = unit.battery.recharge(offered)
+                if trace:
+                    accepted_pj += accepted
+                    if accepted < offered:
+                        rejecting_nodes += 1
                 if accepted > 0.0:
                     self.ledger.add_harvest(node, accepted)
                     if tracking:
                         accepted_income[node] = accepted
+        if trace and offered_pj - accepted_pj > 1e-9:
+            self._record_harvest_rejection(
+                frame, offered_pj, accepted_pj, rejecting_nodes
+            )
         if runtime.shares_power:
             self._apply_power_sharing()
         if tracking:
@@ -652,6 +805,10 @@ class EngineBase:
         """Hook invoked the moment a node's battery dies."""
         self._alive_set.discard(node)
         self.ledger.mark_death(node, self.frames_done)
+        if self._trace:
+            self.recorder.event(
+                "node-death", frame=self.frames_done, node=node
+            )
 
     def _alive_ids(self) -> set[int]:
         return set(self._alive_set)
@@ -707,6 +864,15 @@ class EngineBase:
     def _finalize(
         self, jobs_completed: int, partial: float, death: str
     ) -> SimulationStats:
+        if self._trace:
+            self.recorder.event(
+                "run-end",
+                frame=self.frames_done,
+                cause=death,
+                jobs=jobs_completed,
+                jobs_lost=self.jobs_lost,
+                total_hops=self.total_hops,
+            )
         wasted = 0.0
         stranded = 0.0
         loss = 0.0

@@ -58,8 +58,8 @@ class _Packet:
 class ConcurrentEngine(EngineBase):
     """Closed-loop multi-job simulation with contention and deadlock."""
 
-    def __init__(self, config):
-        super().__init__(config)
+    def __init__(self, config, recorder=None):
+        super().__init__(config, recorder)
         capacity = config.platform.node_buffer_packets
         self.buffers: dict[int, deque[_Packet]] = {
             node: deque() for node in self.nodes
@@ -91,6 +91,9 @@ class ConcurrentEngine(EngineBase):
         self._used_links: set[tuple[int, int]] = set()
         self._used_receivers: set[int] = set()
         self._service_order = list(self.buffers)
+
+    def _jobs_in_flight(self) -> int:
+        return self._in_flight
 
     # ------------------------------------------------------------------
     # Death hook: resident packets die with their node
@@ -251,6 +254,13 @@ class ConcurrentEngine(EngineBase):
             self.buffers[chosen].append(packet)
             if packet.reported_deadlock:
                 self.deadlocks_recovered += 1
+                if self._trace:
+                    self.recorder.event(
+                        "deadlock-recovered",
+                        frame=self.frames_done,
+                        node=node,
+                        via=chosen,
+                    )
                 packet.reported_deadlock = False
             if packet.fault_blocked:
                 self.packets_rerouted += 1

@@ -123,6 +123,10 @@ class CongestionRuntime:
         """Dense symmetric ``(K, K)`` int matrix of quantised load levels."""
         return self._store.matrix(num_nodes)
 
+    def level_snapshot(self) -> dict[tuple[int, int], int]:
+        """Sparse copy of the nonzero load levels (telemetry probes)."""
+        return self._store.snapshot()
+
     # ------------------------------------------------------------------
     # End-of-run utilisation metrics
     # ------------------------------------------------------------------

@@ -16,16 +16,22 @@ from .stats import SimulationStats
 
 
 class EtSim:
-    """One configured e-textile platform, ready to run."""
+    """One configured e-textile platform, ready to run.
 
-    def __init__(self, config: SimulationConfig):
+    ``recorder`` is an optional telemetry sink (see
+    :mod:`repro.telemetry`); None keeps the zero-overhead null
+    recorder, preserving historical behaviour bit for bit.
+    """
+
+    def __init__(self, config: SimulationConfig, recorder=None):
         self.config = config
+        self.recorder = recorder
 
     def build_engine(self):
         """Instantiate the engine ``config.engine`` selects."""
         from .registry import build_engine
 
-        return build_engine(self.config)
+        return build_engine(self.config, self.recorder)
 
     def run(self) -> SimulationStats:
         """Simulate until system death (or budget) and return statistics."""
@@ -39,6 +45,8 @@ class EtSim:
         return stats
 
 
-def run_simulation(config: SimulationConfig) -> SimulationStats:
+def run_simulation(
+    config: SimulationConfig, recorder=None
+) -> SimulationStats:
     """Build a platform from ``config`` and run it to completion."""
-    return EtSim(config).run()
+    return EtSim(config, recorder).run()

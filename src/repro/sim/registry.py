@@ -18,22 +18,22 @@ from ..config import SimulationConfig
 from ..errors import ConfigurationError
 
 
-def _build_sequential(config: SimulationConfig):
+def _build_sequential(config: SimulationConfig, recorder=None):
     from .sequential_engine import SequentialEngine
 
-    return SequentialEngine(config)
+    return SequentialEngine(config, recorder)
 
 
-def _build_concurrent(config: SimulationConfig):
+def _build_concurrent(config: SimulationConfig, recorder=None):
     from .concurrent_engine import ConcurrentEngine
 
-    return ConcurrentEngine(config)
+    return ConcurrentEngine(config, recorder)
 
 
-def _build_vector(config: SimulationConfig):
+def _build_vector(config: SimulationConfig, recorder=None):
     from .vector_engine import VectorEngine
 
-    return VectorEngine(config)
+    return VectorEngine(config, recorder)
 
 
 #: Engine name -> builder taking a :class:`SimulationConfig`.
@@ -44,12 +44,14 @@ ENGINE_REGISTRY = {
 }
 
 
-def build_engine(config: SimulationConfig):
+def build_engine(config: SimulationConfig, recorder=None):
     """Instantiate the engine ``config`` selects, via the registry.
 
     Resolves ``"auto"`` through
     :meth:`~repro.config.SimulationConfig.resolved_engine` and rejects
-    unknown names with the list of registered ones.
+    unknown names with the list of registered ones.  ``recorder`` is an
+    optional telemetry sink forwarded to the engine; None keeps the
+    zero-overhead null recorder.
     """
     name = config.resolved_engine()
     try:
@@ -59,4 +61,4 @@ def build_engine(config: SimulationConfig):
             f"unknown engine {name!r}; registered engines: "
             f"{sorted(ENGINE_REGISTRY)}"
         ) from None
-    return builder(config)
+    return builder(config, recorder)

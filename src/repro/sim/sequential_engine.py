@@ -43,6 +43,13 @@ from .stats import SimulationStats
 class SequentialEngine(EngineBase):
     """Single-job-at-a-time simulation of one configured platform."""
 
+    #: True while a job is being driven (telemetry probe; the workload
+    #: keeps exactly one job in flight, so this is the whole count).
+    _job_running = False
+
+    def _jobs_in_flight(self) -> int:
+        return 1 if self._job_running else 0
+
     # ------------------------------------------------------------------
     # Movement and execution
     # ------------------------------------------------------------------
@@ -207,7 +214,11 @@ class SequentialEngine(EngineBase):
                 if max_jobs is not None and jobs_completed >= max_jobs:
                     raise SystemDead("job-budget")
                 job = self.factory.next_job()
-                outcome = self._run_job(job)
+                self._job_running = True
+                try:
+                    outcome = self._run_job(job)
+                finally:
+                    self._job_running = False
                 if outcome == "completed":
                     jobs_completed += 1
                     if not job.verify():

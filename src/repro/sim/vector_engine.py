@@ -30,6 +30,7 @@ conservation, and fault/harvest event counts.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
@@ -111,8 +112,8 @@ class VectorNode:
 class VectorEngine(SequentialEngine):
     """Sequential-workload engine with frame-batched vector state."""
 
-    def __init__(self, config):
-        super().__init__(config)
+    def __init__(self, config, recorder=None):
+        super().__init__(config, recorder)
         mesh = self.num_mesh_nodes
         self.bank = build_battery_bank(config.platform, mesh)
         self._killed = np.zeros(mesh, dtype=bool)
@@ -284,7 +285,14 @@ class VectorEngine(SequentialEngine):
             self._compute_nodes.clear()
             self._compute_energies.clear()
             self._compute_cycles_acc.clear()
-        delivered, died = bank.draw(requests, durations)
+        if self._timed:
+            draw_started = time.perf_counter()
+            delivered, died = bank.draw(requests, durations)
+            self.recorder.timing(
+                "bank-draw", time.perf_counter() - draw_started
+            )
+        else:
+            delivered, died = bank.draw(requests, durations)
         if died.any():
             # A draw only under-delivers on the cell it exhausts, so
             # the proportional split is exact everywhere else.
@@ -364,6 +372,16 @@ class VectorEngine(SequentialEngine):
             if events:
                 self._harvest_pj += accepted
                 self._harvest_events += events
+            if self._trace:
+                offered_pj = float(offers.sum())
+                accepted_pj = float(accepted.sum())
+                if offered_pj - accepted_pj > 1e-9:
+                    self._record_harvest_rejection(
+                        frame,
+                        offered_pj,
+                        accepted_pj,
+                        int(np.count_nonzero(accepted < offers)),
+                    )
             if tracking:
                 accepted_list = accepted.tolist()
         if runtime.shares_power:

@@ -1,0 +1,45 @@
+"""Zero-overhead telemetry: structured run traces, timers, logging.
+
+The package has three pieces:
+
+* :mod:`~repro.telemetry.recorder` — the :class:`Recorder` hook
+  protocol, the do-nothing default (:data:`NULL_RECORDER`, bit-identical
+  runs) and the in-memory :class:`TraceRecorder` whose deterministic
+  event channel is golden-testable while wall-clock timers ride in a
+  separate trailing line;
+* :mod:`~repro.telemetry.trace_io` — JSONL persistence
+  (:func:`dump_trace` / :func:`load_trace`) and the streaming
+  :class:`TraceWriter` that multiplexes many sweep points into one
+  tagged trace file;
+* :mod:`~repro.telemetry.console` — the CLI's single
+  :func:`setup_logging` entry point and the rate-limited
+  :class:`Heartbeat` progress line for long sweeps and fleets.
+"""
+
+from .console import Heartbeat, get_logger, setup_logging
+from .recorder import (
+    NULL_RECORDER,
+    TIMERS_KIND,
+    TRACE_SCHEMA,
+    NullRecorder,
+    Recorder,
+    TraceRecorder,
+    strip_timings,
+)
+from .trace_io import TraceWriter, dump_trace, load_trace
+
+__all__ = [
+    "Heartbeat",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "TIMERS_KIND",
+    "TRACE_SCHEMA",
+    "TraceRecorder",
+    "TraceWriter",
+    "dump_trace",
+    "get_logger",
+    "load_trace",
+    "setup_logging",
+    "strip_timings",
+]

@@ -1,0 +1,135 @@
+"""One logging setup for the CLI plus the sweep heartbeat.
+
+The CLI's ad-hoc status prints (bench cache summaries, fleet cache
+lines) now go through the standard :mod:`logging` machinery on a
+``repro.*`` logger hierarchy: tables and JSON documents stay on stdout
+(they are the command's *output*), while progress and diagnostics land
+on stderr at a level selected by ``--verbose`` / ``--quiet``.
+
+:class:`Heartbeat` adapts the existing sweep/fleet progress hooks into
+a rate-limited progress line (points/s and ETA) so a long fleet run is
+observable without flooding the terminal.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from typing import Callable
+
+#: Root of the package's logger hierarchy.
+LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (the root one by default)."""
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def setup_logging(
+    verbose: bool = False, quiet: bool = False, stream=None
+) -> logging.Logger:
+    """Configure the ``repro`` logger for one CLI invocation.
+
+    ``--quiet`` shows warnings only, the default shows progress
+    (INFO), ``--verbose`` adds debug detail.  Handlers attach to the
+    package logger — never the root logger — so embedding applications
+    keep their own logging configuration untouched.  Idempotent:
+    repeated calls (tests invoking ``main`` many times) reconfigure
+    the single handler instead of stacking new ones.
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.handlers.clear()
+    handler = logging.StreamHandler(
+        stream if stream is not None else sys.stderr
+    )
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.propagate = False
+    if quiet:
+        logger.setLevel(logging.WARNING)
+    elif verbose:
+        logger.setLevel(logging.DEBUG)
+    else:
+        logger.setLevel(logging.INFO)
+    return logger
+
+
+class Heartbeat:
+    """Rate-limited progress line driven by the existing progress hooks.
+
+    Works as a :data:`~repro.fleet.runner.FleetProgress` callback
+    (``(record, done, total)``) or, via :meth:`tick`, from any hook
+    that only knows "one more point finished".  Emits at most one line
+    per ``min_interval_s`` — plus always the final one — with points/s
+    and the remaining-time estimate.
+
+    Args:
+        total: Expected point count (None disables the ETA).
+        label: Word naming the unit of work in the emitted line.
+        logger: Destination logger (the package logger by default).
+        min_interval_s: Minimum seconds between emitted lines.
+        clock: Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        total: int | None = None,
+        label: str = "points",
+        logger: logging.Logger | None = None,
+        min_interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.total = total
+        self.label = label
+        self._logger = logger if logger is not None else get_logger()
+        self._interval = float(min_interval_s)
+        self._clock = clock
+        self._started = clock()
+        self._last_emit = self._started - self._interval
+        self._done = 0
+
+    def __call__(self, record, done: int, total: int) -> None:
+        """Fleet-progress signature adapter."""
+        self.total = total
+        self._done = done
+        self._maybe_emit(final=done >= total)
+
+    def tick(self, done: int | None = None) -> None:
+        """One more point finished (hooks without a running count)."""
+        self._done = self._done + 1 if done is None else done
+        final = self.total is not None and self._done >= self.total
+        self._maybe_emit(final=final)
+
+    def _maybe_emit(self, final: bool) -> None:
+        now = self._clock()
+        if not final and now - self._last_emit < self._interval:
+            return
+        self._last_emit = now
+        self._logger.info(self.line())
+
+    def line(self) -> str:
+        """The current progress line (exposed for tests)."""
+        elapsed = max(self._clock() - self._started, 1e-9)
+        rate = self._done / elapsed
+        if self.total:
+            share = 100.0 * self._done / self.total
+            head = (
+                f"{self.label} {self._done}/{self.total} ({share:.1f}%)"
+            )
+            if rate > 0.0 and self._done < self.total:
+                eta = (self.total - self._done) / rate
+                return f"{head} — {rate:.1f}/s, ETA {_fmt_eta(eta)}"
+            return f"{head} — {rate:.1f}/s"
+        return f"{self.label} {self._done} — {rate:.1f}/s"
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds >= 3600.0:
+        return f"{seconds / 3600.0:.1f}h"
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:.1f}m"
+    return f"{seconds:.0f}s"

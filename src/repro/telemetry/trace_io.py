@@ -1,0 +1,85 @@
+"""JSONL trace persistence: dump, load, and multi-point stream writing.
+
+A trace file is one JSON object per line (JSONL).  Single runs dump
+their recorder in one shot (:func:`dump_trace`); sweep/bench/fleet
+commands stream many points into one file through a :class:`TraceWriter`
+that tags every line with the originating point so a multi-point file
+remains self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable, Mapping
+
+
+def dump_trace(
+    path: str | os.PathLike, lines: Iterable[Mapping[str, Any]]
+) -> int:
+    """Write trace lines to ``path`` as JSONL; returns the line count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(json.dumps(line, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str | os.PathLike) -> list[dict]:
+    """Read a JSONL trace back into a list of dicts (blank-line safe)."""
+    lines: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if raw:
+                lines.append(json.loads(raw))
+    return lines
+
+
+class TraceWriter:
+    """Streaming JSONL writer for multi-point traces.
+
+    Each :meth:`add` call appends one point's trace lines, merging the
+    given tags (point label, scenario name, ...) into every line so the
+    file can be grouped back per point.  Usable as a context manager.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = path
+        self._handle = open(path, "w", encoding="utf-8")
+        self.lines_written = 0
+        self.points_written = 0
+
+    def write(self, line: Mapping[str, Any]) -> None:
+        """Append one raw line."""
+        self._handle.write(json.dumps(line, sort_keys=True))
+        self._handle.write("\n")
+        self.lines_written += 1
+
+    def add(
+        self,
+        lines: Iterable[Mapping[str, Any]] | None,
+        **tags: Any,
+    ) -> int:
+        """Append one point's trace, tagging every line; None is a no-op
+        (cache hits carry no trace)."""
+        if lines is None:
+            return 0
+        count = 0
+        for line in lines:
+            self.write({**tags, **line})
+            count += 1
+        if count:
+            self.points_written += 1
+        return count
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

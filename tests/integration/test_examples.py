@@ -46,6 +46,13 @@ class TestExamples:
         assert "hot-link spread without lifetime cost: True" in out
         assert "measure-only" in out
 
+    def test_trace_playground(self, capsys):
+        out = run_example("trace_playground", capsys)
+        assert "bare == null-recorder == traced: True" in out
+        assert "deterministic channel repeats exactly: True" in out
+        assert "term attribution" in out
+        assert "steered by the congestion term" in out
+
     def test_fleet_playground(self, capsys):
         out = run_example("fleet_playground", capsys)
         assert "shard-merge == single stream, bit for bit: True" in out

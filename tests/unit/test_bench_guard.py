@@ -75,3 +75,56 @@ class TestLoadPoints:
         }
         fresh = write(tmp_path, "fresh.json", slower)
         assert guard.main([baseline, fresh]) == 1
+
+
+class TestMissingSections:
+    """A silently dropped scenario section must fail, not pass."""
+
+    def test_load_document_returns_sections(self, guard, tmp_path):
+        document = {
+            **BENCH_RECORDS,
+            "all_cached": [{"label": "4x4/ear"}],
+            "fleet_smoke": {"schema": 1},
+        }
+        path = write(tmp_path, "bench.json", document)
+        points, sections = guard.load_document(path)
+        assert points == {"fig7/4x4/ear": 0.5}
+        # Dict-shaped keys are not scenario sections; record lists are,
+        # even when every point was served from the cache.
+        assert sections == {"fig7", "all_cached"}
+
+    def test_fresh_missing_baseline_section_is_fatal(
+        self, guard, tmp_path, capsys
+    ):
+        baseline = write(
+            tmp_path,
+            "baseline.json",
+            {
+                **BENCH_RECORDS,
+                "engine-speed": [
+                    {"label": "4x4/vector", "elapsed_s": 0.4}
+                ],
+            },
+        )
+        fresh = write(tmp_path, "fresh.json", BENCH_RECORDS)
+        assert guard.main([baseline, fresh]) == 2
+        out = capsys.readouterr().out
+        assert "missing scenario section(s)" in out
+        assert "engine-speed" in out
+
+    def test_fresh_only_section_is_informational(self, guard, tmp_path):
+        baseline = write(tmp_path, "baseline.json", BENCH_RECORDS)
+        fresh = write(
+            tmp_path,
+            "fresh.json",
+            {
+                **BENCH_RECORDS,
+                "brand-new": [{"label": "4x4/x", "elapsed_s": 0.3}],
+            },
+        )
+        assert guard.main([baseline, fresh]) == 0
+
+    def test_empty_fresh_document_is_fatal(self, guard, tmp_path):
+        baseline = write(tmp_path, "baseline.json", BENCH_RECORDS)
+        fresh = write(tmp_path, "fresh.json", {"fleet_smoke": {"a": 1}})
+        assert guard.main([baseline, fresh]) == 2

@@ -390,6 +390,117 @@ class TestFaultFlags:
         assert any(r["links_cut"] > 0 for r in records)
 
 
+class TestTraceCli:
+    def test_logging_flags_parse_on_all_commands(self):
+        parser = build_parser()
+        for command in (
+            ["simulate"],
+            ["sweep"],
+            ["bench", "--smoke"],
+            ["fleet", "--smoke"],
+        ):
+            args = parser.parse_args(command + ["--verbose"])
+            assert args.verbose is True
+            args = parser.parse_args(command + ["--quiet"])
+            assert args.quiet is True
+
+    def test_trace_flag_parses_on_all_run_commands(self):
+        parser = build_parser()
+        for command in (
+            ["simulate"],
+            ["sweep"],
+            ["bench", "--smoke"],
+            ["fleet", "--smoke"],
+        ):
+            args = parser.parse_args(command + ["--trace", "out.jsonl"])
+            assert args.trace == "out.jsonl"
+
+    def test_simulate_trace_writes_a_structured_jsonl(
+        self, capsys, tmp_path
+    ):
+        from repro.telemetry import load_trace
+
+        path = tmp_path / "run.jsonl"
+        assert main(
+            ["simulate", "--mesh", "4", "--trace", str(path), "--json"]
+        ) == 0
+        lines = load_trace(path)
+        assert lines[0]["kind"] == "meta"
+        assert lines[0]["command"] == "simulate"
+        kinds = {line["kind"] for line in lines}
+        assert {"frame", "event"} <= kinds
+        replans = [li for li in lines if li.get("event") == "replan"]
+        assert replans and all("causes" in li for li in replans)
+
+    def test_simulate_trace_is_deterministic(self, capsys, tmp_path):
+        from repro.telemetry import load_trace, strip_timings
+
+        captures = []
+        for name in ("a.jsonl", "b.jsonl"):
+            path = tmp_path / name
+            assert main(
+                ["simulate", "--mesh", "4", "--trace", str(path), "--json"]
+            ) == 0
+            captures.append(strip_timings(load_trace(path)))
+        assert captures[0] == captures[1]
+
+    def test_sweep_trace_tags_lines_per_point(self, capsys, tmp_path):
+        from repro.telemetry import load_trace
+
+        path = tmp_path / "sweep.jsonl"
+        assert main(
+            [
+                "sweep", "--min-mesh", "4", "--max-mesh", "4",
+                "--trace", str(path),
+            ]
+        ) == 0
+        lines = load_trace(path)
+        points = {line.get("point") for line in lines}
+        # One EAR and one SDR run per mesh size, each tagged.
+        assert {"4x4/ear", "4x4/sdr"} <= points
+
+    def test_trace_subcommand_renders_a_report(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(
+            ["simulate", "--mesh", "4", "--trace", str(path), "--json"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "re-plan(s)" in out
+        assert "term attribution" in out
+        assert "legend:" in out
+
+    def test_trace_subcommand_events_flag(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(
+            ["simulate", "--mesh", "4", "--trace", str(path), "--json"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", str(path), "--events", "--width", "40"]) == 0
+
+    def test_quiet_suppresses_the_trace_status_line(
+        self, capsys, tmp_path
+    ):
+        import io
+        import logging as logging_module
+
+        from repro.telemetry.console import LOGGER_NAME
+
+        path = tmp_path / "run.jsonl"
+        assert main(
+            ["simulate", "--mesh", "4", "--trace", str(path), "--quiet",
+             "--json"]
+        ) == 0
+        logger = logging_module.getLogger(LOGGER_NAME)
+        assert logger.level == logging_module.WARNING
+        # And the stream handler drops INFO records outright.
+        stream = io.StringIO()
+        logger.handlers[0].setStream(stream)
+        logger.info("suppressed")
+        assert stream.getvalue() == ""
+
+
 class TestHarvestCli:
     def test_harvest_flags_parse_on_all_run_commands(self):
         parser = build_parser()
