@@ -25,7 +25,7 @@ from .congestion import (
     congestion_relief_twin,
     measure_only_twin,
 )
-from .fleet import fleet_summary
+from .fleet import fleet_comparison, fleet_summary
 from .harvest import (
     harvest_aware_twin,
     harvest_comparison,
@@ -56,6 +56,7 @@ __all__ = [
     "fault_free_twin",
     "fault_impact",
     "fault_impact_for",
+    "fleet_comparison",
     "fleet_summary",
     "format_table",
     "gap_report",

@@ -557,8 +557,15 @@ def _fleet_preset_names() -> tuple[str, ...]:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    from .analysis.fleet import fleet_summary
+    from .analysis.fleet import fleet_comparison, fleet_summary
     from .fleet import FLEET_PRESETS, fleet_bundle, run_fleet
+    from .fleet.shards import (
+        run_shard,
+        run_sharded_fleet,
+        shard_filename,
+        shard_spec_for,
+        write_shard_state,
+    )
 
     preset = "smoke" if args.smoke else args.preset
     distribution = FLEET_PRESETS[preset]
@@ -566,7 +573,163 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if size is None:
         size = 1000 if args.smoke else 256
     logger = get_logger()
+
+    # The flag matrix: exactly one of the four fleet modes at a time.
+    single_shard = (
+        args.shard_index is not None or args.shard_count is not None
+    )
+    if single_shard and (
+        args.shard_index is None or args.shard_count is None
+    ):
+        raise SystemExit(
+            "--shard-index and --shard-count must be given together"
+        )
+    if args.shards is not None and single_shard:
+        raise SystemExit(
+            "--shards (local pool) and --shard-index/--shard-count "
+            "(one shard per host) are mutually exclusive"
+        )
+    if args.shards is not None and args.trace:
+        raise SystemExit(
+            "--trace is not supported with --shards (shards run in "
+            "worker processes); trace one shard at a time via "
+            "--shard-index/--shard-count"
+        )
+    if args.compare_routing and (args.shards is not None or single_shard):
+        raise SystemExit(
+            "--compare-routing runs both variants in one process; "
+            "combine it with --workers, not with sharding"
+        )
+
     cache = _make_cache(args)
+
+    # --- one shard of a multi-host run: emit a standalone state file
+    if single_shard:
+        spec = shard_spec_for(size, args.shard_count, args.shard_index)
+        writer = TraceWriter(args.trace) if args.trace else None
+        heartbeat = Heartbeat(
+            total=spec.size,
+            label=f"shard {spec.index}/{spec.count} garments",
+            logger=logger,
+        )
+
+        def shard_progress(record, done, total):
+            if writer is not None and record.stats is not None:
+                writer.add(
+                    record.stats.extra.get("trace"),
+                    point=record.label,
+                    shard=spec.index,
+                    shard_count=spec.count,
+                )
+            heartbeat(record, done, total)
+
+        try:
+            document = run_shard(
+                distribution,
+                args.fleet_seed,
+                size,
+                spec,
+                workers=args.workers,
+                cache=cache,
+                chunk_size=args.chunk,
+                progress=shard_progress,
+                trace=writer is not None,
+            )
+        finally:
+            heartbeat.finish()
+            if writer is not None:
+                writer.close()
+                logger.info(
+                    "trace: %d garment(s), %d line(s) -> %s",
+                    writer.points_written, writer.lines_written,
+                    args.trace,
+                )
+        out = args.shard_out or shard_filename(spec)
+        write_shard_state(out, document)
+        logger.info(
+            "shard %d/%d: %d garment(s) -> %s (combine the full set "
+            "with `repro fleet-merge`)",
+            spec.index, spec.count, spec.size, out,
+        )
+        if args.json:
+            print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
+    # --- local fault-tolerant sharded run on a process pool
+    if args.shards is not None:
+        if args.shards < 1:
+            raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+        sharded = run_sharded_fleet(
+            distribution,
+            size,
+            args.fleet_seed,
+            args.shards,
+            directory=args.shard_dir,
+            cache_dir=str(cache.directory) if cache is not None else None,
+            cache_backend=cache.backend_name if cache is not None else None,
+            chunk_size=args.chunk,
+            pool_workers=args.workers or None,
+            max_attempts=args.shard_attempts,
+            backoff_s=args.shard_backoff,
+            timeout_s=args.shard_timeout,
+            logger=logger,
+        )
+        bundle = fleet_bundle(
+            distribution,
+            size,
+            args.fleet_seed,
+            sharded.result,
+            workers=args.workers,
+            shards=sharded.shards,
+        )
+        if args.json:
+            print(json.dumps(bundle, indent=2, sort_keys=True))
+        else:
+            print(fleet_summary(bundle))
+            if sharded.directory:
+                logger.info(
+                    "shard state + manifest in %s (re-run resumes "
+                    "unfinished shards)",
+                    sharded.directory,
+                )
+        return 0
+
+    # --- EAR vs SDR over the same population
+    if args.compare_routing:
+        bundles: dict[str, dict] = {}
+        for routing in ("ear", "sdr"):
+            base = SimulationConfig(routing=routing)
+            heartbeat = Heartbeat(
+                total=size, label=f"{routing} garments", logger=logger
+            )
+            try:
+                result = run_fleet(
+                    distribution,
+                    size,
+                    args.fleet_seed,
+                    base=base,
+                    workers=args.workers,
+                    cache=cache,
+                    chunk_size=args.chunk,
+                    progress=heartbeat,
+                )
+            finally:
+                heartbeat.finish()
+            bundles[routing] = fleet_bundle(
+                distribution,
+                size,
+                args.fleet_seed,
+                result,
+                workers=args.workers,
+                cache=cache,
+            )
+        if args.json:
+            print(json.dumps(bundles, indent=2, sort_keys=True))
+        else:
+            print(fleet_comparison(bundles))
+        return 0
+
+    # --- the single-stream default
     writer = TraceWriter(args.trace) if args.trace else None
     heartbeat = Heartbeat(total=size, label="garments", logger=logger)
 
@@ -587,6 +750,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             trace=writer is not None,
         )
     finally:
+        # The rate limiter can swallow the last in-band progress line;
+        # the terminal line is emitted unconditionally (idempotent).
+        heartbeat.finish()
         if writer is not None:
             writer.close()
             logger.info(
@@ -611,6 +777,19 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 cache.backend_name, cache.hits, cache.misses,
                 cache.directory,
             )
+    return 0
+
+
+def _cmd_fleet_merge(args: argparse.Namespace) -> int:
+    from .analysis.fleet import fleet_summary
+    from .fleet.shards import load_shard_state, merged_bundle
+
+    documents = [load_shard_state(path) for path in args.files]
+    bundle = merged_bundle(documents)
+    if args.json:
+        print(json.dumps(bundle, indent=2, sort_keys=True))
+    else:
+        print(fleet_summary(bundle))
     return 0
 
 
@@ -857,10 +1036,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the aggregate bundle as JSON",
     )
+    fleet.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split the fleet into N disjoint shards and run them on a "
+        "local process pool with per-shard retry and manifest resume "
+        "(merged aggregate bit-identical to a single stream)",
+    )
+    fleet.add_argument(
+        "--shard-dir", metavar="DIR", default=None,
+        help="with --shards: keep shard state files + manifest under "
+        "DIR so an interrupted run resumes (default: ephemeral)",
+    )
+    fleet.add_argument(
+        "--shard-index", type=int, default=None, metavar="I",
+        help="run only shard I of a --shard-count split and write its "
+        "standalone state file (one-shard-per-host mode; merge with "
+        "`repro fleet-merge`)",
+    )
+    fleet.add_argument(
+        "--shard-count", type=int, default=None, metavar="N",
+        help="total shards of the multi-host split (with --shard-index)",
+    )
+    fleet.add_argument(
+        "--shard-out", metavar="FILE", default=None,
+        help="state-file path for --shard-index mode (default "
+        "shard_IIIIofNNNN.json)",
+    )
+    fleet.add_argument(
+        "--shard-attempts", type=int, default=3, metavar="K",
+        help="with --shards: runs each shard may consume before the "
+        "driver gives up (default 3)",
+    )
+    fleet.add_argument(
+        "--shard-backoff", type=float, default=0.5, metavar="S",
+        help="with --shards: first retry delay in seconds, doubling "
+        "each round (default 0.5)",
+    )
+    fleet.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="S",
+        help="with --shards: per-round wall-clock limit; shards still "
+        "running are failed and retried (default: none)",
+    )
+    fleet.add_argument(
+        "--compare-routing", action="store_true",
+        help="run the same population under EAR and SDR and print the "
+        "survival-curve comparison",
+    )
     _add_runner_arguments(fleet)
     _add_trace_argument(fleet)
     _add_logging_arguments(fleet)
     fleet.set_defaults(func=_cmd_fleet)
+
+    fleet_merge = sub.add_parser(
+        "fleet-merge",
+        help="merge standalone shard state files into one fleet bundle",
+    )
+    fleet_merge.add_argument(
+        "files", nargs="+", metavar="STATE.json",
+        help="shard state files written by `repro fleet --shard-index` "
+        "or kept under a --shard-dir (the full set of one fleet)",
+    )
+    fleet_merge.add_argument(
+        "--json", action="store_true",
+        help="emit the merged aggregate bundle as JSON",
+    )
+    _add_logging_arguments(fleet_merge)
+    fleet_merge.set_defaults(func=_cmd_fleet_merge)
 
     trace = sub.add_parser(
         "trace",

@@ -13,7 +13,12 @@ of the paper (Fig 7/8, Table 2) to population scale:
   an associative, order-independent mergeable core, so shards on
   separate processes or hosts combine bit-identically;
 * :mod:`~repro.fleet.runner` — the chunked driver that streams any
-  fleet size through the existing sweep runner and cache.
+  fleet size through the existing sweep runner and cache;
+* :mod:`~repro.fleet.shards` — the fault-tolerant scale-out driver
+  that splits one fleet into disjoint shards (local process pool or
+  one-shard-per-host), retries crashed/timed-out shards, resumes
+  interrupted runs from a manifest, and strictly merges standalone
+  shard state files back into the canonical aggregate.
 """
 
 from .aggregate import (
@@ -35,6 +40,23 @@ from .runner import (
     fleet_bundle,
     run_fleet,
 )
+from .shards import (
+    SHARD_MANIFEST_SCHEMA,
+    SHARD_STATE_SCHEMA,
+    MergedShards,
+    ShardedFleetResult,
+    ShardManifest,
+    ShardSpec,
+    fleet_signature,
+    load_shard_state,
+    merge_shard_states,
+    merged_bundle,
+    run_shard,
+    run_sharded_fleet,
+    shard_spec_for,
+    split_fleet,
+    write_shard_state,
+)
 
 __all__ = [
     "FLEET_BUNDLE_SCHEMA",
@@ -42,15 +64,30 @@ __all__ = [
     "FLEET_PERCENTILES",
     "FLEET_PRESETS",
     "FLEET_STATE_SCHEMA",
+    "SHARD_MANIFEST_SCHEMA",
+    "SHARD_STATE_SCHEMA",
     "BucketHistogram",
     "ExactSum",
     "FleetAggregator",
     "FleetDistribution",
     "FleetRunResult",
+    "MergedShards",
     "MetricSpec",
     "MetricStat",
     "P2Quantile",
+    "ShardManifest",
+    "ShardSpec",
+    "ShardedFleetResult",
     "aggregator_for",
     "fleet_bundle",
+    "fleet_signature",
+    "load_shard_state",
+    "merge_shard_states",
+    "merged_bundle",
     "run_fleet",
+    "run_shard",
+    "run_sharded_fleet",
+    "shard_spec_for",
+    "split_fleet",
+    "write_shard_state",
 ]

@@ -346,7 +346,9 @@ class MetricStat:
                 )
         self.histogram.merge(other.histogram)
         # P² states are stream-order artefacts; a merged aggregator has
-        # no single stream, so the live view resets (count 0 => None).
+        # no single stream, so the live estimators reset.  The reported
+        # stream view then falls back to the canonical histogram
+        # quantiles (see stream_estimates) instead of going blank.
         self.p2 = {p: P2Quantile(p / 100.0) for p in FLEET_PERCENTILES}
 
     # ------------------------------------------------------------------
@@ -364,7 +366,30 @@ class MetricStat:
             )
         return out
 
+    def stream_source(self) -> str:
+        """Where the reported stream percentiles come from.
+
+        ``"p2"`` while a live single-stream P² state exists,
+        ``"histogram"`` after a merge or state reload discarded it (the
+        canonical bucket quantiles stand in), ``"empty"`` before any
+        observation.
+        """
+        if any(est.count for est in self.p2.values()):
+            return "p2"
+        return "histogram" if self.count else "empty"
+
     def stream_estimates(self) -> dict:
+        if self.stream_source() == "histogram":
+            # Merged/reloaded aggregators have no single arrival order
+            # for P² to track; derive the reported percentiles from the
+            # canonical histogram so sharded runs still report p5/p50/
+            # p95 instead of None.
+            return {
+                f"p{p:g}": self.histogram.quantile(
+                    p, lo=self.minimum, hi=self.maximum
+                )
+                for p in FLEET_PERCENTILES
+            }
         return {f"p{p:g}": est.estimate() for p, est in self.p2.items()}
 
     def state(self) -> dict:
@@ -459,8 +484,42 @@ class FleetAggregator:
         cause = str(summary.get("death_cause", "unknown"))
         self.death_causes[cause] = self.death_causes.get(cause, 0) + 1
 
+    def spec_dict(self) -> dict:
+        """The bucketing of every metric (JSON-safe, comparable).
+
+        Two aggregators are mergeable exactly when their spec dicts are
+        equal; :func:`~repro.fleet.runner.run_fleet` and the shard
+        merge validate against this before any counts combine.
+        """
+        return {
+            name: {
+                "bucket_width": stat.spec.bucket_width,
+                "buckets": stat.spec.buckets,
+            }
+            for name, stat in sorted(self.metrics.items())
+        }
+
     def merge(self, other: "FleetAggregator") -> "FleetAggregator":
-        """Fold another shard's aggregator into this one (in place)."""
+        """Fold another shard's aggregator into this one (in place).
+
+        Raises :class:`~repro.errors.ConfigurationError` when the two
+        aggregators track different metrics or bucket their histograms
+        differently — mismatched specs would merge into garbage
+        statistics, so the merge is strict.
+        """
+        if set(self.metrics) != set(other.metrics):
+            raise ConfigurationError(
+                "cannot merge fleet aggregators tracking different "
+                f"metrics: {sorted(self.metrics)} vs "
+                f"{sorted(other.metrics)}"
+            )
+        if self.spec_dict() != other.spec_dict():
+            raise ConfigurationError(
+                "cannot merge fleet aggregators with mismatched bucket "
+                f"specs: {self.spec_dict()} vs {other.spec_dict()} — "
+                "shards of one fleet must derive their aggregator from "
+                "the same distribution (aggregator_for)"
+            )
         for name, stat in self.metrics.items():
             stat.merge(other.metrics[name])
         for cause, n in other.death_causes.items():
@@ -486,13 +545,17 @@ class FleetAggregator:
         }
 
     def stream_view(self) -> dict:
-        """P² live percentile estimates, in stream arrival order.
+        """Live percentile estimates plus their provenance.
 
-        Order-dependent by construction; empty estimates (None) after a
-        merge, which discards the stream layer.
+        While a single stream exists the estimates are the P² markers
+        in arrival order (``source: "p2"``).  A merged or reloaded
+        aggregator has no single stream, so the estimates fall back to
+        the canonical histogram quantiles and are flagged
+        ``source: "histogram"`` — callers (``fleet_summary``) surface
+        that flag instead of reporting None/NaN percentiles.
         """
         return {
-            name: stat.stream_estimates()
+            name: {**stat.stream_estimates(), "source": stat.stream_source()}
             for name, stat in sorted(self.metrics.items())
         }
 

@@ -115,9 +115,20 @@ def run_fleet(
         raise ConfigurationError(
             f"chunk size must be >= 1, got {chunk_size}"
         )
-    aggregator = (
-        aggregator if aggregator is not None else aggregator_for(distribution)
-    )
+    expected = aggregator_for(distribution)
+    if aggregator is None:
+        aggregator = expected
+    elif aggregator.spec_dict() != expected.spec_dict():
+        # A caller-supplied aggregator (or one rebuilt from a shard
+        # state file) bucketed for a *different* distribution would
+        # fold new records into misaligned histograms — silently
+        # garbage quantiles and survival curves.  Refuse instead.
+        raise ConfigurationError(
+            "supplied aggregator's bucket spec does not match this "
+            f"distribution: {aggregator.spec_dict()} vs expected "
+            f"{expected.spec_dict()} (derive it with "
+            "aggregator_for(distribution))"
+        )
     runner = make_runner(workers, cache=cache, trace=trace)
     began = time.perf_counter()
     done = 0
@@ -159,15 +170,18 @@ def fleet_bundle(
     *,
     workers: int | None = None,
     cache: SweepCache | None = None,
+    shards: list[dict] | None = None,
 ) -> dict:
     """The exported fleet document.
 
     The ``aggregate`` section is the canonical artifact: bit-identical
     for one ``(fleet_seed, size, distribution)`` whatever the worker
-    count, completion order or shard split.  ``stream`` (P² live
-    estimates) and ``run`` (timings, cache traffic — including the
-    cache's hit/miss/IO-time counters when ``cache`` is passed) are
-    diagnostics of *this* run and carry no such guarantee.
+    count, completion order or shard split.  ``stream`` (live
+    percentile estimates with their provenance) and ``run`` (timings,
+    cache traffic — including the cache's hit/miss/IO-time counters
+    when ``cache`` is passed — and the per-shard breakdown of a
+    sharded run when ``shards`` is passed) are diagnostics of *this*
+    run and carry no such guarantee.
     """
     run: dict = {
         "workers": workers,
@@ -177,6 +191,8 @@ def fleet_bundle(
     }
     if cache is not None:
         run["cache"] = cache.counters()
+    if shards is not None:
+        run["shards"] = shards
     return {
         "schema": FLEET_BUNDLE_SCHEMA,
         "fleet": {

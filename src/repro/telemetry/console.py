@@ -16,6 +16,7 @@ from __future__ import annotations
 import logging
 import sys
 import time
+from collections import deque
 from typing import Callable
 
 #: Root of the package's logger hierarchy.
@@ -64,14 +65,27 @@ class Heartbeat:
     Works as a :data:`~repro.fleet.runner.FleetProgress` callback
     (``(record, done, total)``) or, via :meth:`tick`, from any hook
     that only knows "one more point finished".  Emits at most one line
-    per ``min_interval_s`` — plus always the final one — with points/s
+    per ``min_interval_s`` — plus always a terminal one — with points/s
     and the remaining-time estimate.
+
+    The rate is computed over a *sliding window* (``window_s``) of
+    recent progress samples, not the whole run: a warm-cache fleet
+    serves its first thousands of garments in a burst, and a
+    cumulative points/s would keep promising that burst rate long
+    after the run has settled into simulating fresh points — producing
+    wildly optimistic ETAs.  The window forgets the burst.
+
+    A run that ends inside a quiet window could have its last progress
+    line swallowed by the rate limiter; :meth:`finish` (idempotent,
+    called by the CLI in a ``finally``) always emits the terminal line
+    exactly once, as does the final ``done == total`` callback.
 
     Args:
         total: Expected point count (None disables the ETA).
         label: Word naming the unit of work in the emitted line.
         logger: Destination logger (the package logger by default).
         min_interval_s: Minimum seconds between emitted lines.
+        window_s: Sliding-window span the rate is measured over.
         clock: Injectable monotonic clock (tests).
     """
 
@@ -81,40 +95,84 @@ class Heartbeat:
         label: str = "points",
         logger: logging.Logger | None = None,
         min_interval_s: float = 1.0,
+        window_s: float = 10.0,
         clock: Callable[[], float] = time.monotonic,
     ):
         self.total = total
         self.label = label
         self._logger = logger if logger is not None else get_logger()
         self._interval = float(min_interval_s)
+        self._window = float(window_s)
         self._clock = clock
         self._started = clock()
         self._last_emit = self._started - self._interval
         self._done = 0
+        self._finished = False
+        # (time, done) progress samples; the oldest one anchors the
+        # sliding-window rate.  Seeded with the start so the very first
+        # window degrades gracefully to the cumulative rate.
+        self._samples: deque[tuple[float, int]] = deque()
+        self._samples.append((self._started, 0))
 
     def __call__(self, record, done: int, total: int) -> None:
         """Fleet-progress signature adapter."""
         self.total = total
-        self._done = done
+        self._observe(done)
         self._maybe_emit(final=done >= total)
 
     def tick(self, done: int | None = None) -> None:
         """One more point finished (hooks without a running count)."""
-        self._done = self._done + 1 if done is None else done
+        self._observe(self._done + 1 if done is None else done)
         final = self.total is not None and self._done >= self.total
         self._maybe_emit(final=final)
 
-    def _maybe_emit(self, final: bool) -> None:
+    def finish(self) -> None:
+        """Emit the terminal progress line (idempotent).
+
+        Call when the run is over: the rate limiter can never swallow
+        this line, and a run whose final callback already emitted it
+        (``done == total``) does not get a duplicate.
+        """
+        self._maybe_emit(final=True)
+
+    def _observe(self, done: int) -> None:
+        self._done = done
         now = self._clock()
-        if not final and now - self._last_emit < self._interval:
-            return
-        self._last_emit = now
+        self._samples.append((now, done))
+        # Drop samples that fell out of the window, always keeping the
+        # newest out-of-window one as the rate anchor.
+        while len(self._samples) > 2 and now - self._samples[1][0] >= (
+            self._window
+        ):
+            self._samples.popleft()
+
+    def _maybe_emit(self, final: bool) -> None:
+        if final:
+            if self._finished:
+                return
+            self._finished = True
+        else:
+            now = self._clock()
+            if now - self._last_emit < self._interval:
+                return
+            self._last_emit = now
         self._logger.info(self.line())
+
+    def rate(self) -> float:
+        """Points per second over the sliding window.
+
+        Falls back to the cumulative rate while fewer than two samples
+        (or no wall-clock progress) exist in the window.
+        """
+        now = self._clock()
+        anchor_time, anchor_done = self._samples[0]
+        if len(self._samples) >= 2 and now > anchor_time:
+            return (self._done - anchor_done) / (now - anchor_time)
+        return self._done / max(now - self._started, 1e-9)
 
     def line(self) -> str:
         """The current progress line (exposed for tests)."""
-        elapsed = max(self._clock() - self._started, 1e-9)
-        rate = self._done / elapsed
+        rate = self.rate()
         if self.total:
             share = 100.0 * self._done / self.total
             head = (

@@ -174,17 +174,61 @@ class TestFleetAggregator:
             doc["survival"]["survivors"]
         )
 
-    def test_merge_resets_stream_view_only(self):
+    def test_live_stream_view_is_p2_sourced(self):
+        agg = FleetAggregator()
+        agg.observe(summary(10.0, 2.0))
+        view = agg.stream_view()
+        for stats in view.values():
+            assert stats["source"] == "p2"
+            assert stats["p50"] is not None
+
+    def test_empty_stream_view_is_flagged_empty(self):
+        for stats in FleetAggregator().stream_view().values():
+            assert stats["source"] == "empty"
+            assert stats["p50"] is None
+
+    def test_merge_falls_back_to_histogram_stream_view(self):
         a, b = FleetAggregator(), FleetAggregator()
         a.observe(summary(10.0, 2.0))
         b.observe(summary(30.0, 6.0))
         a.merge(b)
         # Canonical layer keeps aggregating across the merge...
         assert a.count == 2
-        assert a.aggregate()["metrics"]["lifetime_frames"]["min"] == 10.0
-        # ...but the P2 stream layer has no single arrival order left.
-        for stats in a.stream_view().values():
-            assert all(value is None for value in stats.values())
+        canonical = a.aggregate()["metrics"]["lifetime_frames"]
+        assert canonical["min"] == 10.0
+        # ...the P2 stream layer has no single arrival order left, so
+        # the reported stream percentiles fall back to the canonical
+        # histogram quantiles — flagged, and never None (this was the
+        # sharded-run p5/p50/p95 blackout bug).
+        view = a.stream_view()
+        for stats in view.values():
+            assert stats["source"] == "histogram"
+            for p in FLEET_PERCENTILES:
+                assert stats[f"p{p:g}"] is not None
+        for p in FLEET_PERCENTILES:
+            key = f"p{p:g}"
+            assert view["lifetime_frames"][key] == canonical[key]
+
+    def test_merge_rejects_different_bucket_specs(self):
+        a = FleetAggregator(lifetime_bucket_frames=64.0)
+        b = FleetAggregator(lifetime_bucket_frames=32.0)
+        b.observe(summary(10.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_merge_rejects_different_metric_sets(self):
+        a, b = FleetAggregator(), FleetAggregator()
+        del b.metrics["jobs_fractional"]
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_spec_dict_is_json_safe_and_comparable(self):
+        a = FleetAggregator()
+        b = FleetAggregator()
+        assert a.spec_dict() == json.loads(json.dumps(b.spec_dict()))
+        assert a.spec_dict() != FleetAggregator(
+            jobs_bucket=1.0
+        ).spec_dict()
 
     def test_state_dict_round_trips_bit_identically(self):
         agg = FleetAggregator()

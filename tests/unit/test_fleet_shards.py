@@ -1,0 +1,368 @@
+"""Unit behaviour of the shard driver: split, sign, merge, resume."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError, ShardError
+from repro.fleet import FLEET_PRESETS, run_fleet
+from repro.fleet.shards import (
+    MANIFEST_FILENAME,
+    SHARD_STATE_SCHEMA,
+    ShardManifest,
+    ShardSpec,
+    fleet_signature,
+    load_shard_state,
+    merge_shard_states,
+    merged_bundle,
+    run_shard,
+    run_sharded_fleet,
+    shard_filename,
+    shard_spec_for,
+    split_fleet,
+    write_shard_state,
+)
+from repro.fleet.shards import _shard_worker
+
+DIST = FLEET_PRESETS["smoke"]
+SEED = 2005
+SIZE = 6
+
+QUIET = logging.getLogger("test.fleet.shards")
+QUIET.addHandler(logging.NullHandler())
+QUIET.propagate = False
+
+
+def shard_docs(size=SIZE, count=2, seed=SEED):
+    return [
+        run_shard(DIST, seed, size, spec)
+        for spec in split_fleet(size, count)
+    ]
+
+
+class TestSplitFleet:
+    def test_tiles_the_range_exactly(self):
+        for size, count in ((10, 3), (7, 7), (5, 8), (0, 2), (100, 1)):
+            specs = split_fleet(size, count)
+            assert len(specs) == count
+            cursor = 0
+            for index, spec in enumerate(specs):
+                assert spec.index == index
+                assert spec.count == count
+                assert spec.start == cursor
+                cursor = spec.stop
+            assert cursor == size
+
+    def test_sizes_are_near_equal(self):
+        sizes = [spec.size for spec in split_fleet(10, 3)]
+        assert sizes == [4, 3, 3]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            split_fleet(-1, 2)
+        with pytest.raises(ConfigurationError):
+            split_fleet(10, 0)
+        with pytest.raises(ConfigurationError):
+            shard_spec_for(10, 2, 2)
+
+    def test_spec_for_matches_split(self):
+        assert shard_spec_for(10, 3, 1) == split_fleet(10, 3)[1]
+
+
+class TestFleetSignature:
+    def test_stable_for_identical_fleets(self):
+        assert fleet_signature(DIST, SEED, SIZE) == fleet_signature(
+            DIST, SEED, SIZE
+        )
+
+    def test_changes_with_any_identity_axis(self):
+        reference = fleet_signature(DIST, SEED, SIZE)
+        assert fleet_signature(DIST, SEED + 1, SIZE) != reference
+        assert fleet_signature(DIST, SEED, SIZE + 1) != reference
+        assert (
+            fleet_signature(FLEET_PRESETS["default"], SEED, SIZE)
+            != reference
+        )
+        assert (
+            fleet_signature(
+                DIST, SEED, SIZE, SimulationConfig(routing="sdr")
+            )
+            != reference
+        )
+
+
+class TestShardStateFiles:
+    def test_round_trip(self, tmp_path):
+        document = shard_docs(count=1)[0]
+        path = tmp_path / shard_filename(ShardSpec(0, 1, 0, SIZE))
+        write_shard_state(path, document)
+        assert load_shard_state(path) == json.loads(
+            json.dumps(document)
+        )
+        # Atomic write leaves no scratch files behind.
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999}))
+        with pytest.raises(ConfigurationError):
+            load_shard_state(path)
+
+    def test_run_shard_rejects_out_of_range_spec(self):
+        with pytest.raises(ConfigurationError):
+            run_shard(DIST, SEED, SIZE, ShardSpec(0, 1, 0, SIZE + 1))
+
+
+class TestMergeValidation:
+    def test_merge_is_bit_identical_to_single_stream(self):
+        single = run_fleet(DIST, SIZE, SEED)
+        merged = merge_shard_states(shard_docs(count=3))
+        assert json.dumps(
+            merged.aggregator.aggregate(), sort_keys=True
+        ) == json.dumps(single.aggregator.aggregate(), sort_keys=True)
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ConfigurationError):
+            merge_shard_states([])
+
+    def test_rejects_schema_mismatch(self):
+        docs = shard_docs()
+        docs[1]["schema"] = SHARD_STATE_SCHEMA + 1
+        with pytest.raises(ConfigurationError):
+            merge_shard_states(docs)
+
+    def test_rejects_mismatched_fleet_seed(self):
+        docs = shard_docs()
+        alien = run_shard(
+            DIST, SEED + 1, SIZE, split_fleet(SIZE, 2)[1]
+        )
+        with pytest.raises(ConfigurationError, match="seed"):
+            merge_shard_states([docs[0], alien])
+
+    def test_rejects_mismatched_distribution(self):
+        other = FLEET_PRESETS["default"]
+        docs = shard_docs()
+        alien = run_shard(other, SEED, SIZE, split_fleet(SIZE, 2)[1])
+        with pytest.raises(ConfigurationError):
+            merge_shard_states([docs[0], alien])
+
+    def test_rejects_duplicate_shard(self):
+        docs = shard_docs()
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            merge_shard_states([docs[0], docs[0]])
+
+    def test_rejects_missing_shard(self):
+        docs = shard_docs(count=3)
+        with pytest.raises(ConfigurationError, match="missing"):
+            merge_shard_states(docs[:2])
+
+    def test_rejects_non_canonical_range(self):
+        docs = shard_docs()
+        docs[1]["shard"]["start"] += 1
+        with pytest.raises(ConfigurationError, match="canonical"):
+            merge_shard_states(docs)
+
+    def test_rejects_mismatched_bucket_spec(self):
+        docs = shard_docs()
+        # A shard whose histograms were bucketed differently (as if it
+        # ran with a stale aggregator) must be refused, not merged
+        # into garbage quantiles.
+        metric = docs[1]["state"]["metrics"]["lifetime_frames"]
+        metric["spec"]["bucket_width"] *= 2.0
+        width = metric["spec"]["bucket_width"]
+        assert width  # sanity: the corruption happened
+        with pytest.raises(ConfigurationError):
+            merge_shard_states(docs)
+
+    def test_merged_bundle_carries_shard_breakdown(self):
+        bundle = merged_bundle(shard_docs(count=3))
+        assert bundle["fleet"]["preset"] == DIST.name
+        assert [s["index"] for s in bundle["run"]["shards"]] == [0, 1, 2]
+        assert (
+            bundle["stream"]["lifetime_frames"]["source"] == "histogram"
+        )
+        assert bundle["stream"]["lifetime_frames"]["p50"] is not None
+
+
+class TestShardManifest:
+    def test_fresh_manifest_is_all_pending(self, tmp_path):
+        manifest = ShardManifest.load_or_create(
+            tmp_path / MANIFEST_FILENAME, signature="sig", shard_count=3
+        )
+        assert manifest.pending() == [0, 1, 2]
+        assert (tmp_path / MANIFEST_FILENAME).is_file()
+
+    def test_marks_persist_across_reload(self, tmp_path):
+        path = tmp_path / MANIFEST_FILENAME
+        manifest = ShardManifest.load_or_create(
+            path, signature="sig", shard_count=2
+        )
+        manifest.mark(0, "done", file="shard_0000of0002.json")
+        manifest.mark(1, "failed", error="boom", bump_attempt=True)
+        reloaded = ShardManifest.load_or_create(
+            path, signature="sig", shard_count=2
+        )
+        assert reloaded.pending() == [1]
+        assert reloaded.attempts(1) == 1
+        assert reloaded.entry(1)["error"] == "boom"
+
+    def test_running_demotes_to_pending_on_reload(self, tmp_path):
+        path = tmp_path / MANIFEST_FILENAME
+        manifest = ShardManifest.load_or_create(
+            path, signature="sig", shard_count=2
+        )
+        manifest.mark(0, "running", bump_attempt=True)
+        # A manifest left mid-run by a killed driver: the shard never
+        # committed its state file, so it must re-run.
+        reloaded = ShardManifest.load_or_create(
+            path, signature="sig", shard_count=2
+        )
+        assert reloaded.entry(0)["status"] == "pending"
+        assert reloaded.pending() == [0, 1]
+
+    def test_refuses_a_different_fleet(self, tmp_path):
+        path = tmp_path / MANIFEST_FILENAME
+        ShardManifest.load_or_create(
+            path, signature="sig-a", shard_count=2
+        )
+        with pytest.raises(ConfigurationError, match="different fleet"):
+            ShardManifest.load_or_create(
+                path, signature="sig-b", shard_count=2
+            )
+
+    def test_refuses_a_different_shard_count(self, tmp_path):
+        path = tmp_path / MANIFEST_FILENAME
+        ShardManifest.load_or_create(path, signature="sig", shard_count=2)
+        with pytest.raises(ConfigurationError, match="-way"):
+            ShardManifest.load_or_create(
+                path, signature="sig", shard_count=3
+            )
+
+
+class TestRunShardedFleet:
+    def test_inline_matches_single_stream(self):
+        single = run_fleet(DIST, SIZE, SEED)
+        sharded = run_sharded_fleet(
+            DIST, SIZE, SEED, 3, inline=True, logger=QUIET
+        )
+        assert json.dumps(
+            sharded.result.aggregator.aggregate(), sort_keys=True
+        ) == json.dumps(single.aggregator.aggregate(), sort_keys=True)
+        assert sharded.result.executed == SIZE
+        assert sharded.directory is None  # ephemeral dir cleaned up
+
+    def test_retry_budget_exhaustion_raises_shard_error(self, tmp_path):
+        def always_fails(payload):
+            raise RuntimeError("kaput")
+
+        naps: list[float] = []
+        with pytest.raises(ShardError, match="after 2 attempt"):
+            run_sharded_fleet(
+                DIST, SIZE, SEED, 2,
+                directory=tmp_path,
+                inline=True,
+                worker=always_fails,
+                max_attempts=2,
+                backoff_s=0.25,
+                sleep=naps.append,
+                logger=QUIET,
+            )
+        # One backoff nap between the two rounds, and the manifest
+        # records the failure for post-mortem.
+        assert naps == [0.25]
+        manifest = json.loads(
+            (tmp_path / MANIFEST_FILENAME).read_text()
+        )
+        assert all(
+            entry["status"] == "failed" and "kaput" in entry["error"]
+            for entry in manifest["shards"].values()
+        )
+
+    def test_resume_skips_finished_shards(self, tmp_path):
+        calls: list[int] = []
+
+        def counting(payload):
+            calls.append(payload["shard"]["index"])
+            return _shard_worker(payload)
+
+        def crash_shard_two(payload):
+            calls.append(payload["shard"]["index"])
+            if payload["shard"]["index"] == 2:
+                raise RuntimeError("killed mid-run")
+            return _shard_worker(payload)
+
+        # First driver "dies" after shards 0 and 1 committed.
+        with pytest.raises(ShardError):
+            run_sharded_fleet(
+                DIST, SIZE, SEED, 3,
+                directory=tmp_path,
+                inline=True,
+                worker=crash_shard_two,
+                max_attempts=1,
+                logger=QUIET,
+            )
+        assert sorted(calls) == [0, 1, 2]
+
+        # The restarted driver re-runs only the missing shard.
+        calls.clear()
+        sharded = run_sharded_fleet(
+            DIST, SIZE, SEED, 3,
+            directory=tmp_path,
+            inline=True,
+            worker=counting,
+            logger=QUIET,
+        )
+        assert calls == [2]
+        single = run_fleet(DIST, SIZE, SEED)
+        assert json.dumps(
+            sharded.result.aggregator.aggregate(), sort_keys=True
+        ) == json.dumps(single.aggregator.aggregate(), sort_keys=True)
+        # Cached totals still cover the whole fleet.
+        assert sharded.result.executed == SIZE
+
+    def test_resume_refuses_a_different_fleet(self, tmp_path):
+        run_sharded_fleet(
+            DIST, SIZE, SEED, 2, directory=tmp_path, inline=True,
+            logger=QUIET,
+        )
+        with pytest.raises(ConfigurationError, match="different fleet"):
+            run_sharded_fleet(
+                DIST, SIZE, SEED + 1, 2, directory=tmp_path,
+                inline=True, logger=QUIET,
+            )
+
+    def test_corrupt_state_file_triggers_rerun(self, tmp_path):
+        run_sharded_fleet(
+            DIST, SIZE, SEED, 2, directory=tmp_path, inline=True,
+            logger=QUIET,
+        )
+        victim = tmp_path / shard_filename(split_fleet(SIZE, 2)[0])
+        victim.write_text("{ truncated")
+        calls: list[int] = []
+
+        def counting(payload):
+            calls.append(payload["shard"]["index"])
+            return _shard_worker(payload)
+
+        sharded = run_sharded_fleet(
+            DIST, SIZE, SEED, 2,
+            directory=tmp_path, inline=True, worker=counting,
+            logger=QUIET,
+        )
+        assert calls == [0]
+        single = run_fleet(DIST, SIZE, SEED)
+        assert json.dumps(
+            sharded.result.aggregator.aggregate(), sort_keys=True
+        ) == json.dumps(single.aggregator.aggregate(), sort_keys=True)
+
+    def test_rejects_bad_max_attempts(self):
+        with pytest.raises(ConfigurationError):
+            run_sharded_fleet(
+                DIST, SIZE, SEED, 2, inline=True, max_attempts=0,
+                logger=QUIET,
+            )

@@ -287,6 +287,63 @@ class TestHeartbeat:
         assert _fmt_eta(150.0) == "2.5m"
         assert _fmt_eta(7200.0) == "2.0h"
 
+    def test_rate_forgets_an_initial_cache_burst(self):
+        # A warm-cache fleet serves its first 1000 garments instantly,
+        # then settles to 1/s.  A cumulative rate would keep promising
+        # ~500/s and an absurd ETA; the sliding window must converge to
+        # the post-burst rate instead.
+        now = [0.0]
+        beat, _ = self.make(
+            lambda: now[0], total=2000, window_s=10.0
+        )
+        now[0] = 0.001
+        beat(None, 1000, 2000)  # the burst
+        for step in range(1, 31):  # 30s of 1/s steady state
+            now[0] = 0.001 + step
+            beat(None, 1000 + step, 2000)
+        rate = beat.rate()
+        assert rate < 5.0, f"burst still dominates: {rate}/s"
+        assert rate == pytest.approx(1.0, rel=0.35)
+        # And the ETA derived from it is in the right decade: ~970
+        # garments left at ~1/s, nowhere near the ~2s a cumulative
+        # rate would have promised.
+        assert "ETA" in beat.line()
+        assert "h" not in beat.line() or "m" in beat.line()
+
+    def test_rate_falls_back_to_cumulative_before_the_window_fills(self):
+        now = [0.0]
+        beat, _ = self.make(lambda: now[0], total=10)
+        now[0] = 2.0
+        beat(None, 4, 10)
+        assert beat.rate() == pytest.approx(2.0)
+
+    def test_finish_emits_exactly_one_terminal_line(self):
+        now = [0.0]
+        beat, stream = self.make(
+            lambda: now[0], total=5, min_interval_s=60.0
+        )
+        beat(None, 1, 5)  # first emit is free
+        now[0] = 0.5
+        beat(None, 4, 5)  # swallowed by the rate limiter
+        assert len(stream.getvalue().splitlines()) == 1
+        beat.finish()  # the guaranteed terminal line
+        beat.finish()  # idempotent
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "4/5" in lines[-1]
+
+    def test_final_callback_and_finish_do_not_double_emit(self):
+        now = [0.0]
+        beat, stream = self.make(
+            lambda: now[0], total=2, min_interval_s=60.0
+        )
+        beat(None, 1, 2)
+        beat(None, 2, 2)  # done == total emits the terminal line
+        beat.finish()  # the CLI's finally must not add another
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "2/2 (100.0%)" in lines[-1]
+
 
 class TestTraceLinesAreJsonSafe:
     def test_recorder_lines_serialise(self):
